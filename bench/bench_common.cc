@@ -1,0 +1,88 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "data/generators.h"
+#include "ts/io.h"
+
+namespace sdtw {
+namespace bench {
+
+BenchConfig ParseArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      config.full_scale = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--ucr_dir=", 0) == 0) {
+      config.ucr_dir = arg.substr(10);
+    } else if (arg.rfind("--dataset=", 0) == 0) {
+      config.only_dataset = arg.substr(10);
+    }
+  }
+  return config;
+}
+
+namespace {
+
+bool Wanted(const BenchConfig& config, const std::string& name) {
+  return config.only_dataset.empty() || config.only_dataset == name;
+}
+
+ts::Dataset Generate(const BenchConfig& config, const std::string& name,
+                     std::size_t full_len, std::size_t full_count,
+                     std::size_t small_len, std::size_t small_count,
+                     std::uint64_t seed_offset) {
+  data::GeneratorOptions opt;
+  opt.seed = config.seed + seed_offset;
+  opt.length = config.full_scale ? full_len : small_len;
+  opt.num_series = config.full_scale ? full_count : small_count;
+  return data::MakeByName(name, opt);
+}
+
+}  // namespace
+
+std::vector<ts::Dataset> LoadDatasets(const BenchConfig& config) {
+  std::vector<ts::Dataset> sets;
+  if (!config.ucr_dir.empty()) {
+    for (const char* file : {"Gun_Point", "Trace", "50words"}) {
+      const auto ds = ts::ReadUcrFile(config.ucr_dir + "/" + file);
+      if (ds.has_value() && Wanted(config, file)) sets.push_back(*ds);
+    }
+    if (!sets.empty()) return sets;
+    std::fprintf(stderr,
+                 "warning: --ucr_dir=%s yielded no data, falling back to "
+                 "synthetic generators\n",
+                 config.ucr_dir.c_str());
+  }
+  // Reduced scale keeps every bench in seconds while preserving the profile:
+  // Gun-like keeps its 2 classes, Trace-like its 4, Words-like its 50 (so
+  // the "many classes, few per class" difficulty survives scaling).
+  if (Wanted(config, "gun")) {
+    sets.push_back(Generate(config, "gun", 150, 50, 128, 30, 0));
+  }
+  if (Wanted(config, "trace")) {
+    sets.push_back(Generate(config, "trace", 275, 100, 160, 36, 1));
+  }
+  if (Wanted(config, "50words")) {
+    sets.push_back(Generate(config, "50words", 270, 450, 150, 100, 2));
+  }
+  return sets;
+}
+
+void PrintDatasetTable(const std::vector<ts::Dataset>& datasets) {
+  std::printf("%-12s %8s %10s %10s   (Table 1 overview)\n", "data_set",
+              "length", "n_series", "n_classes");
+  for (const ts::Dataset& ds : datasets) {
+    std::printf("%-12s %8zu %10zu %10zu\n", ds.name().c_str(),
+                ds.MaxLength(), ds.size(), ds.NumClasses());
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace sdtw

@@ -1,0 +1,48 @@
+#ifndef SDTW_BENCH_BENCH_COMMON_H_
+#define SDTW_BENCH_BENCH_COMMON_H_
+
+/// \file bench_common.h
+/// \brief Shared plumbing of the table/figure reproduction benches.
+///
+/// Every bench accepts:
+///   --full            paper-scale data set sizes (Table 1); default is a
+///                     reduced scale that preserves the structural profiles
+///                     but keeps a full run in seconds rather than minutes
+///   --seed=<u64>      generator seed
+///   --ucr_dir=<path>  directory containing real UCR files (Gun_Point,
+///                     Trace, 50words in "<label>,v1,v2,..." format); when
+///                     given, real data replaces the synthetic generators
+///   --dataset=<name>  restrict to one of gun/trace/50words
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace bench {
+
+struct BenchConfig {
+  bool full_scale = false;
+  std::uint64_t seed = 17;
+  std::string ucr_dir;
+  std::string only_dataset;  // empty = all three
+};
+
+/// Parses the common flags; unrecognised flags are ignored (benches may add
+/// their own on top).
+BenchConfig ParseArgs(int argc, char** argv);
+
+/// Loads the three paper data sets (or the requested subset) at the
+/// configured scale. Synthetic by default; real UCR files when ucr_dir is
+/// set and readable.
+std::vector<ts::Dataset> LoadDatasets(const BenchConfig& config);
+
+/// Prints the Table 1 style overview of the loaded data sets.
+void PrintDatasetTable(const std::vector<ts::Dataset>& datasets);
+
+}  // namespace bench
+}  // namespace sdtw
+
+#endif  // SDTW_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,38 @@
+// Reproduces Figure 13: top-5 and top-10 retrieval accuracy and the
+// corresponding time gains for every algorithm of §4.3 (dtw; fc,fw at
+// 6/10/20%; fc,aw; ac,fw at 6/10/20%; ac,aw; ac2,aw) on the three data sets.
+//
+// Shape to reproduce (paper §4.4):
+//  (a) for fc,fw, accuracy grows with w;
+//  (b) adapting the core (ac,fw) lifts accuracy significantly, adapting the
+//      width too (ac,aw / ac2,aw) lifts it further;
+//  (c) adaptive variants retain large time gains relative to full DTW.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/sdtw.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace sdtw;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  const auto datasets = bench::LoadDatasets(config);
+  bench::PrintDatasetTable(datasets);
+
+  const auto roster = core::PaperAlgorithmRoster();
+  for (const ts::Dataset& ds : datasets) {
+    const eval::ExperimentResult result = eval::RunExperiment(ds, roster);
+    std::printf("== Figure 13, %s: retrieval accuracy vs time gain ==\n",
+                ds.name().c_str());
+    std::printf("%-12s %10s %10s %10s\n", "algorithm", "acc@top5",
+                "acc@top10", "time_gain");
+    for (const eval::AlgorithmMetrics& a : result.algorithms) {
+      std::printf("%-12s %10.4f %10.4f %10.4f\n", a.label.c_str(),
+                  a.retrieval_accuracy_top5, a.retrieval_accuracy_top10,
+                  a.time_gain);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Figure 14: DTW distance error vs time gain for every §4.3
+// algorithm on the three data sets.
+//
+// Shape to reproduce (paper §4.4): fixed core & fixed width bands produce
+// by far the largest errors (worst on the Gun-like set); adaptive-core
+// variants bring the error down by an order of magnitude while keeping
+// most of the time gain; fc,aw is relatively best on the 50Words-like set,
+// which has no major shifts.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/sdtw.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace sdtw;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  const auto datasets = bench::LoadDatasets(config);
+  bench::PrintDatasetTable(datasets);
+
+  const auto roster = core::PaperAlgorithmRoster();
+  for (const ts::Dataset& ds : datasets) {
+    const eval::ExperimentResult result = eval::RunExperiment(ds, roster);
+    std::printf("== Figure 14, %s: distance error vs time gain ==\n",
+                ds.name().c_str());
+    std::printf("%-12s %12s %10s %12s\n", "algorithm", "dist_error",
+                "time_gain", "cells_ratio");
+    for (const eval::AlgorithmMetrics& a : result.algorithms) {
+      std::printf("%-12s %12.4f %10.4f %12.4f\n", a.label.c_str(),
+                  a.distance_error, a.time_gain, a.cell_fraction);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Figure 16: top-5 and top-10 kNN classification accuracy (vs
+// time gain) on the 50Words data set — the hardest set: 50 classes, so
+// nearest-neighbour label sets are most sensitive to ranking errors.
+//
+// Shape to reproduce (paper §4.4): adaptive core and adaptive width
+// algorithms improve the classification accuracy over fixed-core bands.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/sdtw.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace sdtw;
+  bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  config.only_dataset =
+      config.only_dataset.empty() ? "50words" : config.only_dataset;
+  const auto datasets = bench::LoadDatasets(config);
+  bench::PrintDatasetTable(datasets);
+
+  const auto roster = core::PaperAlgorithmRoster();
+  for (const ts::Dataset& ds : datasets) {
+    const eval::ExperimentResult result = eval::RunExperiment(ds, roster);
+    std::printf(
+        "== Figure 16, %s: kNN classification accuracy vs time gain ==\n",
+        ds.name().c_str());
+    std::printf("%-12s %10s %10s %10s\n", "algorithm", "cls@top5",
+                "cls@top10", "time_gain");
+    for (const eval::AlgorithmMetrics& a : result.algorithms) {
+      std::printf("%-12s %10.4f %10.4f %10.4f\n", a.label.c_str(),
+                  a.classification_accuracy_top5,
+                  a.classification_accuracy_top10, a.time_gain);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

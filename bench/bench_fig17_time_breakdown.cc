@@ -1,0 +1,45 @@
+// Reproduces Figure 17: the split of the per-pair computation time between
+// (a) matching + inconsistency removal (+ band construction) and (b) the
+// dynamic programming step, for the adaptive algorithms.
+//
+// Shape to reproduce (paper §4.4): matching is a small proportion of the
+// overall work; time is spent mostly in the dynamic programming step.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/sdtw.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace sdtw;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  const auto datasets = bench::LoadDatasets(config);
+  bench::PrintDatasetTable(datasets);
+
+  const auto roster = core::PaperAlgorithmRoster();
+  for (const ts::Dataset& ds : datasets) {
+    std::printf("== Figure 17, %s: matching vs DP time ==\n",
+                ds.name().c_str());
+    std::printf("%-12s %12s %12s %14s\n", "algorithm", "match_ms",
+                "dp_ms", "match_share");
+    for (const core::NamedConfig& cfg : roster) {
+      if (cfg.full_dtw) {
+        const eval::DistanceMatrix m = eval::ComputeFullDtwMatrix(ds);
+        std::printf("%-12s %12.2f %12.2f %13.1f%%\n", cfg.label, 0.0,
+                    1e3 * m.dp_seconds, 0.0);
+        continue;
+      }
+      const eval::DistanceMatrix m = eval::ComputeSdtwMatrix(ds, cfg.options);
+      const double total = m.matching_seconds + m.dp_seconds;
+      std::printf("%-12s %12.2f %12.2f %13.1f%%\n", cfg.label,
+                  1e3 * m.matching_seconds, 1e3 * m.dp_seconds,
+                  total > 0.0 ? 100.0 * m.matching_seconds / total : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape (paper Fig 17): the matching/inconsistency share is a\n"
+      "small proportion of total pairwise time; DP dominates.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 18: impact of the descriptor length (4..128) on
+// distance error, top-10 retrieval accuracy and time gain, per data set,
+// for the adaptive algorithms (fc,aw / ac,fw / ac,aw / ac2,aw).
+//
+// Shape to reproduce (paper §4.4):
+//  * ac,fw functions poorly with very small descriptors; on Gun/Trace-like
+//    sets mid-size descriptors (~32) suffice, while a 50Words-like set —
+//    lacking large discriminating features — keeps improving with longer
+//    descriptors that add temporal context;
+//  * fc,aw reaches its best accuracy with the smallest descriptors at the
+//    cost of time gain;
+//  * ac,aw / ac2,aw provide the best accuracy/speed-up trade-offs.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/sdtw.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace sdtw;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  const auto datasets = bench::LoadDatasets(config);
+  bench::PrintDatasetTable(datasets);
+
+  const std::size_t lengths[] = {4, 8, 16, 32, 64, 128};
+  for (const ts::Dataset& ds : datasets) {
+    const eval::DistanceMatrix reference = eval::ComputeFullDtwMatrix(ds);
+    std::printf("== Figure 18, %s: descriptor length sweep ==\n",
+                ds.name().c_str());
+    std::printf("%-12s %6s %12s %10s %10s\n", "algorithm", "bins",
+                "dist_error", "acc@top10", "time_gain");
+    for (const std::size_t len : lengths) {
+      const auto roster = core::PaperAlgorithmRoster(len);
+      for (const core::NamedConfig& cfg : roster) {
+        if (cfg.full_dtw) continue;
+        // Figure 18 shows only the adaptive algorithms; skip pure
+        // Sakoe-Chiba rows (no descriptors involved).
+        if (cfg.options.constraint.type ==
+            core::ConstraintType::kFixedCoreFixedWidth) {
+          continue;
+        }
+        const eval::DistanceMatrix m =
+            eval::ComputeSdtwMatrix(ds, cfg.options);
+        const eval::AlgorithmMetrics a =
+            eval::ComputeMetrics(cfg.label, ds, reference, m);
+        std::printf("%-12s %6zu %12.4f %10.4f %10.4f\n", a.label.c_str(),
+                    len, a.distance_error, a.retrieval_accuracy_top10,
+                    a.time_gain);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

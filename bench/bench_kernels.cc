@@ -1,0 +1,144 @@
+// Kernel micro-benchmarks (google-benchmark): throughput of the DTW DP
+// kernels, band construction, feature extraction and matching — the raw
+// primitives behind the table/figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include "align/consistency.h"
+#include "align/matching.h"
+#include "core/sdtw.h"
+#include "data/generators.h"
+#include "dtw/dtw.h"
+#include "dtw/lower_bounds.h"
+#include "dtw/multiscale.h"
+#include "sift/extractor.h"
+#include "ts/random.h"
+#include "ts/transforms.h"
+
+namespace {
+
+using namespace sdtw;
+
+ts::TimeSeries MakeSeries(std::size_t n, std::uint64_t seed) {
+  ts::Rng rng(seed);
+  return ts::ZNormalize(data::patterns::RandomSmooth(n, 12, rng));
+}
+
+void BM_DtwFull(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 1);
+  const ts::TimeSeries y = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::DtwDistance(x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_DtwFull)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_DtwFullWithPath(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 1);
+  const ts::TimeSeries y = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::Dtw(x, y).distance);
+  }
+}
+BENCHMARK(BM_DtwFullWithPath)->Arg(128)->Arg(256);
+
+void BM_DtwSakoeChiba(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const double w = static_cast<double>(state.range(1)) / 100.0;
+  const ts::TimeSeries x = MakeSeries(n, 1);
+  const ts::TimeSeries y = MakeSeries(n, 2);
+  const dtw::Band band = dtw::SakoeChibaBand(n, n, w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::DtwBandedDistance(x, y, band));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(band.CellCount()));
+}
+BENCHMARK(BM_DtwSakoeChiba)
+    ->Args({256, 6})
+    ->Args({256, 10})
+    ->Args({256, 20})
+    ->Args({512, 10});
+
+void BM_SdtwBandedCompare(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 1);
+  const ts::TimeSeries y = MakeSeries(n, 2);
+  core::SdtwOptions opt;
+  opt.constraint.type = core::ConstraintType::kAdaptiveCoreAdaptiveWidth;
+  opt.dtw.want_path = false;
+  core::Sdtw engine(opt);
+  const auto fx = engine.ExtractFeatures(x);
+  const auto fy = engine.ExtractFeatures(y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Compare(x, fx, y, fy).distance);
+  }
+}
+BENCHMARK(BM_SdtwBandedCompare)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 3);
+  sift::SalientExtractor extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(x).size());
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(150)->Arg(275)->Arg(1024);
+
+void BM_MatchingAndPruning(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 4);
+  const ts::TimeSeries y = MakeSeries(n, 5);
+  sift::SalientExtractor extractor;
+  const auto fx = extractor.Extract(x);
+  const auto fy = extractor.Extract(y);
+  for (auto _ : state) {
+    const auto pairs = align::FindDominantPairs(fx, fy);
+    benchmark::DoNotOptimize(
+        align::PruneInconsistent(x, y, fx, fy, pairs).size());
+  }
+}
+BENCHMARK(BM_MatchingAndPruning)->Arg(150)->Arg(275)->Arg(1024);
+
+void BM_BandConstruction(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 6);
+  const ts::TimeSeries y = MakeSeries(n, 7);
+  core::Sdtw engine;
+  const auto fx = engine.ExtractFeatures(x);
+  const auto fy = engine.ExtractFeatures(y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.BuildBand(x, fx, y, fy).CellCount());
+  }
+}
+BENCHMARK(BM_BandConstruction)->Arg(150)->Arg(512);
+
+void BM_LbKeogh(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 8);
+  const ts::TimeSeries y = MakeSeries(n, 9);
+  const dtw::Envelope env = dtw::MakeEnvelope(y, n / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::LbKeogh(x, env));
+  }
+}
+BENCHMARK(BM_LbKeogh)->Arg(256)->Arg(1024);
+
+void BM_MultiscaleDtw(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 10);
+  const ts::TimeSeries y = MakeSeries(n, 11);
+  dtw::MultiscaleOptions opt;
+  opt.want_path = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::MultiscaleDtw(x, y, opt).distance);
+  }
+}
+BENCHMARK(BM_MultiscaleDtw)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,205 @@
+// sdtw_cli: command-line front-end to the library.
+//
+//   sdtw_cli distance <ucr_file> <row_a> <row_b> [--constraint=ac2,aw]
+//       Compute full DTW and sDTW distances between two rows of a UCR file.
+//   sdtw_cli features <ucr_file> <out_file>
+//       Extract salient features for every row and store them
+//       (retrieval::WriteFeaturesFile format).
+//   sdtw_cli band <ucr_file> <row_a> <row_b>
+//       Render the sDTW band between two rows as ASCII.
+//   sdtw_cli find <ucr_file> <query_row> <target_row>
+//       Subsequence search: locate the best window of the target row
+//       matching the query row under open-begin/open-end DTW.
+//   sdtw_cli demo
+//       Run on a bundled synthetic data set (no input file needed).
+//
+// All commands accept --options="key=value ..." (see core/config.h for the
+// full key list), e.g. --options="constraint=ac,fw width=0.1 descriptor=32".
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/config.h"
+#include "core/sdtw.h"
+#include "data/generators.h"
+#include "dtw/dtw.h"
+#include "dtw/subsequence.h"
+#include "retrieval/feature_store.h"
+#include "ts/io.h"
+#include "ts/transforms.h"
+
+namespace {
+
+using namespace sdtw;
+
+// Resolves --constraint= shorthand and --options= specs into SdtwOptions.
+core::SdtwOptions OptionsFor(const std::string& constraint,
+                             const std::string& spec = "") {
+  core::SdtwOptions opt;
+  std::string full_spec = "constraint=" + constraint;
+  if (constraint == "fc,aw") full_spec += " min_width=0.20";  // paper §4.3
+  if (!spec.empty()) full_spec += " " + spec;
+  std::string error;
+  const auto parsed = core::ParseOptions(full_spec, opt, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return *parsed;
+}
+
+ts::Dataset LoadOrDie(const std::string& path) {
+  auto ds = ts::ReadUcrFile(path);
+  if (!ds.has_value() || ds->empty()) {
+    std::fprintf(stderr, "error: cannot read UCR file %s\n", path.c_str());
+    std::exit(1);
+  }
+  return *ds;
+}
+
+int CmdDistance(const std::string& path, std::size_t a, std::size_t b,
+                const std::string& constraint, const std::string& spec) {
+  const ts::Dataset ds = LoadOrDie(path);
+  if (a >= ds.size() || b >= ds.size()) {
+    std::fprintf(stderr, "error: row out of range (file has %zu rows)\n",
+                 ds.size());
+    return 1;
+  }
+  const ts::TimeSeries x = ts::ZNormalize(ds[a]);
+  const ts::TimeSeries y = ts::ZNormalize(ds[b]);
+  core::Sdtw engine(OptionsFor(constraint, spec));
+  const core::SdtwResult r = engine.Compare(x, y);
+  const double exact = dtw::DtwDistance(x, y);
+  std::printf("rows %zu (label %d) vs %zu (label %d)\n", a, ds[a].label(), b,
+              ds[b].label());
+  std::printf("full DTW distance : %.6f\n", exact);
+  std::printf("sDTW distance     : %.6f  (%s)\n", r.distance,
+              constraint.c_str());
+  std::printf("relative error    : %.2f%%\n",
+              exact > 0.0 ? 100.0 * (r.distance - exact) / exact : 0.0);
+  std::printf("band coverage     : %.1f%%\n", 100.0 * r.band.Coverage());
+  std::printf("aligned pairs     : %zu\n", r.alignments.size());
+  return 0;
+}
+
+int CmdFeatures(const std::string& path, const std::string& out_path) {
+  const ts::Dataset ds = LoadOrDie(path);
+  core::Sdtw engine;
+  retrieval::FeatureSets features;
+  features.reserve(ds.size());
+  std::size_t total = 0;
+  for (const ts::TimeSeries& s : ds) {
+    features.push_back(engine.ExtractFeatures(ts::ZNormalize(s)));
+    total += features.back().size();
+  }
+  if (!retrieval::WriteFeaturesFile(out_path, features)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("extracted %zu keypoints over %zu series -> %s\n", total,
+              ds.size(), out_path.c_str());
+  return 0;
+}
+
+int CmdBand(const std::string& path, std::size_t a, std::size_t b) {
+  const ts::Dataset ds = LoadOrDie(path);
+  if (a >= ds.size() || b >= ds.size()) {
+    std::fprintf(stderr, "error: row out of range\n");
+    return 1;
+  }
+  // Render on a coarse grid so the band fits a terminal.
+  const std::size_t grid = 48;
+  const ts::TimeSeries x = ts::Resample(ts::ZNormalize(ds[a]), grid);
+  const ts::TimeSeries y = ts::Resample(ts::ZNormalize(ds[b]), grid);
+  core::Sdtw engine(OptionsFor("ac2,aw"));
+  const core::SdtwResult r = engine.Compare(x, y);
+  std::printf("sDTW band, rows %zu vs %zu (coverage %.0f%%):\n", a, b,
+              100.0 * r.band.Coverage());
+  std::printf("%s", r.band.ToAscii().c_str());
+  return 0;
+}
+
+int CmdDemo() {
+  data::GeneratorOptions gopt;
+  gopt.num_series = 6;
+  gopt.length = 150;
+  const ts::Dataset ds = data::MakeTraceLike(gopt);
+  core::Sdtw engine(OptionsFor("ac2,aw"));
+  std::printf("synthetic TraceLike demo (6 series):\n");
+  for (std::size_t i = 1; i < ds.size(); ++i) {
+    const double exact = dtw::DtwDistance(ds[0], ds[i]);
+    const double approx = engine.Compare(ds[0], ds[i]).distance;
+    std::printf("  0 vs %zu: dtw=%8.3f  sdtw=%8.3f  (+%.1f%%)\n", i, exact,
+                approx,
+                exact > 0.0 ? 100.0 * (approx - exact) / exact : 0.0);
+  }
+  return 0;
+}
+
+int CmdFind(const std::string& path, std::size_t query_row,
+            std::size_t target_row) {
+  const ts::Dataset ds = LoadOrDie(path);
+  if (query_row >= ds.size() || target_row >= ds.size()) {
+    std::fprintf(stderr, "error: row out of range\n");
+    return 1;
+  }
+  // Use the first third of the query row as the pattern to locate.
+  const ts::TimeSeries& full_query = ds[query_row];
+  const ts::TimeSeries query =
+      full_query.Slice(0, std::max<std::size_t>(8, full_query.size() / 3));
+  const auto matches = dtw::FindTopKSubsequences(query, ds[target_row], 3);
+  std::printf("query: first %zu samples of row %zu; target: row %zu\n",
+              query.size(), query_row, target_row);
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    std::printf("  match %zu: window [%zu, %zu], distance %.4f\n", i + 1,
+                matches[i].begin, matches[i].end, matches[i].distance);
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sdtw_cli distance <ucr_file> <row_a> <row_b> "
+               "[--constraint=<fc,fw|fc,aw|ac,fw|ac,aw|ac2,aw>] "
+               "[--options=\"key=value ...\"]\n"
+               "  sdtw_cli features <ucr_file> <out_file>\n"
+               "  sdtw_cli band <ucr_file> <row_a> <row_b>\n"
+               "  sdtw_cli find <ucr_file> <query_row> <target_row>\n"
+               "  sdtw_cli demo\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "demo") return CmdDemo();
+  if (cmd == "distance" && argc >= 5) {
+    std::string constraint = "ac2,aw";
+    std::string spec;
+    for (int i = 5; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--constraint=", 0) == 0) constraint = arg.substr(13);
+      if (arg.rfind("--options=", 0) == 0) spec = arg.substr(10);
+    }
+    return CmdDistance(argv[2], std::strtoul(argv[3], nullptr, 10),
+                       std::strtoul(argv[4], nullptr, 10), constraint, spec);
+  }
+  if (cmd == "features" && argc >= 4) return CmdFeatures(argv[2], argv[3]);
+  if (cmd == "band" && argc >= 5) {
+    return CmdBand(argv[2], std::strtoul(argv[3], nullptr, 10),
+                   std::strtoul(argv[4], nullptr, 10));
+  }
+  if (cmd == "find" && argc >= 5) {
+    return CmdFind(argv[2], std::strtoul(argv[3], nullptr, 10),
+                   std::strtoul(argv[4], nullptr, 10));
+  }
+  Usage();
+  return 1;
+}

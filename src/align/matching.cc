@@ -1,0 +1,121 @@
+#include "align/matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sdtw {
+namespace align {
+
+double DescriptorDistance(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+namespace {
+
+// True when the pair passes the amplitude, scale and position threshold
+// tests. max_shift < 0 disables the position test.
+bool PassesThresholds(const sift::Keypoint& a, const sift::Keypoint& b,
+                      const MatchingOptions& options, double max_shift) {
+  if (std::abs(a.amplitude - b.amplitude) > options.tau_amplitude) {
+    return false;
+  }
+  if (max_shift >= 0.0 && std::abs(a.position - b.position) > max_shift) {
+    return false;
+  }
+  const double s1 = std::max(a.sigma, 1e-9);
+  const double s2 = std::max(b.sigma, 1e-9);
+  const double ratio = s1 > s2 ? s1 / s2 : s2 / s1;
+  return ratio <= options.tau_scale;
+}
+
+// Squared descriptor distance with early abandoning at `cutoff_sq`
+// (returns a value > cutoff_sq once the partial sum exceeds it).
+double SquaredDistanceEarlyAbandon(const std::vector<double>& a,
+                                   const std::vector<double>& b,
+                                   double cutoff_sq) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+    if (sq > cutoff_sq) return sq;
+  }
+  return sq;
+}
+
+// Finds, for keypoint `a`, the best and second-best candidates in `ys`
+// passing the threshold tests. Returns false when no candidate exists.
+bool BestTwo(const sift::Keypoint& a,
+             const std::vector<sift::Keypoint>& ys,
+             const MatchingOptions& options, double max_shift,
+             std::size_t* best_idx, double* best_dist, double* second_dist) {
+  // Track squared distances internally; the second-best is the abandoning
+  // cutoff (anything farther cannot change the outcome of the ratio test).
+  double best_sq = std::numeric_limits<double>::infinity();
+  double second_sq = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t j = 0; j < ys.size(); ++j) {
+    if (!PassesThresholds(a, ys[j], options, max_shift)) continue;
+    const double sq = SquaredDistanceEarlyAbandon(a.descriptor,
+                                                  ys[j].descriptor,
+                                                  second_sq);
+    if (sq < best_sq) {
+      second_sq = best_sq;
+      best_sq = sq;
+      *best_idx = j;
+      found = true;
+    } else if (sq < second_sq) {
+      second_sq = sq;
+    }
+  }
+  *best_dist = std::sqrt(best_sq);
+  *second_dist = std::sqrt(second_sq);
+  return found;
+}
+
+}  // namespace
+
+std::vector<MatchPair> FindDominantPairs(
+    const std::vector<sift::Keypoint>& keypoints_x,
+    const std::vector<sift::Keypoint>& keypoints_y,
+    const MatchingOptions& options, std::size_t len_x, std::size_t len_y) {
+  const double max_shift =
+      (options.tau_position > 0.0 && len_x > 0 && len_y > 0)
+          ? options.tau_position * static_cast<double>(std::max(len_x, len_y))
+          : -1.0;
+  std::vector<MatchPair> pairs;
+  for (std::size_t i = 0; i < keypoints_x.size(); ++i) {
+    std::size_t best_j = 0;
+    double best = 0.0, second = 0.0;
+    if (!BestTwo(keypoints_x[i], keypoints_y, options, max_shift, &best_j,
+                 &best, &second)) {
+      continue;
+    }
+    // Distinctiveness: the winner must beat the runner-up by the factor
+    // τ_d. When only one candidate exists, second is +inf and the test
+    // passes trivially.
+    if (best * options.tau_distinct > second) continue;
+    if (options.require_mutual) {
+      std::size_t back_i = 0;
+      double back_best = 0.0, back_second = 0.0;
+      if (!BestTwo(keypoints_y[best_j], keypoints_x, options, max_shift,
+                   &back_i, &back_best, &back_second) ||
+          back_i != i) {
+        continue;
+      }
+    }
+    pairs.push_back(MatchPair{i, best_j, best});
+  }
+  return pairs;
+}
+
+}  // namespace align
+}  // namespace sdtw

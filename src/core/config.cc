@@ -1,0 +1,222 @@
+#include "core/config.h"
+
+#include <sstream>
+
+namespace sdtw {
+namespace core {
+
+namespace {
+
+bool ParseDouble(const std::string& v, double* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stod(v, &pos);
+    return pos == v.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool ParseSize(const std::string& v, std::size_t* out) {
+  try {
+    std::size_t pos = 0;
+    const long long parsed = std::stoll(v, &pos);
+    if (pos != v.size() || parsed < 0) return false;
+    *out = static_cast<std::size_t>(parsed);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool ParseBool(const std::string& v, bool* out) {
+  if (v == "1" || v == "true" || v == "on") {
+    *out = true;
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Applies one key=value pair; returns false (with *error set) on failure.
+bool Apply(const std::string& key, const std::string& value,
+           SdtwOptions* opt, std::string* error) {
+  double d = 0.0;
+  std::size_t z = 0;
+  bool b = false;
+  if (key == "constraint") {
+    if (value == "fc,fw") {
+      opt->constraint.type = ConstraintType::kFixedCoreFixedWidth;
+    } else if (value == "fc,aw") {
+      opt->constraint.type = ConstraintType::kFixedCoreAdaptiveWidth;
+    } else if (value == "ac,fw") {
+      opt->constraint.type = ConstraintType::kAdaptiveCoreFixedWidth;
+    } else if (value == "ac,aw") {
+      opt->constraint.type = ConstraintType::kAdaptiveCoreAdaptiveWidth;
+      opt->constraint.width_average_radius = 0;
+    } else if (value == "ac2,aw") {
+      opt->constraint.type = ConstraintType::kAdaptiveCoreAdaptiveWidth;
+      opt->constraint.width_average_radius = 1;
+    } else {
+      return Fail(error, "unknown constraint: " + value);
+    }
+    return true;
+  }
+  if (key == "width") {
+    if (!ParseDouble(value, &d)) return Fail(error, "bad width: " + value);
+    opt->constraint.fixed_width_fraction = d;
+    return true;
+  }
+  if (key == "min_width") {
+    if (!ParseDouble(value, &d)) return Fail(error, "bad min_width");
+    opt->constraint.adaptive_width_min_fraction = d;
+    return true;
+  }
+  if (key == "max_width") {
+    if (!ParseDouble(value, &d)) return Fail(error, "bad max_width");
+    opt->constraint.adaptive_width_max_fraction = d;
+    return true;
+  }
+  if (key == "radius") {
+    if (!ParseSize(value, &z)) return Fail(error, "bad radius");
+    opt->constraint.width_average_radius = z;
+    return true;
+  }
+  if (key == "symmetric") {
+    if (!ParseBool(value, &b)) return Fail(error, "bad symmetric");
+    opt->constraint.symmetric = b;
+    return true;
+  }
+  if (key == "descriptor") {
+    if (!ParseSize(value, &z)) return Fail(error, "bad descriptor");
+    opt->extractor.descriptor_length = z;
+    return true;
+  }
+  if (key == "epsilon") {
+    if (!ParseDouble(value, &d)) return Fail(error, "bad epsilon");
+    opt->extractor.epsilon = d;
+    return true;
+  }
+  if (key == "contrast") {
+    if (!ParseDouble(value, &d)) return Fail(error, "bad contrast");
+    opt->extractor.min_contrast = d;
+    return true;
+  }
+  if (key == "max_kp") {
+    if (!ParseSize(value, &z)) return Fail(error, "bad max_kp");
+    opt->extractor.max_keypoints = z;
+    return true;
+  }
+  if (key == "kp_fraction") {
+    if (!ParseDouble(value, &d)) return Fail(error, "bad kp_fraction");
+    opt->extractor.max_keypoints_fraction = d;
+    return true;
+  }
+  if (key == "octaves") {
+    if (!ParseSize(value, &z)) return Fail(error, "bad octaves");
+    opt->extractor.scale_space.num_octaves = z;
+    return true;
+  }
+  if (key == "levels") {
+    if (!ParseSize(value, &z)) return Fail(error, "bad levels");
+    opt->extractor.scale_space.levels_per_octave = z;
+    return true;
+  }
+  if (key == "tau_a") {
+    if (!ParseDouble(value, &d)) return Fail(error, "bad tau_a");
+    opt->matching.tau_amplitude = d;
+    return true;
+  }
+  if (key == "tau_s") {
+    if (!ParseDouble(value, &d)) return Fail(error, "bad tau_s");
+    opt->matching.tau_scale = d;
+    return true;
+  }
+  if (key == "tau_d") {
+    if (!ParseDouble(value, &d)) return Fail(error, "bad tau_d");
+    opt->matching.tau_distinct = d;
+    return true;
+  }
+  if (key == "tau_pos") {
+    if (!ParseDouble(value, &d)) return Fail(error, "bad tau_pos");
+    opt->matching.tau_position = d;
+    return true;
+  }
+  if (key == "mutual") {
+    if (!ParseBool(value, &b)) return Fail(error, "bad mutual");
+    opt->matching.require_mutual = b;
+    return true;
+  }
+  if (key == "cost") {
+    if (value == "abs") {
+      opt->dtw.cost = dtw::CostKind::kAbsolute;
+    } else if (value == "squared") {
+      opt->dtw.cost = dtw::CostKind::kSquared;
+    } else {
+      return Fail(error, "unknown cost: " + value);
+    }
+    return true;
+  }
+  return Fail(error, "unknown key: " + key);
+}
+
+}  // namespace
+
+std::optional<SdtwOptions> ParseOptions(const std::string& spec,
+                                        const SdtwOptions& base,
+                                        std::string* error) {
+  SdtwOptions options = base;
+  std::istringstream iss(spec);
+  std::string token;
+  while (iss >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+      if (error != nullptr) *error = "malformed token: " + token;
+      return std::nullopt;
+    }
+    if (!Apply(token.substr(0, eq), token.substr(eq + 1), &options, error)) {
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+std::string FormatOptions(const SdtwOptions& options) {
+  std::ostringstream out;
+  const bool ac2 =
+      options.constraint.type == ConstraintType::kAdaptiveCoreAdaptiveWidth &&
+      options.constraint.width_average_radius == 1;
+  out << "constraint="
+      << (ac2 ? "ac2,aw" : ConstraintTypeName(options.constraint.type));
+  out << " width=" << options.constraint.fixed_width_fraction;
+  out << " min_width=" << options.constraint.adaptive_width_min_fraction;
+  out << " max_width=" << options.constraint.adaptive_width_max_fraction;
+  if (!ac2) out << " radius=" << options.constraint.width_average_radius;
+  out << " symmetric=" << (options.constraint.symmetric ? 1 : 0);
+  out << " descriptor=" << options.extractor.descriptor_length;
+  out << " epsilon=" << options.extractor.epsilon;
+  out << " contrast=" << options.extractor.min_contrast;
+  out << " max_kp=" << options.extractor.max_keypoints;
+  out << " kp_fraction=" << options.extractor.max_keypoints_fraction;
+  out << " octaves=" << options.extractor.scale_space.num_octaves;
+  out << " levels=" << options.extractor.scale_space.levels_per_octave;
+  out << " tau_a=" << options.matching.tau_amplitude;
+  out << " tau_s=" << options.matching.tau_scale;
+  out << " tau_d=" << options.matching.tau_distinct;
+  out << " tau_pos=" << options.matching.tau_position;
+  out << " mutual=" << (options.matching.require_mutual ? 1 : 0);
+  out << " cost="
+      << (options.dtw.cost == dtw::CostKind::kAbsolute ? "abs" : "squared");
+  return out.str();
+}
+
+}  // namespace core
+}  // namespace sdtw

@@ -1,0 +1,55 @@
+#ifndef SDTW_CORE_CONFIG_H_
+#define SDTW_CORE_CONFIG_H_
+
+/// \file config.h
+/// \brief Textual configuration of the sDTW pipeline.
+///
+/// Parses `key=value` option strings into SdtwOptions so that experiment
+/// scripts and the CLI can select pipeline variants without recompiling:
+///
+///   "constraint=ac,aw width=0.1 radius=1 descriptor=64 epsilon=0.96"
+///
+/// Recognised keys (all optional):
+///   constraint   fc,fw | fc,aw | ac,fw | ac,aw | ac2,aw
+///   width        fixed width fraction (fixed-width strategies)
+///   min_width    adaptive width lower bound fraction
+///   max_width    adaptive width upper bound fraction
+///   radius       width-averaging radius r
+///   symmetric    0 | 1
+///   descriptor   descriptor length (bins)
+///   epsilon      extremum relaxation ε
+///   contrast     minimum |DoG| response
+///   max_kp       absolute keypoint cap (0 = use fraction)
+///   kp_fraction  keypoint cap as a fraction of N (<= 0 disables)
+///   octaves      number of octaves (0 = auto)
+///   levels       levels per octave
+///   tau_a        amplitude threshold
+///   tau_s        scale-ratio threshold
+///   tau_d        distinctiveness ratio
+///   tau_pos      position displacement threshold
+///   mutual       0 | 1 (require mutual matches)
+///   cost         abs | squared
+
+#include <optional>
+#include <string>
+
+#include "core/sdtw.h"
+
+namespace sdtw {
+namespace core {
+
+/// Parses a whitespace-separated `key=value` option string on top of the
+/// given base options. Returns std::nullopt and fills *error (when
+/// non-null) on unknown keys or malformed values.
+std::optional<SdtwOptions> ParseOptions(const std::string& spec,
+                                        const SdtwOptions& base = {},
+                                        std::string* error = nullptr);
+
+/// Serialises options back into a canonical spec string (round-trips
+/// through ParseOptions).
+std::string FormatOptions(const SdtwOptions& options);
+
+}  // namespace core
+}  // namespace sdtw
+
+#endif  // SDTW_CORE_CONFIG_H_

@@ -1,0 +1,208 @@
+#include "core/sdtw.h"
+
+#include <chrono>
+
+namespace sdtw {
+namespace core {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+}  // namespace
+
+Sdtw::Sdtw(SdtwOptions options) : options_(std::move(options)) {}
+
+std::vector<sift::Keypoint> Sdtw::ExtractFeatures(
+    const ts::TimeSeries& series) const {
+  sift::SalientExtractor extractor(options_.extractor);
+  return extractor.Extract(series);
+}
+
+namespace {
+
+// One directed run of the alignment pipeline: matching, inconsistency
+// pruning, interval extraction, band construction. The symmetric flag is
+// stripped — symmetrisation happens at the Sdtw level by running the
+// pipeline in both directions (matching itself is directional, §3.3.3).
+struct DirectedAlignment {
+  std::vector<align::AlignedPair> alignments;
+  std::vector<align::IntervalPair> intervals;
+  dtw::Band band;
+};
+
+DirectedAlignment RunDirected(const ts::TimeSeries& x,
+                              const std::vector<sift::Keypoint>& features_x,
+                              const ts::TimeSeries& y,
+                              const std::vector<sift::Keypoint>& features_y,
+                              const SdtwOptions& options) {
+  DirectedAlignment out;
+  if (options.constraint.type == ConstraintType::kFixedCoreFixedWidth) {
+    // Pure Sakoe-Chiba: no salient-feature evidence is consumed, so skip
+    // matching entirely (the paper's fc,fw baseline has no matching
+    // overhead, §4.4 / Figure 17). The interval partition degenerates to
+    // the single full-range interval.
+    out.intervals = align::BuildIntervals(x.size(), y.size(), {});
+    out.band = dtw::SakoeChibaBand(x.size(), y.size(),
+                                   options.constraint.fixed_width_fraction);
+    return out;
+  }
+  const std::vector<align::MatchPair> pairs = align::FindDominantPairs(
+      features_x, features_y, options.matching, x.size(), y.size());
+  out.alignments = align::PruneInconsistent(x, y, features_x, features_y,
+                                            pairs, options.consistency);
+  out.intervals = align::BuildIntervals(x.size(), y.size(), out.alignments);
+  ConstraintOptions directed = options.constraint;
+  directed.symmetric = false;
+  out.band =
+      BuildConstraintBand(x.size(), y.size(), out.intervals, directed);
+  return out;
+}
+
+// Unions the X-driven band with the transpose of the Y-driven band
+// (paper §3.3.3: "a combined band, including grid-cell positions required
+// by both series X and Y").
+dtw::Band Symmetrize(const dtw::Band& xy_band, const dtw::Band& yx_band) {
+  dtw::Band combined = xy_band;
+  dtw::Band transposed = yx_band.Transpose();
+  transposed.MakeFeasible();
+  combined.UnionWith(transposed);
+  combined.MakeFeasible();
+  return combined;
+}
+
+}  // namespace
+
+dtw::Band Sdtw::BuildBand(
+    const ts::TimeSeries& x, const std::vector<sift::Keypoint>& features_x,
+    const ts::TimeSeries& y,
+    const std::vector<sift::Keypoint>& features_y) const {
+  DirectedAlignment forward = RunDirected(x, features_x, y, features_y,
+                                          options_);
+  if (!options_.constraint.symmetric) return std::move(forward.band);
+  const DirectedAlignment backward =
+      RunDirected(y, features_y, x, features_x, options_);
+  return Symmetrize(forward.band, backward.band);
+}
+
+SdtwResult Sdtw::Compare(
+    const ts::TimeSeries& x, const std::vector<sift::Keypoint>& features_x,
+    const ts::TimeSeries& y,
+    const std::vector<sift::Keypoint>& features_y) const {
+  SdtwResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  DirectedAlignment forward =
+      RunDirected(x, features_x, y, features_y, options_);
+  result.alignments = std::move(forward.alignments);
+  result.intervals = std::move(forward.intervals);
+  if (options_.constraint.symmetric) {
+    const DirectedAlignment backward =
+        RunDirected(y, features_y, x, features_x, options_);
+    result.band = Symmetrize(forward.band, backward.band);
+  } else {
+    result.band = std::move(forward.band);
+  }
+  result.timing.matching_seconds = SecondsSince(t0);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  dtw::DtwResult dp = dtw::DtwBanded(x, y, result.band, options_.dtw);
+  result.timing.dp_seconds = SecondsSince(t1);
+
+  result.distance = dp.distance;
+  result.path = std::move(dp.path);
+  result.cells_filled = dp.cells_filled;
+  return result;
+}
+
+SdtwResult Sdtw::Compare(const ts::TimeSeries& x,
+                         const ts::TimeSeries& y) const {
+  return Compare(x, ExtractFeatures(x), y, ExtractFeatures(y));
+}
+
+double Sdtw::Distance(const ts::TimeSeries& x, const ts::TimeSeries& y) const {
+  SdtwOptions opts = options_;
+  opts.dtw.want_path = false;
+  Sdtw engine(opts);
+  return engine.Compare(x, y).distance;
+}
+
+std::vector<NamedConfig> PaperAlgorithmRoster(std::size_t descriptor_length) {
+  std::vector<NamedConfig> roster;
+
+  {
+    NamedConfig full;
+    full.label = "dtw";
+    full.full_dtw = true;
+    roster.push_back(full);
+  }
+
+  auto base = [descriptor_length]() {
+    SdtwOptions o;
+    o.extractor.descriptor_length = descriptor_length;
+    o.dtw.want_path = false;
+    return o;
+  };
+
+  const struct {
+    const char* label;
+    double width;
+  } fixed_widths[] = {{"fc,fw 6%", 0.06}, {"fc,fw 10%", 0.10},
+                      {"fc,fw 20%", 0.20}};
+  for (const auto& fw : fixed_widths) {
+    NamedConfig c;
+    c.label = fw.label;
+    c.options = base();
+    c.options.constraint.type = ConstraintType::kFixedCoreFixedWidth;
+    c.options.constraint.fixed_width_fraction = fw.width;
+    roster.push_back(c);
+  }
+
+  {
+    NamedConfig c;
+    c.label = "fc,aw";
+    c.options = base();
+    c.options.constraint.type = ConstraintType::kFixedCoreAdaptiveWidth;
+    c.options.constraint.adaptive_width_min_fraction = 0.20;  // paper §4.3
+    roster.push_back(c);
+  }
+
+  const struct {
+    const char* label;
+    double width;
+  } ac_widths[] = {{"ac,fw 6%", 0.06}, {"ac,fw 10%", 0.10},
+                   {"ac,fw 20%", 0.20}};
+  for (const auto& ac : ac_widths) {
+    NamedConfig c;
+    c.label = ac.label;
+    c.options = base();
+    c.options.constraint.type = ConstraintType::kAdaptiveCoreFixedWidth;
+    c.options.constraint.fixed_width_fraction = ac.width;
+    roster.push_back(c);
+  }
+
+  {
+    NamedConfig c;
+    c.label = "ac,aw";
+    c.options = base();
+    c.options.constraint.type = ConstraintType::kAdaptiveCoreAdaptiveWidth;
+    roster.push_back(c);
+  }
+
+  {
+    NamedConfig c;
+    c.label = "ac2,aw";
+    c.options = base();
+    c.options.constraint.type = ConstraintType::kAdaptiveCoreAdaptiveWidth;
+    c.options.constraint.width_average_radius = 1;
+    roster.push_back(c);
+  }
+
+  return roster;
+}
+
+}  // namespace core
+}  // namespace sdtw

@@ -1,0 +1,126 @@
+#ifndef SDTW_CORE_SDTW_H_
+#define SDTW_CORE_SDTW_H_
+
+/// \file sdtw.h
+/// \brief The top-level sDTW public API.
+///
+/// Ties the pipeline together (paper §3): salient feature extraction
+/// (one-time per series, cacheable), dominant-pair matching, inconsistency
+/// pruning, locally relevant band construction, and band-constrained DTW.
+///
+/// Typical use:
+/// \code
+///   sdtw::core::Sdtw engine;                       // default = ac,aw
+///   auto fx = engine.ExtractFeatures(x);           // cache per series
+///   auto fy = engine.ExtractFeatures(y);
+///   sdtw::core::SdtwResult r = engine.Compare(x, fx, y, fy);
+///   // r.distance, r.path, r.band, r.timing ...
+/// \endcode
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "align/consistency.h"
+#include "align/matching.h"
+#include "core/constraints.h"
+#include "dtw/dtw.h"
+#include "sift/extractor.h"
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace core {
+
+/// \brief Per-stage wall-clock timings of one comparison, in seconds.
+/// Mirrors the paper's cost decomposition (§3.4 / Figure 17): matching +
+/// inconsistency removal vs. dynamic programming. Feature extraction is a
+/// one-time per-series cost and is reported by ExtractFeatures callers.
+struct StageTiming {
+  double matching_seconds = 0.0;  ///< Pair search + inconsistency pruning +
+                                  ///< band construction.
+  double dp_seconds = 0.0;        ///< Banded DP + path backtracking.
+  double total() const { return matching_seconds + dp_seconds; }
+};
+
+/// \brief Full result of one sDTW comparison.
+struct SdtwResult {
+  /// Band-constrained DTW distance (>= the optimal DTW distance).
+  double distance = 0.0;
+  /// Warp path, when requested.
+  std::vector<dtw::PathPoint> path;
+  /// The band that constrained the DP.
+  dtw::Band band;
+  /// Matched pairs surviving inconsistency pruning.
+  std::vector<align::AlignedPair> alignments;
+  /// The interval partition driving the band.
+  std::vector<align::IntervalPair> intervals;
+  /// Cells of the grid actually filled.
+  std::size_t cells_filled = 0;
+  StageTiming timing;
+};
+
+/// \brief Configuration of the whole pipeline.
+struct SdtwOptions {
+  sift::ExtractorOptions extractor;
+  align::MatchingOptions matching;
+  align::ConsistencyOptions consistency;
+  ConstraintOptions constraint;
+  dtw::DtwOptions dtw;
+};
+
+/// \brief The sDTW engine.
+///
+/// Thread-compatible: const methods are safe to call concurrently from
+/// multiple threads on distinct inputs.
+class Sdtw {
+ public:
+  explicit Sdtw(SdtwOptions options = {});
+
+  const SdtwOptions& options() const { return options_; }
+
+  /// One-time salient feature extraction for a series (paper §3.4 — store
+  /// these alongside the series and reuse them across comparisons).
+  std::vector<sift::Keypoint> ExtractFeatures(
+      const ts::TimeSeries& series) const;
+
+  /// Full pipeline with pre-extracted features.
+  SdtwResult Compare(const ts::TimeSeries& x,
+                     const std::vector<sift::Keypoint>& features_x,
+                     const ts::TimeSeries& y,
+                     const std::vector<sift::Keypoint>& features_y) const;
+
+  /// Convenience: extracts features on the fly and compares.
+  SdtwResult Compare(const ts::TimeSeries& x, const ts::TimeSeries& y) const;
+
+  /// Distance-only convenience wrapper.
+  double Distance(const ts::TimeSeries& x, const ts::TimeSeries& y) const;
+
+  /// Builds the constraint band only (no DP) — exposed for analysis,
+  /// visualisation, and combination with other kernels (e.g.
+  /// dtw::MultiscaleDtwConstrained).
+  dtw::Band BuildBand(const ts::TimeSeries& x,
+                      const std::vector<sift::Keypoint>& features_x,
+                      const ts::TimeSeries& y,
+                      const std::vector<sift::Keypoint>& features_y) const;
+
+ private:
+  SdtwOptions options_;
+};
+
+/// Returns the standard algorithm roster evaluated in the paper's §4.3 —
+/// dtw (full), fc,fw 6/10/20%, fc,aw (lb 20%), ac,fw 6/10/20%, ac,aw,
+/// ac2,aw — as (label, options) pairs. `descriptor_length` applies to all
+/// adaptive variants (the paper's default is 64).
+struct NamedConfig {
+  const char* label;
+  /// True for the unconstrained full-DTW baseline (options unused).
+  bool full_dtw = false;
+  SdtwOptions options;
+};
+std::vector<NamedConfig> PaperAlgorithmRoster(
+    std::size_t descriptor_length = 64);
+
+}  // namespace core
+}  // namespace sdtw
+
+#endif  // SDTW_CORE_SDTW_H_

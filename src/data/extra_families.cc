@@ -1,0 +1,96 @@
+#include "data/extra_families.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/transforms.h"
+
+namespace sdtw {
+namespace data {
+
+namespace {
+
+void Defaults(GeneratorOptions* o, std::size_t length,
+              std::size_t num_series) {
+  if (o->length == 0) o->length = length;
+  if (o->num_series == 0) o->num_series = num_series;
+}
+
+ts::TimeSeries Finish(ts::TimeSeries s, bool z_normalize, int label,
+                      const std::string& name) {
+  s.set_label(label);
+  s.set_name(name);
+  return z_normalize ? ts::ZNormalize(s) : s;
+}
+
+}  // namespace
+
+ts::Dataset MakeCbf(GeneratorOptions options) {
+  Defaults(&options, 128, 90);
+  ts::Rng rng(options.seed);
+  ts::Dataset ds("CBF");
+  const std::size_t n = options.length;
+  const double fn = static_cast<double>(n);
+
+  for (std::size_t idx = 0; idx < options.num_series; ++idx) {
+    const int label = static_cast<int>(idx % 3);
+    const double a = rng.Uniform(fn * 0.1, fn * 0.35);
+    const double b = rng.Uniform(fn * 0.55, fn * 0.9);
+    const double amp = 6.0 + rng.Gaussian(0.0, 1.0);
+    std::vector<double> v(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i);
+      if (t < a || t > b) continue;
+      const double frac = (t - a) / std::max(b - a, 1.0);
+      double shape = 1.0;                       // cylinder
+      if (label == 1) shape = frac;             // bell: rises over [a,b]
+      if (label == 2) shape = 1.0 - frac;       // funnel: falls over [a,b]
+      v[i] = amp * shape;
+    }
+    for (double& x : v) x += rng.Gaussian(0.0, options.deform.noise_sigma +
+                                                   1.0);
+    ds.Add(Finish(ts::TimeSeries(std::move(v)), options.z_normalize, label,
+                  "cbf/" + std::to_string(idx)));
+  }
+  return ds;
+}
+
+ts::Dataset MakeTwoPatterns(GeneratorOptions options) {
+  Defaults(&options, 128, 100);
+  ts::Rng rng(options.seed);
+  ts::Dataset ds("TwoPatterns");
+  const std::size_t n = options.length;
+  const double fn = static_cast<double>(n);
+
+  // A transient: sharp step up then back down (up) or its mirror (down),
+  // lasting `width` samples.
+  auto add_transient = [&](std::vector<double>* v, double onset, double width,
+                           bool up) {
+    const double sign = up ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < v->size(); ++i) {
+      const double t = static_cast<double>(i);
+      if (t >= onset && t < onset + width) (*v)[i] += sign * 5.0;
+    }
+  };
+
+  for (std::size_t idx = 0; idx < options.num_series; ++idx) {
+    const int label = static_cast<int>(idx % 4);
+    const bool first_up = (label & 1) != 0;
+    const bool second_up = (label & 2) != 0;
+    const double width = fn * 0.08;
+    const double onset1 = rng.Uniform(fn * 0.05, fn * 0.35);
+    const double onset2 = rng.Uniform(fn * 0.55, fn * 0.85);
+    std::vector<double> v(n, 0.0);
+    add_transient(&v, onset1, width, first_up);
+    add_transient(&v, onset2, width, second_up);
+    for (double& x : v) {
+      x += rng.Gaussian(0.0, 0.1 + options.deform.noise_sigma);
+    }
+    ds.Add(Finish(ts::TimeSeries(std::move(v)), options.z_normalize, label,
+                  "twopatterns/" + std::to_string(idx)));
+  }
+  return ds;
+}
+
+}  // namespace data
+}  // namespace sdtw

@@ -1,0 +1,32 @@
+#ifndef SDTW_DATA_EXTRA_FAMILIES_H_
+#define SDTW_DATA_EXTRA_FAMILIES_H_
+
+/// \file extra_families.h
+/// \brief Additional classic synthetic time-series families (CBF,
+/// TwoPatterns) used by the extension benches and as extra stress tests for
+/// the sDTW pipeline. Both are standard in the DTW evaluation literature
+/// and complement the paper's three sets with different structural
+/// profiles: CBF has a single dominant macro-feature per class,
+/// TwoPatterns has ordered combinations of two transient shapes.
+
+#include "data/generators.h"
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace data {
+
+/// Cylinder-Bell-Funnel: 3 classes. Each instance has one active region
+/// [a, b] (random) holding either a plateau (cylinder), a rising ramp
+/// (bell) or a falling ramp (funnel), plus Gaussian noise.
+/// Defaults: length 128, 90 series (30 per class).
+ts::Dataset MakeCbf(GeneratorOptions options = {});
+
+/// TwoPatterns: 4 classes formed by the ordered combination of two
+/// transient shapes (up-up, up-down, down-up, down-down) at random
+/// non-overlapping positions. Defaults: length 128, 100 series.
+ts::Dataset MakeTwoPatterns(GeneratorOptions options = {});
+
+}  // namespace data
+}  // namespace sdtw
+
+#endif  // SDTW_DATA_EXTRA_FAMILIES_H_

@@ -1,0 +1,283 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "ts/transforms.h"
+
+namespace sdtw {
+namespace data {
+
+namespace patterns {
+
+ts::TimeSeries Step(std::size_t length, double center, double width) {
+  std::vector<double> v(length);
+  const double k = width > 1e-9 ? 4.0 / width : 4e9;
+  for (std::size_t i = 0; i < length; ++i) {
+    const double x = static_cast<double>(i) - center;
+    v[i] = 1.0 / (1.0 + std::exp(-k * x));
+  }
+  return ts::TimeSeries(std::move(v));
+}
+
+ts::TimeSeries Ramp(std::size_t length, double begin, double end) {
+  std::vector<double> v(length);
+  const double span = std::max(end - begin, 1e-9);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double x = static_cast<double>(i);
+    v[i] = std::clamp((x - begin) / span, 0.0, 1.0);
+  }
+  return ts::TimeSeries(std::move(v));
+}
+
+ts::TimeSeries Bump(std::size_t length, double center, double width,
+                    double height) {
+  std::vector<double> v(length);
+  const double s2 = 2.0 * width * width;
+  for (std::size_t i = 0; i < length; ++i) {
+    const double x = static_cast<double>(i) - center;
+    v[i] = height * std::exp(-(x * x) / s2);
+  }
+  return ts::TimeSeries(std::move(v));
+}
+
+ts::TimeSeries Burst(std::size_t length, double onset, double period,
+                     double decay, double height) {
+  std::vector<double> v(length, 0.0);
+  const double omega = 2.0 * std::numbers::pi / std::max(period, 1e-9);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double t = static_cast<double>(i) - onset;
+    if (t < 0.0) continue;
+    v[i] = height * std::exp(-t / std::max(decay, 1e-9)) *
+           std::sin(omega * t);
+  }
+  return ts::TimeSeries(std::move(v));
+}
+
+ts::TimeSeries RandomSmooth(std::size_t length, std::size_t k, ts::Rng& rng,
+                            double min_width_fraction,
+                            double max_width_fraction) {
+  std::vector<double> v(length, 0.0);
+  for (std::size_t b = 0; b < k; ++b) {
+    const double center = rng.Uniform(0.0, static_cast<double>(length));
+    const double width =
+        rng.Uniform(static_cast<double>(length) * min_width_fraction,
+                    static_cast<double>(length) * max_width_fraction);
+    const double height = rng.Uniform(-1.0, 1.0);
+    const double s2 = 2.0 * width * width;
+    for (std::size_t i = 0; i < length; ++i) {
+      const double x = static_cast<double>(i) - center;
+      v[i] += height * std::exp(-(x * x) / s2);
+    }
+  }
+  return ts::TimeSeries(std::move(v));
+}
+
+}  // namespace patterns
+
+ts::TimeSeries Deform(const ts::TimeSeries& prototype,
+                      const DeformationOptions& options, ts::Rng& rng) {
+  const std::size_t n = prototype.size();
+  if (n < 2) return prototype;
+
+  // Smooth, strictly monotone random warp built from piecewise-linear
+  // speed control points (order-preserving, per the paper's assumption).
+  const std::size_t knots = std::max<std::size_t>(2, options.warp_knots);
+  std::vector<double> speeds(knots);
+  for (double& s : speeds) {
+    s = 1.0 + rng.Uniform(-options.warp_strength, options.warp_strength);
+    s = std::max(s, 0.05);
+  }
+  const double shift =
+      rng.Uniform(-options.shift_fraction, options.shift_fraction) *
+      static_cast<double>(n);
+
+  // Integrate the (interpolated) speed profile, then rescale so the warp
+  // maps [0, n-1] onto [0, n-1] and apply the shift.
+  std::vector<double> warp(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double pos = static_cast<double>(i - 1) /
+                       static_cast<double>(n - 1) *
+                       static_cast<double>(knots - 1);
+    const std::size_t k0 = std::min(static_cast<std::size_t>(pos), knots - 2);
+    const double frac = pos - static_cast<double>(k0);
+    const double speed = speeds[k0] * (1.0 - frac) + speeds[k0 + 1] * frac;
+    warp[i] = warp[i - 1] + speed;
+  }
+  const double total = warp.back();
+  for (double& w : warp) {
+    w = w / total * static_cast<double>(n - 1) + shift;
+  }
+
+  ts::TimeSeries warped = ts::WarpTime(
+      prototype, n, [&warp](double i) {
+        const std::size_t idx =
+            std::min(static_cast<std::size_t>(std::max(i, 0.0)),
+                     warp.size() - 1);
+        return warp[idx];
+      });
+
+  const double gain =
+      1.0 + rng.Uniform(-options.amplitude_jitter, options.amplitude_jitter);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = warped[i] * gain + rng.Gaussian(0.0, options.noise_sigma);
+  }
+  ts::TimeSeries result(std::move(out));
+  result.set_label(prototype.label());
+  return result;
+}
+
+namespace {
+
+void Defaults(GeneratorOptions* o, std::size_t length,
+              std::size_t num_series) {
+  if (o->length == 0) o->length = length;
+  if (o->num_series == 0) o->num_series = num_series;
+}
+
+ts::TimeSeries Finish(ts::TimeSeries s, bool z_normalize, int label,
+                      const std::string& name) {
+  s.set_label(label);
+  s.set_name(name);
+  return z_normalize ? ts::ZNormalize(s) : s;
+}
+
+}  // namespace
+
+ts::Dataset MakeGunLike(GeneratorOptions options) {
+  Defaults(&options, 150, 50);
+  ts::Rng rng(options.seed);
+  ts::Dataset ds("GunLike");
+  const std::size_t n = options.length;
+  const double fn = static_cast<double>(n);
+
+  for (std::size_t idx = 0; idx < options.num_series; ++idx) {
+    const int label = static_cast<int>(idx % 2);
+    // Rise–plateau–fall motion: hand lifts (sigmoid up), holds, returns.
+    // Broad edges make the Gun profile rich in large-scale (rough) features
+    // (Table 2: the Gun set has by far the most of them).
+    const double rise_at = fn * 0.22;
+    const double fall_at = fn * 0.72;
+    const double edge = fn * 0.10;
+    ts::TimeSeries up = patterns::Step(n, rise_at, edge);
+    ts::TimeSeries down = patterns::Step(n, fall_at, edge);
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = up[i] - down[i];
+    if (label == 1) {
+      // Class 2: characteristic overshoot dip after the drop (the "gun
+      // re-holstering" artefact) plus a slight plateau tilt.
+      ts::TimeSeries dip = patterns::Bump(n, fall_at + fn * 0.08, fn * 0.025,
+                                          -0.35);
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] += dip[i] + 0.1 * (static_cast<double>(i) / fn);
+      }
+    }
+    ts::TimeSeries proto(std::move(v));
+    proto.set_label(label);
+    ts::TimeSeries inst = Deform(proto, options.deform, rng);
+    ds.Add(Finish(std::move(inst), options.z_normalize, label,
+                  "gunlike/" + std::to_string(idx)));
+  }
+  return ds;
+}
+
+ts::Dataset MakeTraceLike(GeneratorOptions options) {
+  Defaults(&options, 275, 100);
+  // Larger shifts: the Trace transients occur at widely varying onsets.
+  options.deform.shift_fraction = std::max(options.deform.shift_fraction,
+                                           0.12);
+  ts::Rng rng(options.seed);
+  ts::Dataset ds("TraceLike");
+  const std::size_t n = options.length;
+  const double fn = static_cast<double>(n);
+
+  for (std::size_t idx = 0; idx < options.num_series; ++idx) {
+    const int label = static_cast<int>(idx % 4);
+    const double onset = fn * rng.Uniform(0.35, 0.55);
+    std::vector<double> v(n, 0.0);
+    const bool is_step = (label % 2) == 0;   // classes 0,2: step; 1,3: ramp.
+    const bool has_burst = label >= 2;       // classes 2,3 add oscillation.
+    if (is_step) {
+      ts::TimeSeries st = patterns::Step(n, onset, fn * 0.02);
+      for (std::size_t i = 0; i < n; ++i) v[i] += st[i];
+    } else {
+      ts::TimeSeries rp = patterns::Ramp(n, onset, onset + fn * 0.25);
+      for (std::size_t i = 0; i < n; ++i) v[i] += rp[i];
+    }
+    if (has_burst) {
+      ts::TimeSeries b = patterns::Burst(n, onset, fn * 0.05, fn * 0.12, 0.5);
+      for (std::size_t i = 0; i < n; ++i) v[i] += b[i];
+    }
+    ts::TimeSeries proto(std::move(v));
+    proto.set_label(label);
+    ts::TimeSeries inst = Deform(proto, options.deform, rng);
+    ds.Add(Finish(std::move(inst), options.z_normalize, label,
+                  "tracelike/" + std::to_string(idx)));
+  }
+  return ds;
+}
+
+ts::Dataset MakeWordsLike(GeneratorOptions options) {
+  Defaults(&options, 270, 450);
+  // Minor deformations around the diagonal, no major shift (paper §4.4's
+  // characterisation of 50Words).
+  options.deform.shift_fraction = std::min(options.deform.shift_fraction,
+                                           0.01);
+  options.deform.warp_strength = std::min(options.deform.warp_strength, 0.12);
+  ts::Rng rng(options.seed);
+  ts::Dataset ds("WordsLike");
+  const std::size_t n = options.length;
+  constexpr std::size_t kClasses = 50;
+
+  // One random smooth prototype per class. Narrow bumps (0.8%..3% of the
+  // length) plus a high-pass (subtracting a broad moving average strips the
+  // slow envelope that overlapping bumps would otherwise form) give many
+  // fine features but very few large ones — the 50Words profile of
+  // Table 2 / Figure 12(c).
+  std::vector<ts::TimeSeries> protos;
+  protos.reserve(kClasses);
+  const std::size_t envelope_radius = std::max<std::size_t>(4, n / 18);
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    ts::TimeSeries p = patterns::RandomSmooth(n, 16, rng, 0.008, 0.03);
+    const ts::TimeSeries envelope = ts::MovingAverage(p, envelope_radius);
+    for (std::size_t i = 0; i < n; ++i) p[i] -= envelope[i];
+    p.set_label(static_cast<int>(c));
+    protos.push_back(std::move(p));
+  }
+  for (std::size_t idx = 0; idx < options.num_series; ++idx) {
+    const int label = static_cast<int>(idx % kClasses);
+    ts::TimeSeries inst =
+        Deform(protos[static_cast<std::size_t>(label)], options.deform, rng);
+    ds.Add(Finish(std::move(inst), options.z_normalize, label,
+                  "wordslike/" + std::to_string(idx)));
+  }
+  return ds;
+}
+
+ts::Dataset MakeByName(const std::string& name, GeneratorOptions options) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "trace" || lower == "tracelike") return MakeTraceLike(options);
+  if (lower == "50words" || lower == "words" || lower == "wordslike") {
+    return MakeWordsLike(options);
+  }
+  return MakeGunLike(options);
+}
+
+std::vector<ts::Dataset> MakePaperDatasets(std::uint64_t seed) {
+  GeneratorOptions o;
+  o.seed = seed;
+  std::vector<ts::Dataset> sets;
+  sets.push_back(MakeGunLike(o));
+  o.seed = seed + 1;
+  sets.push_back(MakeTraceLike(o));
+  o.seed = seed + 2;
+  sets.push_back(MakeWordsLike(o));
+  return sets;
+}
+
+}  // namespace data
+}  // namespace sdtw

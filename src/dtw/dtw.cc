@@ -1,0 +1,296 @@
+#include "dtw/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdtw {
+namespace dtw {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Backtracks the optimal path through a fully materialised accumulation
+// matrix d (row-major, (n+1) x (m+1), with the +inf border at row/col 0).
+std::vector<PathPoint> Backtrack(const std::vector<double>& d, std::size_t n,
+                                 std::size_t m) {
+  std::vector<PathPoint> path;
+  if (n == 0 || m == 0) return path;
+  const std::size_t stride = m + 1;
+  auto at = [&](std::size_t i, std::size_t j) { return d[i * stride + j]; };
+  std::size_t i = n;
+  std::size_t j = m;
+  if (!std::isfinite(at(i, j))) return path;
+  path.emplace_back(i - 1, j - 1);
+  while (i > 1 || j > 1) {
+    double best = kInf;
+    int move = 0;  // 0 = diag, 1 = up (i-1), 2 = left (j-1)
+    if (i > 1 && j > 1 && at(i - 1, j - 1) < best) {
+      best = at(i - 1, j - 1);
+      move = 0;
+    }
+    if (i > 1 && at(i - 1, j) < best) {
+      best = at(i - 1, j);
+      move = 1;
+    }
+    if (j > 1 && at(i, j - 1) < best) {
+      best = at(i, j - 1);
+      move = 2;
+    }
+    if (!std::isfinite(best)) {
+      path.clear();
+      return path;
+    }
+    if (move == 0) {
+      --i;
+      --j;
+    } else if (move == 1) {
+      --i;
+    } else {
+      --j;
+    }
+    path.emplace_back(i - 1, j - 1);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+template <typename Cost>
+DtwResult DtwFullImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                      bool want_path, Cost cost) {
+  DtwResult result;
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  if (n == 0 || m == 0) return result;
+  const std::size_t stride = m + 1;
+  std::vector<double> d((n + 1) * stride, kInf);
+  d[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double xi = x[i - 1];
+    double* row = d.data() + i * stride;
+    const double* prev = d.data() + (i - 1) * stride;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double best =
+          std::min({prev[j], row[j - 1], prev[j - 1]});
+      row[j] = best + cost(xi, y[j - 1]);
+    }
+  }
+  result.cells_filled = n * m;
+  result.distance = d[n * stride + m];
+  if (want_path) result.path = Backtrack(d, n, m);
+  return result;
+}
+
+template <typename Cost>
+DtwResult DtwBandedImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                        const Band& band, bool want_path, Cost cost) {
+  DtwResult result;
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  if (n == 0 || m == 0 || band.n() != n || band.m() != m) return result;
+  const std::size_t stride = m + 1;
+  std::vector<double> d((n + 1) * stride, kInf);
+  d[0] = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const BandRow& r = band.row(i - 1);
+    if (r.lo > r.hi) continue;
+    const double xi = x[i - 1];
+    double* row = d.data() + i * stride;
+    const double* prev = d.data() + (i - 1) * stride;
+    for (std::size_t j = r.lo + 1; j <= r.hi + 1 && j <= m; ++j) {
+      const double best = std::min({prev[j], row[j - 1], prev[j - 1]});
+      if (!std::isfinite(best)) continue;
+      row[j] = best + cost(xi, y[j - 1]);
+      ++cells;
+    }
+  }
+  result.cells_filled = cells;
+  result.distance = d[n * stride + m];
+  if (want_path && std::isfinite(result.distance)) {
+    result.path = Backtrack(d, n, m);
+  }
+  return result;
+}
+
+template <typename Cost>
+double DtwDistanceImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                       Cost cost) {
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  if (n == 0 || m == 0) return kInf;
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = kInf;
+    const double xi = x[i - 1];
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = best + cost(xi, y[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+template <typename Cost>
+double DtwBandedDistanceImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                             const Band& band, Cost cost) {
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  if (n == 0 || m == 0 || band.n() != n || band.m() != m) return kInf;
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const BandRow& r = band.row(i - 1);
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (r.lo <= r.hi) {
+      const double xi = x[i - 1];
+      for (std::size_t j = r.lo + 1; j <= r.hi + 1 && j <= m; ++j) {
+        const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
+        if (!std::isfinite(best)) continue;
+        cur[j] = best + cost(xi, y[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+template <typename Cost>
+double DtwEarlyAbandonImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                           double threshold, Cost cost) {
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  if (n == 0 || m == 0) return kInf;
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = kInf;
+    const double xi = x[i - 1];
+    double row_min = kInf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = best + cost(xi, y[j - 1]);
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (row_min > threshold) return kInf;
+    std::swap(prev, cur);
+  }
+  return prev[m] <= threshold ? prev[m] : kInf;
+}
+
+template <typename Cost>
+double DtwBandedEarlyAbandonImpl(const ts::TimeSeries& x,
+                                 const ts::TimeSeries& y, const Band& band,
+                                 double threshold, Cost cost) {
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  if (n == 0 || m == 0 || band.n() != n || band.m() != m) return kInf;
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const BandRow& r = band.row(i - 1);
+    std::fill(cur.begin(), cur.end(), kInf);
+    double row_min = kInf;
+    if (r.lo <= r.hi) {
+      const double xi = x[i - 1];
+      for (std::size_t j = r.lo + 1; j <= r.hi + 1 && j <= m; ++j) {
+        const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
+        if (!std::isfinite(best)) continue;
+        cur[j] = best + cost(xi, y[j - 1]);
+        row_min = std::min(row_min, cur[j]);
+      }
+    }
+    if (row_min > threshold) return kInf;
+    std::swap(prev, cur);
+  }
+  return prev[m] <= threshold ? prev[m] : kInf;
+}
+
+}  // namespace
+
+DtwResult Dtw(const ts::TimeSeries& x, const ts::TimeSeries& y,
+              const DtwOptions& options) {
+  if (options.cost == CostKind::kAbsolute) {
+    return DtwFullImpl(x, y, options.want_path, AbsCost{});
+  }
+  return DtwFullImpl(x, y, options.want_path, SquaredCost{});
+}
+
+DtwResult DtwBanded(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                    const Band& band, const DtwOptions& options) {
+  if (options.cost == CostKind::kAbsolute) {
+    return DtwBandedImpl(x, y, band, options.want_path, AbsCost{});
+  }
+  return DtwBandedImpl(x, y, band, options.want_path, SquaredCost{});
+}
+
+double DtwDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                   CostKind cost) {
+  if (cost == CostKind::kAbsolute) return DtwDistanceImpl(x, y, AbsCost{});
+  return DtwDistanceImpl(x, y, SquaredCost{});
+}
+
+double DtwBandedDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                         const Band& band, CostKind cost) {
+  if (cost == CostKind::kAbsolute) {
+    return DtwBandedDistanceImpl(x, y, band, AbsCost{});
+  }
+  return DtwBandedDistanceImpl(x, y, band, SquaredCost{});
+}
+
+double DtwDistanceEarlyAbandon(const ts::TimeSeries& x,
+                               const ts::TimeSeries& y, double threshold,
+                               CostKind cost) {
+  if (cost == CostKind::kAbsolute) {
+    return DtwEarlyAbandonImpl(x, y, threshold, AbsCost{});
+  }
+  return DtwEarlyAbandonImpl(x, y, threshold, SquaredCost{});
+}
+
+double DtwBandedDistanceEarlyAbandon(const ts::TimeSeries& x,
+                                     const ts::TimeSeries& y,
+                                     const Band& band, double threshold,
+                                     CostKind cost) {
+  if (cost == CostKind::kAbsolute) {
+    return DtwBandedEarlyAbandonImpl(x, y, band, threshold, AbsCost{});
+  }
+  return DtwBandedEarlyAbandonImpl(x, y, band, threshold, SquaredCost{});
+}
+
+bool IsValidWarpPath(const std::vector<PathPoint>& path, std::size_t n,
+                     std::size_t m) {
+  if (n == 0 || m == 0) return path.empty();
+  if (path.empty()) return false;
+  if (path.front() != PathPoint(0, 0)) return false;
+  if (path.back() != PathPoint(n - 1, m - 1)) return false;
+  if (path.size() < std::max(n, m) || path.size() > n + m) return false;
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    const std::size_t di = path[k].first - path[k - 1].first;
+    const std::size_t dj = path[k].second - path[k - 1].second;
+    if (path[k].first < path[k - 1].first ||
+        path[k].second < path[k - 1].second) {
+      return false;
+    }
+    if (di > 1 || dj > 1 || (di == 0 && dj == 0)) return false;
+  }
+  return true;
+}
+
+double PathCost(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                const std::vector<PathPoint>& path, CostKind cost) {
+  double total = 0.0;
+  for (const PathPoint& p : path) {
+    if (p.first >= x.size() || p.second >= y.size()) return kInf;
+    total += EvalCost(cost, x[p.first], y[p.second]);
+  }
+  return total;
+}
+
+}  // namespace dtw
+}  // namespace sdtw

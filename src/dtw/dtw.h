@@ -1,0 +1,95 @@
+#ifndef SDTW_DTW_DTW_H_
+#define SDTW_DTW_DTW_H_
+
+/// \file dtw.h
+/// \brief Dynamic time warping kernels: full grid and band-constrained.
+///
+/// Implements the classic O(NM) dynamic program of §2.1.3 — D(i, j) =
+/// min(D(i-1,j), D(i,j-1), D(i-1,j-1)) + Δ(x_i, y_j) — with warp-path
+/// backtracking, plus a banded variant that fills only the cells inside a
+/// Band and a memory-lean two-row variant when only the distance is needed.
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "dtw/band.h"
+#include "dtw/cost.h"
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace dtw {
+
+/// One warp-path element: (index into X, index into Y), 0-based.
+using PathPoint = std::pair<std::size_t, std::size_t>;
+
+/// \brief Result of a DTW computation.
+struct DtwResult {
+  /// The DTW distance; +infinity when no path exists (cannot happen for
+  /// feasible bands).
+  double distance = std::numeric_limits<double>::infinity();
+  /// Optimal warp path from (0,0) to (N-1,M-1); empty when not requested or
+  /// when no path exists.
+  std::vector<PathPoint> path;
+  /// Number of grid cells actually filled by the DP (the paper's measure of
+  /// work saved by pruning).
+  std::size_t cells_filled = 0;
+};
+
+/// \brief Knobs for the DTW kernels.
+struct DtwOptions {
+  CostKind cost = CostKind::kAbsolute;
+  /// When false, skips backtracking and path storage.
+  bool want_path = true;
+};
+
+/// Full O(NM) DTW between x and y (paper §2.1.3).
+DtwResult Dtw(const ts::TimeSeries& x, const ts::TimeSeries& y,
+              const DtwOptions& options = {});
+
+/// Band-constrained DTW. The band must have shape n=x.size(), m=y.size();
+/// it is used as-is (callers should MakeFeasible() it first — all builders
+/// in this library already do). Cells outside the band are treated as
+/// +infinity. If the band is infeasible the result distance is +infinity.
+DtwResult DtwBanded(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                    const Band& band, const DtwOptions& options = {});
+
+/// Distance-only DTW using two rolling rows (O(min work) memory). Roughly
+/// 2x faster than Dtw() with paths disabled on large inputs.
+double DtwDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                   CostKind cost = CostKind::kAbsolute);
+
+/// Distance-only banded DTW with rolling rows.
+double DtwBandedDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                         const Band& band,
+                         CostKind cost = CostKind::kAbsolute);
+
+/// Distance-only DTW with early abandoning: returns +infinity as soon as the
+/// running minimum of a row exceeds `threshold` (used by retrieval loops).
+double DtwDistanceEarlyAbandon(const ts::TimeSeries& x,
+                               const ts::TimeSeries& y, double threshold,
+                               CostKind cost = CostKind::kAbsolute);
+
+/// Banded distance with early abandoning: +infinity as soon as every cell
+/// of a band row exceeds `threshold`. Combines sDTW's band pruning with the
+/// best-so-far pruning of retrieval loops.
+double DtwBandedDistanceEarlyAbandon(const ts::TimeSeries& x,
+                                     const ts::TimeSeries& y,
+                                     const Band& band, double threshold,
+                                     CostKind cost = CostKind::kAbsolute);
+
+/// Validates warp-path structure per §2.1.1: starts at (0,0), ends at
+/// (N-1,M-1), steps ∈ {(1,0),(0,1),(1,1)}, and max(N,M) <= K <= N+M.
+bool IsValidWarpPath(const std::vector<PathPoint>& path, std::size_t n,
+                     std::size_t m);
+
+/// Recomputes the cost of a given warp path under the given cost function.
+double PathCost(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                const std::vector<PathPoint>& path,
+                CostKind cost = CostKind::kAbsolute);
+
+}  // namespace dtw
+}  // namespace sdtw
+
+#endif  // SDTW_DTW_DTW_H_

@@ -1,0 +1,93 @@
+#include "dtw/lower_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace sdtw {
+namespace dtw {
+
+Envelope MakeEnvelope(const ts::TimeSeries& s, std::size_t r) {
+  Envelope env;
+  const std::size_t n = s.size();
+  env.upper.assign(n, 0.0);
+  env.lower.assign(n, 0.0);
+  if (n == 0) return env;
+  // Monotonic deques over the sliding window [i-r, i+r].
+  std::deque<std::size_t> maxq, minq;
+  auto push = [&](std::size_t idx) {
+    while (!maxq.empty() && s[maxq.back()] <= s[idx]) maxq.pop_back();
+    maxq.push_back(idx);
+    while (!minq.empty() && s[minq.back()] >= s[idx]) minq.pop_back();
+    minq.push_back(idx);
+  };
+  std::size_t next = 0;
+  for (; next < std::min(n, r + 1); ++next) push(next);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Window is [i-r, i+r]; extend right edge, retire left edge.
+    while (next < n && next <= i + r) push(next++);
+    while (!maxq.empty() && maxq.front() + r < i) maxq.pop_front();
+    while (!minq.empty() && minq.front() + r < i) minq.pop_front();
+    env.upper[i] = s[maxq.front()];
+    env.lower[i] = s[minq.front()];
+  }
+  return env;
+}
+
+double LbKim(const ts::TimeSeries& x, const ts::TimeSeries& y) {
+  if (x.empty() || y.empty()) return 0.0;
+  const double d_first = std::abs(x.front() - y.front());
+  const double d_last = std::abs(x.back() - y.back());
+  auto minmax_x = std::minmax_element(x.begin(), x.end());
+  auto minmax_y = std::minmax_element(y.begin(), y.end());
+  const double d_min = std::abs(*minmax_x.first - *minmax_y.first);
+  const double d_max = std::abs(*minmax_x.second - *minmax_y.second);
+  // Each of the four quantities individually lower-bounds the DTW distance
+  // (first/last points are always matched to each other; the smaller global
+  // extremum must be matched to a value on the other side of the other
+  // series' extremum). They can coincide on the same path element, so the
+  // max — not the sum — is the sound combination.
+  return std::max({d_first, d_last, d_min, d_max});
+}
+
+double LbKeogh(const ts::TimeSeries& x, const Envelope& y_envelope) {
+  if (x.size() != y_envelope.upper.size()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > y_envelope.upper[i]) {
+      sum += x[i] - y_envelope.upper[i];
+    } else if (x[i] < y_envelope.lower[i]) {
+      sum += y_envelope.lower[i] - x[i];
+    }
+  }
+  return sum;
+}
+
+double LbKeogh(const ts::TimeSeries& x, const ts::TimeSeries& y,
+               std::size_t r) {
+  return LbKeogh(x, MakeEnvelope(y, r));
+}
+
+std::size_t BandMaxRadius(const Band& band) {
+  const std::size_t n = band.n();
+  const std::size_t m = band.m();
+  if (n == 0 || m == 0) return 0;
+  std::size_t radius = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double core = n > 1
+                            ? static_cast<double>(i) *
+                                  static_cast<double>(m - 1) /
+                                  static_cast<double>(n - 1)
+                            : 0.0;
+    const double dev_lo = core - static_cast<double>(band.row(i).lo);
+    const double dev_hi = static_cast<double>(band.row(i).hi) - core;
+    const double dev = std::max(std::abs(dev_lo), std::abs(dev_hi));
+    radius = std::max(radius,
+                      static_cast<std::size_t>(std::ceil(std::max(dev, 0.0))));
+  }
+  return radius;
+}
+
+}  // namespace dtw
+}  // namespace sdtw

@@ -1,0 +1,55 @@
+#ifndef SDTW_DTW_LOWER_BOUNDS_H_
+#define SDTW_DTW_LOWER_BOUNDS_H_
+
+/// \file lower_bounds.h
+/// \brief Cheap lower bounds on the DTW distance (LB_Kim, LB_Keogh).
+///
+/// These are the standard pruning primitives from the indexing literature
+/// the paper builds on ([7] Keogh 2002, [16] Rakthanmanon et al. 2012). They
+/// complement the band constraints: a retrieval loop can skip the DP
+/// entirely when the lower bound already exceeds the best-so-far distance.
+/// Both bounds are valid for the absolute cost and band-limited warping.
+
+#include <cstddef>
+#include <vector>
+
+#include "dtw/band.h"
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace dtw {
+
+/// \brief Upper/lower envelope of a series under a warping window.
+struct Envelope {
+  std::vector<double> upper;
+  std::vector<double> lower;
+};
+
+/// Builds the Keogh envelope of `s` for a symmetric warping radius `r`
+/// (in samples): upper[i] = max(s[i-r..i+r]), lower[i] = min(s[i-r..i+r]).
+/// Uses a monotonic-deque sliding window (O(n)).
+Envelope MakeEnvelope(const ts::TimeSeries& s, std::size_t r);
+
+/// LB_Kim (4-point variant): cost of the first/last points plus the
+/// min/max points. A constant-time bound, valid for the absolute cost.
+double LbKim(const ts::TimeSeries& x, const ts::TimeSeries& y);
+
+/// LB_Keogh: sum over i of the distance from x[i] to the envelope of y.
+/// Requires equal lengths (standard formulation); returns 0 otherwise
+/// (a trivially valid bound).
+double LbKeogh(const ts::TimeSeries& x, const Envelope& y_envelope);
+
+/// Convenience: builds the envelope of y with radius r and evaluates
+/// LB_Keogh(x, env(y)).
+double LbKeogh(const ts::TimeSeries& x, const ts::TimeSeries& y,
+               std::size_t r);
+
+/// Derives a per-row warping radius from a Band (the maximum deviation of
+/// the band from the diagonal), so LB_Keogh can be used together with
+/// sDTW's adaptive bands while remaining a valid bound.
+std::size_t BandMaxRadius(const Band& band);
+
+}  // namespace dtw
+}  // namespace sdtw
+
+#endif  // SDTW_DTW_LOWER_BOUNDS_H_

@@ -1,0 +1,99 @@
+#include "dtw/multiscale.h"
+
+#include <algorithm>
+
+#include "ts/transforms.h"
+
+namespace sdtw {
+namespace dtw {
+
+Band ProjectPathToBand(const std::vector<PathPoint>& coarse_path,
+                       std::size_t n, std::size_t m, std::size_t shrink,
+                       std::size_t radius) {
+  if (n == 0 || m == 0) return Band();
+  // Start from inverted rows and grow them with the projected blocks.
+  std::vector<BandRow> rows(n, BandRow{m - 1, 0});
+  auto cover = [&](std::size_t i, std::size_t lo, std::size_t hi) {
+    if (i >= n) return;
+    lo = std::min(lo, m - 1);
+    hi = std::min(hi, m - 1);
+    rows[i].lo = std::min(rows[i].lo, lo);
+    rows[i].hi = std::max(rows[i].hi, hi);
+  };
+  for (const PathPoint& p : coarse_path) {
+    const std::size_t i0 = p.first * shrink;
+    const std::size_t j0 = p.second * shrink;
+    for (std::size_t di = 0; di < shrink; ++di) {
+      cover(i0 + di, j0, j0 + shrink - 1);
+    }
+  }
+  // Rows never touched by the projection (possible when n is not an exact
+  // multiple of shrink) inherit the previous row's range.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rows[i].lo > rows[i].hi) {
+      rows[i] = i > 0 ? rows[i - 1] : BandRow{0, 0};
+    }
+  }
+  Band band = Band::FromRows(std::move(rows), m);
+  band.Widen(radius);
+  band.MakeFeasible();
+  return band;
+}
+
+namespace {
+
+DtwResult MultiscaleImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                         const Band* final_constraint,
+                         const MultiscaleOptions& options) {
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  DtwOptions dtw_opts;
+  dtw_opts.cost = options.cost;
+  dtw_opts.want_path = true;
+  const std::size_t shrink = std::max<std::size_t>(2, options.shrink);
+
+  if (n <= options.min_size || m <= options.min_size) {
+    DtwOptions leaf = dtw_opts;
+    leaf.want_path = options.want_path || final_constraint == nullptr;
+    if (final_constraint != nullptr) {
+      return DtwBanded(x, y, *final_constraint, leaf);
+    }
+    return Dtw(x, y, leaf);
+  }
+
+  // Recurse on PAA-reduced series.
+  const ts::TimeSeries xs = ts::Paa(x, std::max<std::size_t>(1, n / shrink));
+  const ts::TimeSeries ys = ts::Paa(y, std::max<std::size_t>(1, m / shrink));
+  MultiscaleOptions coarse = options;
+  coarse.want_path = true;
+  const DtwResult coarse_result = MultiscaleImpl(xs, ys, nullptr, coarse);
+
+  Band band = ProjectPathToBand(coarse_result.path, n, m, shrink,
+                                options.radius);
+  if (final_constraint != nullptr) {
+    band.IntersectWith(*final_constraint);
+    band.MakeFeasible();
+  }
+  DtwOptions refine = dtw_opts;
+  refine.want_path = options.want_path;
+  DtwResult result = DtwBanded(x, y, band, refine);
+  result.cells_filled += coarse_result.cells_filled;
+  return result;
+}
+
+}  // namespace
+
+DtwResult MultiscaleDtw(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                        const MultiscaleOptions& options) {
+  return MultiscaleImpl(x, y, nullptr, options);
+}
+
+DtwResult MultiscaleDtwConstrained(const ts::TimeSeries& x,
+                                   const ts::TimeSeries& y,
+                                   const Band& constraint,
+                                   const MultiscaleOptions& options) {
+  return MultiscaleImpl(x, y, &constraint, options);
+}
+
+}  // namespace dtw
+}  // namespace sdtw

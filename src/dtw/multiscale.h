@@ -1,0 +1,58 @@
+#ifndef SDTW_DTW_MULTISCALE_H_
+#define SDTW_DTW_MULTISCALE_H_
+
+/// \file multiscale.h
+/// \brief Reduced-representation DTW (FastDTW-style coarse-to-fine search).
+///
+/// §2.1.4 of the paper describes reduced-representation approaches
+/// (Keogh & Pazzani 2000, Salvador & Chan 2007) as orthogonal to constraint
+/// based pruning, and notes sDTW "can naturally be implemented along with"
+/// them. This module provides that combination: a warp path is found on a
+/// PAA-reduced grid, projected up one resolution, widened by a radius, and
+/// refined — optionally intersected with an sDTW band at the full
+/// resolution.
+
+#include <cstddef>
+
+#include "dtw/band.h"
+#include "dtw/dtw.h"
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace dtw {
+
+/// \brief Options for the multiscale solver.
+struct MultiscaleOptions {
+  /// Grid sizes below this are solved exactly.
+  std::size_t min_size = 32;
+  /// Expansion radius applied when projecting a coarse path up.
+  std::size_t radius = 2;
+  /// Shrink factor between resolutions.
+  std::size_t shrink = 2;
+  CostKind cost = CostKind::kAbsolute;
+  bool want_path = true;
+};
+
+/// Projects a warp path found on a (cn x cm) grid onto an (n x m) grid as a
+/// Band: every coarse cell maps to a `shrink x shrink` block, which is then
+/// widened by `radius` and repaired to feasibility.
+Band ProjectPathToBand(const std::vector<PathPoint>& coarse_path,
+                       std::size_t n, std::size_t m, std::size_t shrink,
+                       std::size_t radius);
+
+/// FastDTW-style approximate DTW.
+DtwResult MultiscaleDtw(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                        const MultiscaleOptions& options = {});
+
+/// Multiscale DTW whose final refinement band is intersected with
+/// `constraint` (e.g. an sDTW band) before the last DP — the combination the
+/// paper's §2.1.4 calls out. The intersection is repaired to feasibility.
+DtwResult MultiscaleDtwConstrained(const ts::TimeSeries& x,
+                                   const ts::TimeSeries& y,
+                                   const Band& constraint,
+                                   const MultiscaleOptions& options = {});
+
+}  // namespace dtw
+}  // namespace sdtw
+
+#endif  // SDTW_DTW_MULTISCALE_H_

@@ -1,0 +1,98 @@
+#include "dtw/path_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdtw {
+namespace dtw {
+
+PathStats AnalyzePath(const std::vector<PathPoint>& path, std::size_t n,
+                      std::size_t m) {
+  PathStats stats;
+  if (path.empty() || n == 0 || m == 0) return stats;
+  stats.length = path.size();
+  const double slope =
+      n > 1 ? static_cast<double>(m - 1) / static_cast<double>(n - 1) : 0.0;
+  double dev_sum = 0.0;
+  std::size_t diag_steps = 0;
+  std::size_t stall = 0;
+  for (std::size_t k = 0; k < path.size(); ++k) {
+    const double diagonal = slope * static_cast<double>(path[k].first);
+    const double dev =
+        std::abs(static_cast<double>(path[k].second) - diagonal);
+    dev_sum += dev;
+    stats.max_diagonal_deviation = std::max(stats.max_diagonal_deviation,
+                                            dev);
+    if (k > 0) {
+      const bool diagonal_step = path[k].first == path[k - 1].first + 1 &&
+                                 path[k].second == path[k - 1].second + 1;
+      if (diagonal_step) {
+        ++diag_steps;
+        stall = 0;
+      } else {
+        ++stall;
+        stats.longest_stall = std::max(stats.longest_stall, stall);
+      }
+    }
+  }
+  stats.mean_diagonal_deviation =
+      dev_sum / static_cast<double>(path.size());
+  stats.diagonal_step_fraction =
+      path.size() > 1
+          ? static_cast<double>(diag_steps) /
+                static_cast<double>(path.size() - 1)
+          : 0.0;
+  return stats;
+}
+
+std::vector<double> ObservedCore(const std::vector<PathPoint>& path,
+                                 std::size_t n) {
+  std::vector<double> core(n, 0.0);
+  if (n == 0) return core;
+  std::vector<double> sum(n, 0.0);
+  std::vector<std::size_t> count(n, 0);
+  for (const PathPoint& p : path) {
+    if (p.first >= n) continue;
+    sum[p.first] += static_cast<double>(p.second);
+    ++count[p.first];
+  }
+  double last = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (count[i] > 0) {
+      last = sum[i] / static_cast<double>(count[i]);
+    }
+    core[i] = last;
+  }
+  return core;
+}
+
+double PathContainment(const std::vector<PathPoint>& path, const Band& band) {
+  if (path.empty()) return 0.0;
+  std::size_t inside = 0;
+  for (const PathPoint& p : path) {
+    if (band.Contains(p.first, p.second)) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(path.size());
+}
+
+Band OracleBand(const std::vector<PathPoint>& path, std::size_t n,
+                std::size_t m, std::size_t margin) {
+  if (n == 0 || m == 0) return Band();
+  std::vector<BandRow> rows(n, BandRow{m - 1, 0});
+  for (const PathPoint& p : path) {
+    if (p.first >= n) continue;
+    rows[p.first].lo = std::min(rows[p.first].lo, p.second);
+    rows[p.first].hi = std::max(rows[p.first].hi, p.second);
+  }
+  // Unvisited rows (only possible for invalid paths) inherit neighbours.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rows[i].lo > rows[i].hi) rows[i] = i > 0 ? rows[i - 1] : BandRow{0, 0};
+  }
+  Band band = Band::FromRows(std::move(rows), m);
+  band.Widen(margin);
+  band.MakeFeasible();
+  return band;
+}
+
+}  // namespace dtw
+}  // namespace sdtw

@@ -1,0 +1,57 @@
+#ifndef SDTW_DTW_PATH_ANALYSIS_H_
+#define SDTW_DTW_PATH_ANALYSIS_H_
+
+/// \file path_analysis.h
+/// \brief Diagnostics over warp paths: skew profiles, diagonal deviation,
+/// band containment — the quantities one inspects when tuning constraint
+/// strategies (which core/width the optimal path actually needed).
+
+#include <cstddef>
+#include <vector>
+
+#include "dtw/band.h"
+#include "dtw/dtw.h"
+
+namespace sdtw {
+namespace dtw {
+
+/// \brief Aggregate statistics of a warp path on an n×m grid.
+struct PathStats {
+  /// Mean |j - diagonal(i)| over path points.
+  double mean_diagonal_deviation = 0.0;
+  /// Max |j - diagonal(i)| over path points.
+  double max_diagonal_deviation = 0.0;
+  /// Fraction of diagonal (1,1) steps.
+  double diagonal_step_fraction = 0.0;
+  /// Longest run of consecutive non-diagonal steps (a "stall": one series
+  /// pausing while the other advances).
+  std::size_t longest_stall = 0;
+  /// Path length K.
+  std::size_t length = 0;
+};
+
+/// Computes PathStats for a warp path over an n×m grid. Returns a default
+/// object for empty paths.
+PathStats AnalyzePath(const std::vector<PathPoint>& path, std::size_t n,
+                      std::size_t m);
+
+/// Per-row warp profile: for each i, the mean matched j (the "observed
+/// core" that an adaptive-core constraint is trying to predict). Rows not
+/// visited (impossible for valid paths) get the previous value.
+std::vector<double> ObservedCore(const std::vector<PathPoint>& path,
+                                 std::size_t n);
+
+/// Fraction of path points inside `band` (1.0 when the band fully contains
+/// the path; the key diagnostic of a band that is too tight).
+double PathContainment(const std::vector<PathPoint>& path, const Band& band);
+
+/// Builds the tightest band containing the path, widened by `margin` —
+/// the oracle band, i.e. what a perfect constraint predictor would emit;
+/// useful as an upper bound in constraint ablations.
+Band OracleBand(const std::vector<PathPoint>& path, std::size_t n,
+                std::size_t m, std::size_t margin = 0);
+
+}  // namespace dtw
+}  // namespace sdtw
+
+#endif  // SDTW_DTW_PATH_ANALYSIS_H_

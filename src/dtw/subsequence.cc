@@ -1,0 +1,148 @@
+#include "dtw/subsequence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdtw {
+namespace dtw {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Fills the open-begin accumulation matrix (row-major (n+1) x (m+1)):
+// d(0, j) = 0 for all j (free start), d(i, 0) = +inf for i >= 1.
+std::vector<double> FillOpenBeginMatrix(const ts::TimeSeries& query,
+                                        const ts::TimeSeries& series,
+                                        CostKind cost) {
+  const std::size_t n = query.size();
+  const std::size_t m = series.size();
+  const std::size_t stride = m + 1;
+  std::vector<double> d((n + 1) * stride, kInf);
+  for (std::size_t j = 0; j <= m; ++j) d[j] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double qi = query[i - 1];
+    double* row = d.data() + i * stride;
+    const double* prev = d.data() + (i - 1) * stride;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double best = std::min({prev[j], row[j - 1], prev[j - 1]});
+      row[j] = best + EvalCost(cost, qi, series[j - 1]);
+    }
+  }
+  return d;
+}
+
+// Backtracks from (n, end_col) to the free-start row, returning the path in
+// (query index, series index) coordinates and the matched begin column.
+std::vector<PathPoint> BacktrackOpenBegin(const std::vector<double>& d,
+                                          std::size_t n, std::size_t m,
+                                          std::size_t end_col,
+                                          std::size_t* begin_col) {
+  const std::size_t stride = m + 1;
+  auto at = [&](std::size_t i, std::size_t j) { return d[i * stride + j]; };
+  std::vector<PathPoint> path;
+  std::size_t i = n;
+  std::size_t j = end_col;
+  path.emplace_back(i - 1, j - 1);
+  while (i > 1) {
+    double best = kInf;
+    int move = 0;
+    if (j > 1 && at(i - 1, j - 1) < best) {
+      best = at(i - 1, j - 1);
+      move = 0;
+    }
+    if (at(i - 1, j) < best) {
+      best = at(i - 1, j);
+      move = 1;
+    }
+    if (j > 1 && at(i, j - 1) < best) {
+      best = at(i, j - 1);
+      move = 2;
+    }
+    if (move == 0) {
+      --i;
+      --j;
+    } else if (move == 1) {
+      --i;
+    } else {
+      --j;
+    }
+    path.emplace_back(i - 1, j - 1);
+  }
+  std::reverse(path.begin(), path.end());
+  *begin_col = path.front().second;
+  return path;
+}
+
+}  // namespace
+
+SubsequenceMatch FindBestSubsequence(const ts::TimeSeries& query,
+                                     const ts::TimeSeries& series,
+                                     const SubsequenceOptions& options) {
+  SubsequenceMatch match;
+  const std::size_t n = query.size();
+  const std::size_t m = series.size();
+  if (n == 0 || m == 0) return match;
+  const std::vector<double> d =
+      FillOpenBeginMatrix(query, series, options.cost);
+  const std::size_t stride = m + 1;
+  // Open end: the best distance is the minimum of the last row.
+  std::size_t best_j = 1;
+  for (std::size_t j = 2; j <= m; ++j) {
+    if (d[n * stride + j] < d[n * stride + best_j]) best_j = j;
+  }
+  match.distance = d[n * stride + best_j];
+  match.end = best_j - 1;
+  std::size_t begin_col = 0;
+  std::vector<PathPoint> path =
+      BacktrackOpenBegin(d, n, m, best_j, &begin_col);
+  match.begin = begin_col;
+  if (options.want_path) match.path = std::move(path);
+  return match;
+}
+
+std::vector<SubsequenceMatch> FindTopKSubsequences(
+    const ts::TimeSeries& query, const ts::TimeSeries& series, std::size_t k,
+    const SubsequenceOptions& options) {
+  std::vector<SubsequenceMatch> matches;
+  if (query.empty() || series.empty() || k == 0) return matches;
+  // Greedy exclusion: blank out matched windows (set to +inf cost by
+  // removing them from candidate end columns) and re-run on the remaining
+  // gaps. Implemented by masking columns of the series.
+  std::vector<bool> blocked(series.size(), false);
+  for (std::size_t round = 0; round < k; ++round) {
+    // Extract maximal unblocked segments and search each.
+    SubsequenceMatch best;
+    std::size_t seg_begin = 0;
+    bool in_segment = false;
+    for (std::size_t i = 0; i <= series.size(); ++i) {
+      const bool open = i < series.size() && !blocked[i];
+      if (open && !in_segment) {
+        seg_begin = i;
+        in_segment = true;
+      } else if (!open && in_segment) {
+        in_segment = false;
+        const std::size_t seg_len = i - seg_begin;
+        if (seg_len == 0) continue;
+        const ts::TimeSeries segment = series.Slice(seg_begin, seg_len);
+        SubsequenceMatch m = FindBestSubsequence(query, segment, options);
+        if (m.distance < best.distance) {
+          m.begin += seg_begin;
+          m.end += seg_begin;
+          for (PathPoint& p : m.path) p.second += seg_begin;
+          best = std::move(m);
+        }
+      }
+    }
+    if (!std::isfinite(best.distance)) break;
+    for (std::size_t i = best.begin; i <= best.end && i < series.size();
+         ++i) {
+      blocked[i] = true;
+    }
+    matches.push_back(std::move(best));
+  }
+  return matches;
+}
+
+}  // namespace dtw
+}  // namespace sdtw

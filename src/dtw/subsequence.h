@@ -1,0 +1,60 @@
+#ifndef SDTW_DTW_SUBSEQUENCE_H_
+#define SDTW_DTW_SUBSEQUENCE_H_
+
+/// \file subsequence.h
+/// \brief Subsequence DTW: find where a short query best aligns inside a
+/// long series.
+///
+/// The paper's introduction motivates "querying and clustering of sequences
+/// and sub-sequences"; this module provides the standard open-begin /
+/// open-end DTW formulation: the first row of the accumulation matrix is
+/// initialised to zero (the match may start anywhere in the long series)
+/// and the answer is the minimum of the last row (it may end anywhere).
+/// Backtracking recovers the matched window.
+
+#include <cstddef>
+#include <vector>
+
+#include "dtw/cost.h"
+#include "dtw/dtw.h"
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace dtw {
+
+/// \brief Result of a subsequence search.
+struct SubsequenceMatch {
+  /// DTW distance of the best window.
+  double distance = std::numeric_limits<double>::infinity();
+  /// Inclusive window [begin, end] in the long series.
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  /// Warp path from (0, begin) to (|query|-1, end), in (query index,
+  /// series index) coordinates; empty when not requested.
+  std::vector<PathPoint> path;
+};
+
+/// \brief Options of the subsequence search.
+struct SubsequenceOptions {
+  CostKind cost = CostKind::kAbsolute;
+  bool want_path = true;
+};
+
+/// Finds the best-aligning window of `series` for `query` (query drives the
+/// rows: O(|query| × |series|) time). Returns an infinite-distance match
+/// when either input is empty.
+SubsequenceMatch FindBestSubsequence(const ts::TimeSeries& query,
+                                     const ts::TimeSeries& series,
+                                     const SubsequenceOptions& options = {});
+
+/// Finds the `k` best non-overlapping windows, greedily: best match first,
+/// then the best match disjoint from all previous ones, and so on. Returns
+/// fewer than k matches when the series is exhausted.
+std::vector<SubsequenceMatch> FindTopKSubsequences(
+    const ts::TimeSeries& query, const ts::TimeSeries& series, std::size_t k,
+    const SubsequenceOptions& options = {});
+
+}  // namespace dtw
+}  // namespace sdtw
+
+#endif  // SDTW_DTW_SUBSEQUENCE_H_

@@ -1,0 +1,72 @@
+#include "eval/confusion.h"
+
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+namespace sdtw {
+namespace eval {
+
+void ConfusionMatrix::Add(int truth, int predicted) {
+  ++cells_[{truth, predicted}];
+  ++truth_totals_[truth];
+  ++predicted_totals_[predicted];
+  if (truth == predicted) ++correct_;
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::Count(int truth, int predicted) const {
+  const auto it = cells_.find({truth, predicted});
+  return it == cells_.end() ? 0 : it->second;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  return total_ > 0
+             ? static_cast<double>(correct_) / static_cast<double>(total_)
+             : 0.0;
+}
+
+double ConfusionMatrix::Recall(int label) const {
+  const auto it = truth_totals_.find(label);
+  if (it == truth_totals_.end() || it->second == 0) return 0.0;
+  return static_cast<double>(Count(label, label)) /
+         static_cast<double>(it->second);
+}
+
+double ConfusionMatrix::Precision(int label) const {
+  const auto it = predicted_totals_.find(label);
+  if (it == predicted_totals_.end() || it->second == 0) return 0.0;
+  return static_cast<double>(Count(label, label)) /
+         static_cast<double>(it->second);
+}
+
+double ConfusionMatrix::MacroRecall() const {
+  if (truth_totals_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [label, count] : truth_totals_) sum += Recall(label);
+  return sum / static_cast<double>(truth_totals_.size());
+}
+
+std::vector<int> ConfusionMatrix::Labels() const {
+  std::set<int> labels;
+  for (const auto& [label, count] : truth_totals_) labels.insert(label);
+  for (const auto& [label, count] : predicted_totals_) labels.insert(label);
+  return std::vector<int>(labels.begin(), labels.end());
+}
+
+std::string ConfusionMatrix::ToString() const {
+  const std::vector<int> labels = Labels();
+  std::ostringstream out;
+  out << std::setw(8) << "truth\\pr";
+  for (int l : labels) out << std::setw(7) << l;
+  out << '\n';
+  for (int t : labels) {
+    out << std::setw(8) << t;
+    for (int p : labels) out << std::setw(7) << Count(t, p);
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace eval
+}  // namespace sdtw

@@ -1,0 +1,58 @@
+#ifndef SDTW_EVAL_CONFUSION_H_
+#define SDTW_EVAL_CONFUSION_H_
+
+/// \file confusion.h
+/// \brief Confusion matrix and per-class accuracy for classification
+/// experiments.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdtw {
+namespace eval {
+
+/// \brief A label-indexed confusion matrix.
+class ConfusionMatrix {
+ public:
+  /// Records one (truth, prediction) observation.
+  void Add(int truth, int predicted);
+
+  /// Count of (truth, predicted) cells.
+  std::size_t Count(int truth, int predicted) const;
+
+  /// Total observations.
+  std::size_t total() const { return total_; }
+
+  /// Overall accuracy (0 when empty).
+  double Accuracy() const;
+
+  /// Recall of one class: correct / total with that truth label (0 when the
+  /// class never appears).
+  double Recall(int label) const;
+
+  /// Precision of one class: correct / total predicted as that label.
+  double Precision(int label) const;
+
+  /// Macro-averaged recall over all truth labels seen.
+  double MacroRecall() const;
+
+  /// All truth labels seen, ascending.
+  std::vector<int> Labels() const;
+
+  /// Multi-line fixed-width rendering (rows = truth, cols = predicted).
+  std::string ToString() const;
+
+ private:
+  std::map<std::pair<int, int>, std::size_t> cells_;
+  std::map<int, std::size_t> truth_totals_;
+  std::map<int, std::size_t> predicted_totals_;
+  std::size_t correct_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace eval
+}  // namespace sdtw
+
+#endif  // SDTW_EVAL_CONFUSION_H_

@@ -1,0 +1,161 @@
+#include "eval/experiment.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace sdtw {
+namespace eval {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+DistanceMatrix ComputeFullDtwMatrix(const ts::Dataset& dataset,
+                                    dtw::CostKind cost) {
+  DistanceMatrix m;
+  m.n = dataset.size();
+  m.distance.assign(m.n * m.n, 0.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < m.n; ++i) {
+    for (std::size_t j = i + 1; j < m.n; ++j) {
+      const double d = dtw::DtwDistance(dataset[i], dataset[j], cost);
+      m.distance[i * m.n + j] = d;
+      m.distance[j * m.n + i] = d;
+      m.cells_filled += dataset[i].size() * dataset[j].size();
+    }
+  }
+  m.dp_seconds = Seconds(t0);
+  return m;
+}
+
+DistanceMatrix ComputeSdtwMatrix(const ts::Dataset& dataset,
+                                 const core::SdtwOptions& options) {
+  DistanceMatrix m;
+  m.n = dataset.size();
+  m.distance.assign(m.n * m.n, 0.0);
+
+  core::SdtwOptions opts = options;
+  opts.dtw.want_path = false;
+  core::Sdtw engine(opts);
+
+  // One-time per-series feature extraction (outside timing, §4.2).
+  std::vector<std::vector<sift::Keypoint>> features;
+  features.reserve(m.n);
+  for (std::size_t i = 0; i < m.n; ++i) {
+    features.push_back(engine.ExtractFeatures(dataset[i]));
+  }
+
+  for (std::size_t i = 0; i < m.n; ++i) {
+    for (std::size_t j = i + 1; j < m.n; ++j) {
+      const core::SdtwResult r =
+          engine.Compare(dataset[i], features[i], dataset[j], features[j]);
+      m.distance[i * m.n + j] = r.distance;
+      m.distance[j * m.n + i] = r.distance;
+      m.matching_seconds += r.timing.matching_seconds;
+      m.dp_seconds += r.timing.dp_seconds;
+      m.cells_filled += r.cells_filled;
+    }
+  }
+  return m;
+}
+
+AlgorithmMetrics ComputeMetrics(const std::string& label,
+                                const ts::Dataset& dataset,
+                                const DistanceMatrix& reference,
+                                const DistanceMatrix& candidate) {
+  AlgorithmMetrics out;
+  out.label = label;
+  const std::size_t n = dataset.size();
+  if (n == 0 || reference.n != n || candidate.n != n) return out;
+
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = dataset[i].label();
+
+  MeanAccumulator ret5, ret10, derr, intra_derr, cls5, cls10;
+  for (std::size_t q = 0; q < n; ++q) {
+    std::vector<double> ref_row(reference.distance.begin() +
+                                    static_cast<long>(q * n),
+                                reference.distance.begin() +
+                                    static_cast<long>((q + 1) * n));
+    std::vector<double> cand_row(candidate.distance.begin() +
+                                     static_cast<long>(q * n),
+                                 candidate.distance.begin() +
+                                     static_cast<long>((q + 1) * n));
+    const std::vector<std::size_t> ref5 = TopK(ref_row, 5, q);
+    const std::vector<std::size_t> ref10 = TopK(ref_row, 10, q);
+    const std::vector<std::size_t> cand5 = TopK(cand_row, 5, q);
+    const std::vector<std::size_t> cand10 = TopK(cand_row, 10, q);
+    ret5.Add(TopKOverlap(ref5, cand5, 5));
+    ret10.Add(TopKOverlap(ref10, cand10, 10));
+    cls5.Add(LabelSetJaccard(KnnLabelSet(ref5, labels),
+                             KnnLabelSet(cand5, labels)));
+    cls10.Add(LabelSetJaccard(KnnLabelSet(ref10, labels),
+                              KnnLabelSet(cand10, labels)));
+    for (std::size_t j = q + 1; j < n; ++j) {
+      const double e = DistanceError(ref_row[j], cand_row[j]);
+      if (std::isfinite(e)) {
+        derr.Add(e);
+        if (labels[q] >= 0 && labels[q] == labels[j]) intra_derr.Add(e);
+      }
+    }
+  }
+  out.retrieval_accuracy_top5 = ret5.mean();
+  out.retrieval_accuracy_top10 = ret10.mean();
+  out.distance_error = derr.mean();
+  out.intra_class_distance_error = intra_derr.mean();
+  out.classification_accuracy_top5 = cls5.mean();
+  out.classification_accuracy_top10 = cls10.mean();
+  out.time_gain =
+      TimeGain(reference.total_seconds(), candidate.total_seconds());
+  out.matching_seconds = candidate.matching_seconds;
+  out.dp_seconds = candidate.dp_seconds;
+  out.cell_fraction =
+      reference.cells_filled > 0
+          ? static_cast<double>(candidate.cells_filled) /
+                static_cast<double>(reference.cells_filled)
+          : 0.0;
+  return out;
+}
+
+ExperimentResult RunExperiment(const ts::Dataset& dataset,
+                               const std::vector<core::NamedConfig>& roster) {
+  ExperimentResult result;
+  result.dataset_name = dataset.name();
+
+  const DistanceMatrix reference = ComputeFullDtwMatrix(dataset);
+  for (const core::NamedConfig& config : roster) {
+    DistanceMatrix m = config.full_dtw
+                           ? reference
+                           : ComputeSdtwMatrix(dataset, config.options);
+    result.algorithms.push_back(
+        ComputeMetrics(config.label, dataset, reference, m));
+  }
+  return result;
+}
+
+void PrintExperiment(const ExperimentResult& result) {
+  std::printf("== %s ==\n", result.dataset_name.c_str());
+  std::printf(
+      "%-12s %8s %8s %10s %12s %8s %8s %9s %9s %9s\n", "algorithm",
+      "acc@5", "acc@10", "dist_err", "intra_err", "cls@5", "cls@10",
+      "timegain", "match_s", "dp_s");
+  for (const AlgorithmMetrics& a : result.algorithms) {
+    std::printf(
+        "%-12s %8.4f %8.4f %10.4f %12.4f %8.4f %8.4f %9.4f %9.4f %9.4f\n",
+        a.label.c_str(), a.retrieval_accuracy_top5,
+        a.retrieval_accuracy_top10, a.distance_error,
+        a.intra_class_distance_error, a.classification_accuracy_top5,
+        a.classification_accuracy_top10, a.time_gain, a.matching_seconds,
+        a.dp_seconds);
+  }
+  std::printf("\n");
+}
+
+}  // namespace eval
+}  // namespace sdtw

@@ -1,0 +1,93 @@
+#ifndef SDTW_EVAL_EXPERIMENT_H_
+#define SDTW_EVAL_EXPERIMENT_H_
+
+/// \file experiment.h
+/// \brief Shared experiment runner behind the table/figure benches.
+///
+/// For a data set and an algorithm roster, the runner
+///  1. extracts salient features once per series (excluded from timing, as
+///     in paper §4.2),
+///  2. computes the full pairwise distance matrix per algorithm with
+///     per-pair stage timings,
+///  3. derives the §4.2 metrics against the full-DTW reference: top-k
+///     retrieval accuracy, distance error (overall and intra-class), kNN
+///     classification label accuracy, and time gain.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sdtw.h"
+#include "eval/metrics.h"
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace eval {
+
+/// \brief Pairwise distances and timings of one algorithm over one set.
+struct DistanceMatrix {
+  std::size_t n = 0;
+  /// Row-major n×n distances; diagonal is 0.
+  std::vector<double> distance;
+  /// Total matching (pair search + pruning + band build) seconds.
+  double matching_seconds = 0.0;
+  /// Total DP seconds.
+  double dp_seconds = 0.0;
+  /// Total filled DP cells.
+  std::size_t cells_filled = 0;
+
+  double At(std::size_t i, std::size_t j) const {
+    return distance[i * n + j];
+  }
+  double total_seconds() const { return matching_seconds + dp_seconds; }
+};
+
+/// Computes the full-DTW reference matrix (paper's `dtw`).
+DistanceMatrix ComputeFullDtwMatrix(const ts::Dataset& dataset,
+                                    dtw::CostKind cost =
+                                        dtw::CostKind::kAbsolute);
+
+/// Computes an sDTW-constrained matrix. Features are extracted once per
+/// series before timing starts.
+DistanceMatrix ComputeSdtwMatrix(const ts::Dataset& dataset,
+                                 const core::SdtwOptions& options);
+
+/// \brief All §4.2 metrics of one algorithm against the reference.
+struct AlgorithmMetrics {
+  std::string label;
+  double retrieval_accuracy_top5 = 0.0;
+  double retrieval_accuracy_top10 = 0.0;
+  double distance_error = 0.0;            ///< avg (d* − d)/d over pairs.
+  double intra_class_distance_error = 0.0;///< same, pairs within one class.
+  double classification_accuracy_top5 = 0.0;
+  double classification_accuracy_top10 = 0.0;
+  double time_gain = 0.0;                 ///< (t_dtw − t*) / t_dtw.
+  double matching_seconds = 0.0;
+  double dp_seconds = 0.0;
+  double cell_fraction = 0.0;             ///< filled cells / full-grid cells.
+};
+
+/// Derives the metrics of `candidate` against `reference` on `dataset`.
+AlgorithmMetrics ComputeMetrics(const std::string& label,
+                                const ts::Dataset& dataset,
+                                const DistanceMatrix& reference,
+                                const DistanceMatrix& candidate);
+
+/// \brief One fully evaluated experiment: the reference matrix plus metrics
+/// for every roster entry.
+struct ExperimentResult {
+  std::string dataset_name;
+  std::vector<AlgorithmMetrics> algorithms;
+};
+
+/// Runs the full §4.3 roster (or any custom roster) over a data set.
+ExperimentResult RunExperiment(const ts::Dataset& dataset,
+                               const std::vector<core::NamedConfig>& roster);
+
+/// Prints an ExperimentResult as an aligned text table to stdout.
+void PrintExperiment(const ExperimentResult& result);
+
+}  // namespace eval
+}  // namespace sdtw
+
+#endif  // SDTW_EVAL_EXPERIMENT_H_

@@ -1,0 +1,80 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace sdtw {
+namespace eval {
+
+std::vector<std::size_t> TopK(const std::vector<double>& distances,
+                              std::size_t k, std::size_t exclude_index) {
+  std::vector<std::size_t> order;
+  order.reserve(distances.size());
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    if (i != exclude_index) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&distances](std::size_t a, std::size_t b) {
+                     if (distances[a] != distances[b]) {
+                       return distances[a] < distances[b];
+                     }
+                     return a < b;
+                   });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+double TopKOverlap(const std::vector<std::size_t>& top_reference,
+                   const std::vector<std::size_t>& top_candidate,
+                   std::size_t k) {
+  if (k == 0) return 0.0;
+  const std::set<std::size_t> ref(top_reference.begin(), top_reference.end());
+  std::size_t hits = 0;
+  for (std::size_t i : top_candidate) {
+    if (ref.count(i)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double DistanceError(double d_reference, double d_approx) {
+  constexpr double kTiny = 1e-12;
+  if (std::abs(d_reference) < kTiny) {
+    return std::abs(d_approx) < kTiny
+               ? 0.0
+               : std::numeric_limits<double>::infinity();
+  }
+  return (d_approx - d_reference) / d_reference;
+}
+
+std::vector<int> KnnLabelSet(const std::vector<std::size_t>& top_k,
+                             const std::vector<int>& labels) {
+  std::map<int, std::size_t> counts;
+  for (std::size_t i : top_k) {
+    if (i < labels.size()) ++counts[labels[i]];
+  }
+  std::size_t best = 0;
+  for (const auto& [label, count] : counts) best = std::max(best, count);
+  std::vector<int> result;
+  for (const auto& [label, count] : counts) {
+    if (count == best && best > 0) result.push_back(label);
+  }
+  return result;
+}
+
+double LabelSetJaccard(const std::vector<int>& a, const std::vector<int>& b) {
+  const std::set<int> sa(a.begin(), a.end());
+  const std::set<int> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  std::size_t inter = 0;
+  for (int v : sa) {
+    if (sb.count(v)) ++inter;
+  }
+  const std::size_t uni = sa.size() + sb.size() - inter;
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+}
+
+}  // namespace eval
+}  // namespace sdtw

@@ -1,0 +1,73 @@
+#ifndef SDTW_EVAL_METRICS_H_
+#define SDTW_EVAL_METRICS_H_
+
+/// \file metrics.h
+/// \brief Effectiveness metrics of paper §4.2: top-k retrieval accuracy,
+/// distance error, and kNN classification label accuracy.
+
+#include <cstddef>
+#include <vector>
+
+namespace sdtw {
+namespace eval {
+
+/// \brief A (distance, index) entry of a ranking.
+struct Ranked {
+  double distance = 0.0;
+  std::size_t index = 0;
+};
+
+/// Returns the indices of the k smallest distances (ties broken by index,
+/// self-matches excluded by the caller). `distances[i]` is the distance of
+/// candidate i.
+std::vector<std::size_t> TopK(const std::vector<double>& distances,
+                              std::size_t k,
+                              std::size_t exclude_index);
+
+/// Top-k retrieval accuracy acc_ret(k): |top_dtw ∩ top_approx| / k for one
+/// query (paper §4.2). Both argument lists must contain at most k entries.
+double TopKOverlap(const std::vector<std::size_t>& top_reference,
+                   const std::vector<std::size_t>& top_candidate,
+                   std::size_t k);
+
+/// Distance error of one pair: (d_approx − d_dtw) / d_dtw; 0 when the
+/// reference distance is ~0 and the approximation agrees, +inf when the
+/// reference is ~0 but the approximation is not.
+double DistanceError(double d_reference, double d_approx);
+
+/// kNN label sets: all labels achieving the maximum count among the labels
+/// of the k nearest neighbours (paper §4.2 — the classifier can attach more
+/// than one label when counts tie). `labels[i]` is the label of candidate i.
+std::vector<int> KnnLabelSet(const std::vector<std::size_t>& top_k,
+                             const std::vector<int>& labels);
+
+/// Jaccard overlap |A ∩ B| / |A ∪ B| of two label sets (1.0 when both are
+/// empty).
+double LabelSetJaccard(const std::vector<int>& a, const std::vector<int>& b);
+
+/// \brief Streaming mean accumulator.
+class MeanAccumulator {
+ public:
+  void Add(double v) {
+    sum_ += v;
+    ++count_;
+  }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  std::size_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Time gain (paper §4.2): (t_dtw − t_approx) / t_dtw.
+inline double TimeGain(double t_dtw, double t_approx) {
+  return t_dtw > 0.0 ? (t_dtw - t_approx) / t_dtw : 0.0;
+}
+
+}  // namespace eval
+}  // namespace sdtw
+
+#endif  // SDTW_EVAL_METRICS_H_

@@ -1,0 +1,47 @@
+#ifndef SDTW_RETRIEVAL_FEATURE_STORE_H_
+#define SDTW_RETRIEVAL_FEATURE_STORE_H_
+
+/// \file feature_store.h
+/// \brief Persistence for extracted salient features.
+///
+/// Paper §3.4: "extraction of salient features is a one-time process. Once
+/// these features are extracted, they can be stored and indexed along with
+/// the time series and can be re-used repeatedly." This module provides
+/// that storage: a plain-text, line-oriented format that serialises the
+/// keypoints of a whole data set and reads them back bit-for-bit (values
+/// are written with max_digits10 round-trip precision).
+///
+/// Format (one record per line):
+///   sdtw-features v1          # header
+///   series <index> <count>    # per-series record
+///   kp <position> <sigma> <octave> <level> <response> <amplitude> <d0> ...
+///   end
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sift/keypoint.h"
+
+namespace sdtw {
+namespace retrieval {
+
+/// All features of one data set, parallel to the series order.
+using FeatureSets = std::vector<std::vector<sift::Keypoint>>;
+
+/// Writes `features` to the stream in the sdtw-features v1 format.
+void WriteFeatures(std::ostream& out, const FeatureSets& features);
+
+/// Parses a stream written by WriteFeatures. Returns std::nullopt on any
+/// structural error (bad header, truncated records, malformed numbers).
+std::optional<FeatureSets> ReadFeatures(std::istream& in);
+
+/// File convenience wrappers; return false / nullopt on I/O failure.
+bool WriteFeaturesFile(const std::string& path, const FeatureSets& features);
+std::optional<FeatureSets> ReadFeaturesFile(const std::string& path);
+
+}  // namespace retrieval
+}  // namespace sdtw
+
+#endif  // SDTW_RETRIEVAL_FEATURE_STORE_H_

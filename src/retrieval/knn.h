@@ -1,0 +1,116 @@
+#ifndef SDTW_RETRIEVAL_KNN_H_
+#define SDTW_RETRIEVAL_KNN_H_
+
+/// \file knn.h
+/// \brief k-nearest-neighbour retrieval and classification engines over
+/// DTW-family distances.
+///
+/// This is the deployment surface the paper's cost model (§3.4) implies:
+/// salient features are extracted once per indexed series and reused across
+/// every query. The engine layers the standard lower-bound cascade of the
+/// UCR-suite line of work ([7], [16]) in front of the DP:
+///
+///   LB_Kim (O(1)) -> LB_Keogh (O(n)) -> early-abandoning banded DTW
+///
+/// so that most candidates are discarded before any grid cell is filled.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/sdtw.h"
+#include "dtw/lower_bounds.h"
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace retrieval {
+
+/// \brief Which distance the engine ranks by.
+enum class DistanceKind {
+  kFullDtw,   ///< Exact O(NM) DTW.
+  kSdtw,      ///< Salient-feature constrained DTW (the paper's sDTW).
+  kEuclidean, ///< Pointwise L1 on equal lengths (baseline).
+};
+
+/// \brief Engine configuration.
+struct KnnOptions {
+  DistanceKind distance = DistanceKind::kSdtw;
+  core::SdtwOptions sdtw;
+  /// Enable the LB_Kim constant-time prefilter.
+  bool use_lb_kim = true;
+  /// Enable the LB_Keogh envelope prefilter (equal-length series only).
+  bool use_lb_keogh = true;
+  /// Envelope radius for LB_Keogh as a fraction of the series length.
+  double keogh_radius_fraction = 0.1;
+  /// Enable early-abandoning DP against the best-so-far distance (only
+  /// applies to the kFullDtw distance; the banded sDTW DP is already
+  /// heavily pruned).
+  bool use_early_abandon = true;
+};
+
+/// \brief One retrieval hit.
+struct Hit {
+  std::size_t index = 0;  ///< Index into the indexed data set.
+  double distance = 0.0;
+  int label = -1;
+};
+
+/// \brief Statistics of one query (how much work the cascade saved).
+struct QueryStats {
+  std::size_t candidates = 0;
+  std::size_t pruned_by_kim = 0;
+  std::size_t pruned_by_keogh = 0;
+  std::size_t pruned_by_early_abandon = 0;
+  std::size_t dp_evaluations = 0;
+};
+
+/// \brief A kNN engine over an indexed data set.
+///
+/// Index construction extracts and caches per-series salient features and
+/// LB_Keogh envelopes; queries reuse them (the paper's one-time extraction
+/// cost model).
+class KnnEngine {
+ public:
+  explicit KnnEngine(KnnOptions options = {});
+
+  /// Indexes the data set (copies it; features/envelopes cached).
+  void Index(const ts::Dataset& dataset);
+
+  std::size_t size() const { return series_.size(); }
+  const KnnOptions& options() const { return options_; }
+
+  /// Returns the k nearest indexed series to the query, ascending distance.
+  /// `exclude` (optional index) supports leave-one-out evaluation over the
+  /// indexed set itself. Stats (when non-null) receive cascade counters.
+  std::vector<Hit> Query(const ts::TimeSeries& query, std::size_t k,
+                         std::optional<std::size_t> exclude = std::nullopt,
+                         QueryStats* stats = nullptr) const;
+
+  /// Majority-vote kNN classification; ties resolved toward the nearer
+  /// neighbour set (smallest summed distance). Returns -1 on an empty
+  /// index.
+  int Classify(const ts::TimeSeries& query, std::size_t k,
+               std::optional<std::size_t> exclude = std::nullopt) const;
+
+  /// Leave-one-out classification accuracy over the indexed set.
+  double LeaveOneOutAccuracy(std::size_t k) const;
+
+ private:
+  double Distance(const ts::TimeSeries& query,
+                  const std::vector<sift::Keypoint>& query_features,
+                  std::size_t candidate, double best_so_far,
+                  QueryStats* stats) const;
+
+  KnnOptions options_;
+  core::Sdtw engine_;
+  std::vector<ts::TimeSeries> series_;
+  std::vector<std::vector<sift::Keypoint>> features_;
+  std::vector<dtw::Envelope> envelopes_;
+  std::size_t keogh_radius_ = 0;
+};
+
+}  // namespace retrieval
+}  // namespace sdtw
+
+#endif  // SDTW_RETRIEVAL_KNN_H_

@@ -1,0 +1,57 @@
+#include "retrieval/parallel.h"
+
+#include <atomic>
+#include <thread>
+
+namespace sdtw {
+namespace retrieval {
+
+std::vector<double> ParallelPairwiseMatrix(std::size_t n,
+                                           const PairDistanceFn& distance,
+                                           std::size_t num_threads) {
+  std::vector<double> matrix(n * n, 0.0);
+  if (n < 2) return matrix;
+
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Flatten the upper triangle into a single work counter.
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= total_pairs) return;
+      // Invert the triangular index t -> (i, j), j > i.
+      // Row i holds (n-1-i) pairs; walk rows until t fits.
+      std::size_t i = 0;
+      std::size_t remaining = t;
+      std::size_t row_len = n - 1;
+      while (remaining >= row_len) {
+        remaining -= row_len;
+        ++i;
+        --row_len;
+      }
+      const std::size_t j = i + 1 + remaining;
+      const double d = distance(i, j);
+      matrix[i * n + j] = d;
+      matrix[j * n + i] = d;
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+    return matrix;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& t : threads) t.join();
+  return matrix;
+}
+
+}  // namespace retrieval
+}  // namespace sdtw

@@ -1,0 +1,36 @@
+#ifndef SDTW_RETRIEVAL_PARALLEL_H_
+#define SDTW_RETRIEVAL_PARALLEL_H_
+
+/// \file parallel.h
+/// \brief Parallel computation of pairwise distance matrices.
+///
+/// Pairwise distance matrices over a data set are embarrassingly parallel
+/// (every (i, j) pair is independent once per-series features are cached).
+/// This module shards the upper triangle over a thread pool. Experiment
+/// timings in eval/ stay single-threaded for comparability with the paper;
+/// this is the throughput path for applications.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace retrieval {
+
+/// Pairwise distance functor: (index_a, index_b) -> distance. Must be safe
+/// to call concurrently from multiple threads.
+using PairDistanceFn = std::function<double(std::size_t, std::size_t)>;
+
+/// Computes the symmetric n×n matrix (row-major, zero diagonal) of
+/// distances over indices [0, n) using `num_threads` workers (0 = hardware
+/// concurrency). Pairs of the upper triangle are distributed round-robin.
+std::vector<double> ParallelPairwiseMatrix(std::size_t n,
+                                           const PairDistanceFn& distance,
+                                           std::size_t num_threads = 0);
+
+}  // namespace retrieval
+}  // namespace sdtw
+
+#endif  // SDTW_RETRIEVAL_PARALLEL_H_

@@ -1,0 +1,217 @@
+#include "sift/extractor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/gaussian.h"
+
+namespace sdtw {
+namespace sift {
+
+namespace {
+
+// Quadratic sub-sample refinement of an extremum at index i of d:
+// fits a parabola through (i-1, i, i+1) and returns the fractional offset
+// of its apex in [-0.5, 0.5].
+double RefineOffset(const std::vector<double>& d, std::size_t i) {
+  if (i == 0 || i + 1 >= d.size()) return 0.0;
+  const double left = d[i - 1];
+  const double mid = d[i];
+  const double right = d[i + 1];
+  const double denom = left - 2.0 * mid + right;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  double offset = 0.5 * (left - right) / denom;
+  return std::clamp(offset, -0.5, 0.5);
+}
+
+}  // namespace
+
+SalientExtractor::SalientExtractor(ExtractorOptions options)
+    : options_(std::move(options)) {
+  if (options_.descriptor_length < 2) options_.descriptor_length = 2;
+  if (options_.descriptor_length % 2 != 0) ++options_.descriptor_length;
+  options_.epsilon = std::clamp(options_.epsilon, 0.0, 1.0);
+}
+
+std::vector<Keypoint> SalientExtractor::Detect(
+    const signal::ScaleSpace& space) const {
+  std::vector<Keypoint> keypoints;
+  const double eps = options_.epsilon;
+
+  for (const signal::Octave& oct : space.octaves()) {
+    const std::size_t num_dogs = oct.dogs.size();
+    if (num_dogs < 3) continue;
+    // Interior DoG levels have both scale neighbours.
+    for (std::size_t l = 1; l + 1 < num_dogs; ++l) {
+      const std::vector<double>& cur = oct.dogs[l];
+      const std::vector<double>& down = oct.dogs[l - 1];
+      const std::vector<double>& up = oct.dogs[l + 1];
+      const std::size_t len = cur.size();
+      if (len < 3) continue;
+      for (std::size_t i = 1; i + 1 < len; ++i) {
+        const double v = cur[i];
+        if (std::abs(v) < options_.min_contrast) continue;
+
+        // Relaxed extremum test against the 8 (time, scale) neighbours:
+        // accepted when v >= (1 - eps) * each neighbour (maxima) or the
+        // mirrored test for minima. Written on the signed values so that a
+        // peak among dips is not suppressed by magnitude alone.
+        const double neighbors[8] = {cur[i - 1], cur[i + 1], down[i - 1],
+                                     down[i],    down[i + 1], up[i - 1],
+                                     up[i],      up[i + 1]};
+        bool is_max = v > 0.0;
+        bool is_min = options_.detect_minima && v < 0.0;
+        for (const double nb : neighbors) {
+          if (is_max && v < (1.0 - eps) * std::max(nb, 0.0)) is_max = false;
+          if (is_min && v > (1.0 - eps) * std::min(nb, 0.0)) is_min = false;
+          if (!is_max && !is_min) break;
+        }
+        if (!is_max && !is_min) continue;
+
+        Keypoint kp;
+        kp.octave = oct.index;
+        kp.level = l;
+        const double offset = RefineOffset(cur, i);
+        kp.position =
+            space.ToOriginalPosition(oct.index,
+                                     static_cast<double>(i) + offset);
+        kp.sigma = space.AbsoluteSigma(oct.index, l);
+        kp.response = v;
+        // Amplitude from the matching Gaussian level (smoothed value at the
+        // feature centre).
+        const std::vector<double>& g = oct.gaussians[l];
+        kp.amplitude = g[std::min(i, g.size() - 1)];
+        keypoints.push_back(std::move(kp));
+      }
+    }
+  }
+  std::sort(keypoints.begin(), keypoints.end(),
+            [](const Keypoint& a, const Keypoint& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.sigma < b.sigma;
+            });
+  return keypoints;
+}
+
+std::vector<double> SalientExtractor::Describe(
+    const signal::ScaleSpace& space, const Keypoint& keypoint) const {
+  const std::size_t num_cells = options_.descriptor_length / 2;
+  std::vector<double> desc(options_.descriptor_length, 0.0);
+
+  if (keypoint.octave >= space.octaves().size()) return desc;
+  const signal::Octave& oct = space.octaves()[keypoint.octave];
+  const std::size_t gl = std::min(keypoint.level, oct.gaussians.size() - 1);
+  const std::vector<double>& g = oct.gaussians[gl];
+  if (g.size() < 2) return desc;
+  const std::vector<double> grad = signal::Gradient(g);
+
+  // Window on the octave's own grid, centred at the keypoint.
+  const double octave_factor =
+      static_cast<double>(std::size_t{1} << keypoint.octave);
+  const double center = keypoint.position / octave_factor;
+  const double window = options_.cell_width * static_cast<double>(num_cells);
+  const double half = window / 2.0;
+  // Gaussian weighting over the window (SIFT uses sigma = half window).
+  const double wsigma = std::max(half / 2.0, 1e-6);
+
+  const long n = static_cast<long>(g.size());
+  const long first = static_cast<long>(std::floor(center - half));
+  const long last = static_cast<long>(std::ceil(center + half));
+  for (long t = first; t <= last; ++t) {
+    if (t < 0 || t >= n) continue;
+    const double rel = static_cast<double>(t) - center + half;  // [0, window)
+    if (rel < 0.0 || rel >= window) continue;
+    std::size_t cell = static_cast<std::size_t>(rel / options_.cell_width);
+    if (cell >= num_cells) cell = num_cells - 1;
+    const double dist = static_cast<double>(t) - center;
+    const double weight = std::exp(-(dist * dist) / (2.0 * wsigma * wsigma));
+    const double gv = grad[static_cast<std::size_t>(t)];
+    // Two orientation bins per cell: rising (gradient > 0) and falling.
+    if (gv >= 0.0) {
+      desc[cell * 2] += weight * gv;
+    } else {
+      desc[cell * 2 + 1] += weight * (-gv);
+    }
+  }
+
+  if (options_.normalize_descriptor) {
+    auto renorm = [&desc]() {
+      double norm = 0.0;
+      for (double v : desc) norm += v * v;
+      norm = std::sqrt(norm);
+      if (norm > 1e-12) {
+        for (double& v : desc) v /= norm;
+      }
+      return norm;
+    };
+    if (renorm() > 1e-12 && options_.descriptor_clamp > 0.0) {
+      bool clamped = false;
+      for (double& v : desc) {
+        if (v > options_.descriptor_clamp) {
+          v = options_.descriptor_clamp;
+          clamped = true;
+        }
+      }
+      if (clamped) renorm();
+    }
+  }
+  return desc;
+}
+
+std::vector<Keypoint> SalientExtractor::Extract(
+    const ts::TimeSeries& series) const {
+  signal::ScaleSpace space(series, options_.scale_space);
+  std::vector<Keypoint> keypoints = Detect(space);
+
+  // Enforce the |S| << N cost model of §3.4: keep the strongest responses.
+  std::size_t cap = options_.max_keypoints;
+  if (cap == 0 && options_.max_keypoints_fraction > 0.0) {
+    cap = static_cast<std::size_t>(
+        std::ceil(options_.max_keypoints_fraction *
+                  static_cast<double>(series.size())));
+  }
+  if (cap > 0 && keypoints.size() > cap) {
+    std::nth_element(keypoints.begin(),
+                     keypoints.begin() + static_cast<long>(cap),
+                     keypoints.end(),
+                     [](const Keypoint& a, const Keypoint& b) {
+                       return std::abs(a.response) > std::abs(b.response);
+                     });
+    keypoints.resize(cap);
+    std::sort(keypoints.begin(), keypoints.end(),
+              [](const Keypoint& a, const Keypoint& b) {
+                if (a.position != b.position) return a.position < b.position;
+                return a.sigma < b.sigma;
+              });
+  }
+
+  for (Keypoint& kp : keypoints) {
+    kp.descriptor = Describe(space, kp);
+    // Clamp positions into the series (sub-sample refinement can nudge a
+    // boundary feature slightly outside).
+    kp.position = std::clamp(kp.position, 0.0,
+                             static_cast<double>(series.size() - 1));
+  }
+  return keypoints;
+}
+
+ScaleHistogram CountByScale(const std::vector<Keypoint>& keypoints) {
+  ScaleHistogram h;
+  for (const Keypoint& kp : keypoints) {
+    switch (ClassifyScale(kp)) {
+      case ScaleClass::kFine:
+        h.fine += 1;
+        break;
+      case ScaleClass::kMedium:
+        h.medium += 1;
+        break;
+      case ScaleClass::kRough:
+        h.rough += 1;
+        break;
+    }
+  }
+  return h;
+}
+
+}  // namespace sift
+}  // namespace sdtw

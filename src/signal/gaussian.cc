@@ -1,0 +1,84 @@
+#include "signal/gaussian.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdtw {
+namespace signal {
+
+GaussianKernel MakeGaussianKernel(double sigma) {
+  GaussianKernel k;
+  k.sigma = sigma;
+  if (sigma <= 0.0) {
+    k.taps = {1.0};
+    return k;
+  }
+  const long radius = std::max(1L, static_cast<long>(std::ceil(3.0 * sigma)));
+  k.taps.resize(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (long i = -radius; i <= radius; ++i) {
+    const double x = static_cast<double>(i);
+    const double v = std::exp(-(x * x) / (2.0 * sigma * sigma));
+    k.taps[static_cast<std::size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (double& v : k.taps) v /= sum;
+  return k;
+}
+
+std::vector<double> Convolve(const std::vector<double>& input,
+                             const GaussianKernel& kernel) {
+  const long n = static_cast<long>(input.size());
+  if (n == 0) return {};
+  const long radius = static_cast<long>(kernel.radius());
+  std::vector<double> out(input.size(), 0.0);
+  for (long i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (long t = -radius; t <= radius; ++t) {
+      long idx = i + t;
+      // Reflect around the boundary samples (…, 2, 1, 0 | 1, 2, …) as many
+      // times as needed for kernels wider than the signal.
+      while (idx < 0 || idx >= n) {
+        if (idx < 0) idx = -idx;
+        if (idx >= n) idx = 2 * (n - 1) - idx;
+        if (n == 1) {
+          idx = 0;
+          break;
+        }
+      }
+      acc += input[static_cast<std::size_t>(idx)] *
+             kernel.taps[static_cast<std::size_t>(t + radius)];
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+ts::TimeSeries GaussianSmooth(const ts::TimeSeries& input, double sigma) {
+  ts::TimeSeries out(Convolve(input.values(), MakeGaussianKernel(sigma)));
+  out.set_label(input.label());
+  out.set_name(input.name());
+  return out;
+}
+
+std::vector<double> Gradient(const std::vector<double>& input) {
+  const std::size_t n = input.size();
+  std::vector<double> g(n, 0.0);
+  if (n < 2) return g;
+  g[0] = input[1] - input[0];
+  g[n - 1] = input[n - 1] - input[n - 2];
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    g[i] = 0.5 * (input[i + 1] - input[i - 1]);
+  }
+  return g;
+}
+
+std::vector<double> Downsample2(const std::vector<double>& input) {
+  std::vector<double> out;
+  out.reserve((input.size() + 1) / 2);
+  for (std::size_t i = 0; i < input.size(); i += 2) out.push_back(input[i]);
+  return out;
+}
+
+}  // namespace signal
+}  // namespace sdtw

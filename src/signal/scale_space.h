@@ -1,0 +1,93 @@
+#ifndef SDTW_SIGNAL_SCALE_SPACE_H_
+#define SDTW_SIGNAL_SCALE_SPACE_H_
+
+/// \file scale_space.h
+/// \brief Octave/level Gaussian scale-space and difference-of-Gaussian
+/// pyramids for 1-D signals (paper §3.1.2, step 1).
+///
+/// The series is incrementally reduced into `o` octaves, each corresponding
+/// to a doubling of the smoothing rate. Each octave is divided into `s`
+/// levels built by repeated convolution with Gaussians of ratio
+/// κ = 2^(1/s). Adjacent smoothed series are subtracted to obtain the
+/// difference-of-Gaussian (DoG) series in which salient features are sought.
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace signal {
+
+/// \brief Configuration of the scale-space pyramid.
+struct ScaleSpaceOptions {
+  /// Number of octaves; 0 means "auto": max(1, floor(log2(N)) - 6) as used in
+  /// the paper's experiments (§4.3).
+  std::size_t num_octaves = 0;
+
+  /// Levels per octave (the paper uses s = 2). κ = 2^(1/s).
+  std::size_t levels_per_octave = 2;
+
+  /// Base smoothing applied to the input before the first octave (SIFT's
+  /// σ0; 1.6 is Lowe's default and works well for time series too).
+  double base_sigma = 1.6;
+
+  /// Assumed smoothing already present in the raw input.
+  double input_sigma = 0.5;
+
+  /// Octaves stop early when the series becomes shorter than this.
+  std::size_t min_length = 8;
+};
+
+/// Resolves the "auto" octave count for a series of length n.
+std::size_t AutoOctaves(std::size_t n);
+
+/// \brief One octave of the pyramid: levels_per_octave + 3 Gaussian levels
+/// and levels_per_octave + 2 DoG levels, all at the octave's resolution.
+struct Octave {
+  /// Index of this octave (0 = original resolution).
+  std::size_t index = 0;
+  /// Gaussian-smoothed series; gaussians[l] has sigma = sigmas[l] (relative
+  /// to the octave's own sampling grid).
+  std::vector<std::vector<double>> gaussians;
+  /// Per-level sigma on the octave grid.
+  std::vector<double> sigmas;
+  /// dog[l] = gaussians[l+1] - gaussians[l].
+  std::vector<std::vector<double>> dogs;
+
+  std::size_t length() const {
+    return gaussians.empty() ? 0 : gaussians[0].size();
+  }
+};
+
+/// \brief The full scale-space pyramid of one series.
+class ScaleSpace {
+ public:
+  /// Builds the pyramid for `input` under `options`.
+  ScaleSpace(const ts::TimeSeries& input, const ScaleSpaceOptions& options);
+
+  const std::vector<Octave>& octaves() const { return octaves_; }
+  const ScaleSpaceOptions& options() const { return options_; }
+
+  /// Multiplicative scale step κ = 2^(1/levels_per_octave).
+  double kappa() const { return kappa_; }
+
+  /// Absolute sigma (in original-resolution samples) of level `level` in
+  /// octave `octave`.
+  double AbsoluteSigma(std::size_t octave, std::size_t level) const;
+
+  /// Maps a position on an octave's grid back to original resolution.
+  double ToOriginalPosition(std::size_t octave, double pos) const {
+    return pos * static_cast<double>(std::size_t{1} << octave);
+  }
+
+ private:
+  ScaleSpaceOptions options_;
+  double kappa_ = 0.0;
+  std::vector<Octave> octaves_;
+};
+
+}  // namespace signal
+}  // namespace sdtw
+
+#endif  // SDTW_SIGNAL_SCALE_SPACE_H_

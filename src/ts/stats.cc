@@ -1,0 +1,77 @@
+#include "ts/stats.h"
+
+#include <cmath>
+#include <limits>
+
+namespace sdtw {
+namespace ts {
+
+Summary Summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (double v : values) {
+    const double d = v - s.mean;
+    sq += d * d;
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) {
+  return Summarize(values).stddev;
+}
+
+double MeanAbs(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += std::abs(v);
+  return sum / static_cast<double>(values.size());
+}
+
+double Correlation(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double EuclideanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+}  // namespace ts
+}  // namespace sdtw

@@ -1,0 +1,52 @@
+#ifndef SDTW_TS_STATS_H_
+#define SDTW_TS_STATS_H_
+
+/// \file stats.h
+/// \brief Descriptive statistics over time series.
+
+#include <cstddef>
+#include <span>
+
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace ts {
+
+/// \brief Summary statistics of a sample window.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+  std::size_t count = 0;
+};
+
+/// Computes min/max/mean/stddev over a span in one pass.
+/// Returns a zero Summary for an empty span.
+Summary Summarize(std::span<const double> values);
+
+/// Convenience overload.
+inline Summary Summarize(const TimeSeries& s) { return Summarize(s.span()); }
+
+/// Arithmetic mean (0 for empty input).
+double Mean(std::span<const double> values);
+
+/// Population standard deviation (0 for empty input).
+double StdDev(std::span<const double> values);
+
+/// Mean of |values| (0 for empty input). Used as the "overall amplitude" of
+/// a salient feature scope in the inconsistency-pruning similarity score.
+double MeanAbs(std::span<const double> values);
+
+/// Pearson correlation of two equal-length spans; 0 when either side has
+/// zero variance or the spans are empty / mismatched.
+double Correlation(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean (L2) distance between equal-length spans.
+/// Returns +infinity when lengths differ.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace ts
+}  // namespace sdtw
+
+#endif  // SDTW_TS_STATS_H_

@@ -1,0 +1,41 @@
+#include "ts/time_series.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sdtw {
+namespace ts {
+
+TimeSeries TimeSeries::Slice(std::size_t begin, std::size_t len) const {
+  if (begin >= values_.size()) return TimeSeries();
+  const std::size_t end = std::min(values_.size(), begin + len);
+  TimeSeries out(std::vector<double>(values_.begin() + static_cast<long>(begin),
+                                     values_.begin() + static_cast<long>(end)));
+  out.set_label(label_);
+  return out;
+}
+
+std::vector<int> Dataset::Labels() const {
+  std::set<int> labels;
+  for (const TimeSeries& s : series_) {
+    if (s.has_label()) labels.insert(s.label());
+  }
+  return std::vector<int>(labels.begin(), labels.end());
+}
+
+std::vector<std::size_t> Dataset::IndicesOfClass(int label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (series_[i].label() == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Dataset::MaxLength() const {
+  std::size_t m = 0;
+  for (const TimeSeries& s : series_) m = std::max(m, s.size());
+  return m;
+}
+
+}  // namespace ts
+}  // namespace sdtw

@@ -1,0 +1,152 @@
+#ifndef SDTW_TS_TIME_SERIES_H_
+#define SDTW_TS_TIME_SERIES_H_
+
+/// \file time_series.h
+/// \brief Core time-series value container used throughout the sDTW library.
+///
+/// A TimeSeries is an immutable-length, mutable-value vector of doubles with
+/// an optional class label and name. It is intentionally a thin wrapper over
+/// std::vector<double>: the DTW kernels operate on raw spans for speed, while
+/// higher-level code benefits from the labelled container.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdtw {
+namespace ts {
+
+/// \brief A univariate time series with an optional class label.
+class TimeSeries {
+ public:
+  /// Creates an empty series.
+  TimeSeries() = default;
+
+  /// Creates a series from raw values.
+  explicit TimeSeries(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  /// Creates a series from raw values with a class label.
+  TimeSeries(std::vector<double> values, int label)
+      : values_(std::move(values)), label_(label) {}
+
+  /// Creates a series from an initializer list (mainly for tests).
+  TimeSeries(std::initializer_list<double> values) : values_(values) {}
+
+  /// Creates a zero-filled series of the given length.
+  static TimeSeries Zeros(std::size_t n) {
+    return TimeSeries(std::vector<double>(n, 0.0));
+  }
+
+  /// Creates a constant series of the given length.
+  static TimeSeries Constant(std::size_t n, double value) {
+    return TimeSeries(std::vector<double>(n, value));
+  }
+
+  /// Number of samples.
+  std::size_t size() const { return values_.size(); }
+
+  /// True when the series has no samples.
+  bool empty() const { return values_.empty(); }
+
+  /// Unchecked element access.
+  double operator[](std::size_t i) const { return values_[i]; }
+  double& operator[](std::size_t i) { return values_[i]; }
+
+  /// Bounds-checked element access.
+  double at(std::size_t i) const { return values_.at(i); }
+
+  /// First / last element (undefined on empty series).
+  double front() const { return values_.front(); }
+  double back() const { return values_.back(); }
+
+  /// Raw value access.
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Read-only span over the samples.
+  std::span<const double> span() const {
+    return std::span<const double>(values_.data(), values_.size());
+  }
+
+  /// Iteration support.
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+  auto begin() { return values_.begin(); }
+  auto end() { return values_.end(); }
+
+  /// Class label (-1 when unlabelled).
+  int label() const { return label_; }
+  void set_label(int label) { label_ = label; }
+  bool has_label() const { return label_ >= 0; }
+
+  /// Optional human-readable name (e.g. "gun/17").
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Appends a sample (used by generators and loaders).
+  void push_back(double v) { values_.push_back(v); }
+
+  /// Extracts the sub-series [begin, begin+len).
+  /// Clamps the range to the series; returns an empty series when begin is
+  /// out of range.
+  TimeSeries Slice(std::size_t begin, std::size_t len) const;
+
+  /// Equality compares values and label, not the name.
+  friend bool operator==(const TimeSeries& a, const TimeSeries& b) {
+    return a.values_ == b.values_ && a.label_ == b.label_;
+  }
+
+ private:
+  std::vector<double> values_;
+  int label_ = -1;
+  std::string name_;
+};
+
+/// \brief A labelled collection of time series (one UCR data set, say).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  /// Data set name (e.g. "GunLike").
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::size_t size() const { return series_.size(); }
+  bool empty() const { return series_.empty(); }
+
+  const TimeSeries& operator[](std::size_t i) const { return series_[i]; }
+  TimeSeries& operator[](std::size_t i) { return series_[i]; }
+  const TimeSeries& at(std::size_t i) const { return series_.at(i); }
+
+  auto begin() const { return series_.begin(); }
+  auto end() const { return series_.end(); }
+
+  /// Adds a series to the collection.
+  void Add(TimeSeries series) { series_.push_back(std::move(series)); }
+
+  /// Distinct labels present, in ascending order.
+  std::vector<int> Labels() const;
+
+  /// Number of distinct labels.
+  std::size_t NumClasses() const { return Labels().size(); }
+
+  /// Indices of all series carrying the given label.
+  std::vector<std::size_t> IndicesOfClass(int label) const;
+
+  /// Length of the longest series in the collection.
+  std::size_t MaxLength() const;
+
+ private:
+  std::string name_;
+  std::vector<TimeSeries> series_;
+};
+
+}  // namespace ts
+}  // namespace sdtw
+
+#endif  // SDTW_TS_TIME_SERIES_H_

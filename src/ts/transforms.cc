@@ -1,0 +1,151 @@
+#include "ts/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/stats.h"
+
+namespace sdtw {
+namespace ts {
+
+namespace {
+
+// Linear interpolation of s at fractional position t, clamped to range.
+double Lerp(const TimeSeries& s, double t) {
+  if (s.empty()) return 0.0;
+  const double maxi = static_cast<double>(s.size() - 1);
+  t = std::clamp(t, 0.0, maxi);
+  const std::size_t i0 = static_cast<std::size_t>(std::floor(t));
+  const std::size_t i1 = std::min(i0 + 1, s.size() - 1);
+  const double frac = t - static_cast<double>(i0);
+  return s[i0] * (1.0 - frac) + s[i1] * frac;
+}
+
+TimeSeries WithMeta(const TimeSeries& src, std::vector<double> values) {
+  TimeSeries out(std::move(values));
+  out.set_label(src.label());
+  out.set_name(src.name());
+  return out;
+}
+
+}  // namespace
+
+TimeSeries ZNormalize(const TimeSeries& s, double eps) {
+  const Summary sum = Summarize(s);
+  std::vector<double> v(s.size());
+  const double denom = sum.stddev > eps ? sum.stddev : 1.0;
+  for (std::size_t i = 0; i < s.size(); ++i) v[i] = (s[i] - sum.mean) / denom;
+  return WithMeta(s, std::move(v));
+}
+
+TimeSeries MinMaxScale(const TimeSeries& s, double lo, double hi) {
+  const Summary sum = Summarize(s);
+  std::vector<double> v(s.size());
+  const double range = sum.max - sum.min;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    v[i] = range > 0.0 ? lo + (hi - lo) * (s[i] - sum.min) / range : lo;
+  }
+  return WithMeta(s, std::move(v));
+}
+
+TimeSeries Shift(const TimeSeries& s, double offset) {
+  std::vector<double> v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) v[i] = s[i] + offset;
+  return WithMeta(s, std::move(v));
+}
+
+TimeSeries Scale(const TimeSeries& s, double gain) {
+  std::vector<double> v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) v[i] = s[i] * gain;
+  return WithMeta(s, std::move(v));
+}
+
+TimeSeries Resample(const TimeSeries& s, std::size_t new_len) {
+  if (new_len == 0 || s.empty()) return WithMeta(s, {});
+  std::vector<double> v(new_len);
+  if (new_len == 1) {
+    v[0] = s[0];
+  } else {
+    const double step =
+        static_cast<double>(s.size() - 1) / static_cast<double>(new_len - 1);
+    for (std::size_t i = 0; i < new_len; ++i) {
+      v[i] = Lerp(s, static_cast<double>(i) * step);
+    }
+  }
+  return WithMeta(s, std::move(v));
+}
+
+TimeSeries Paa(const TimeSeries& s, std::size_t segments) {
+  if (segments == 0 || s.empty()) return WithMeta(s, {});
+  if (segments >= s.size()) return s;
+  std::vector<double> v(segments, 0.0);
+  const double n = static_cast<double>(s.size());
+  for (std::size_t k = 0; k < segments; ++k) {
+    const std::size_t begin = static_cast<std::size_t>(
+        std::floor(static_cast<double>(k) * n / static_cast<double>(segments)));
+    std::size_t end = static_cast<std::size_t>(std::floor(
+        static_cast<double>(k + 1) * n / static_cast<double>(segments)));
+    end = std::max(end, begin + 1);
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end && i < s.size(); ++i) sum += s[i];
+    v[k] = sum / static_cast<double>(end - begin);
+  }
+  return WithMeta(s, std::move(v));
+}
+
+TimeSeries WarpTime(const TimeSeries& s, std::size_t out_len,
+                    const std::function<double(double)>& warp) {
+  std::vector<double> v(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    v[i] = Lerp(s, warp(static_cast<double>(i)));
+  }
+  return WithMeta(s, std::move(v));
+}
+
+TimeSeries Diff(const TimeSeries& s) {
+  std::vector<double> v;
+  if (s.size() > 1) {
+    v.resize(s.size() - 1);
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) v[i] = s[i + 1] - s[i];
+  }
+  return WithMeta(s, std::move(v));
+}
+
+TimeSeries MovingAverage(const TimeSeries& s, std::size_t r) {
+  if (s.empty() || r == 0) return s;
+  const long n = static_cast<long>(s.size());
+  std::vector<double> v(s.size());
+  for (long i = 0; i < n; ++i) {
+    double sum = 0.0;
+    long count = 0;
+    for (long k = i - static_cast<long>(r); k <= i + static_cast<long>(r);
+         ++k) {
+      // Reflective boundary: mirror indices that fall off either end.
+      long idx = k;
+      if (idx < 0) idx = -idx;
+      if (idx >= n) idx = 2 * (n - 1) - idx;
+      idx = std::clamp(idx, 0L, n - 1);
+      sum += s[static_cast<std::size_t>(idx)];
+      ++count;
+    }
+    v[static_cast<std::size_t>(i)] = sum / static_cast<double>(count);
+  }
+  return WithMeta(s, std::move(v));
+}
+
+TimeSeries Reverse(const TimeSeries& s) {
+  std::vector<double> v(s.begin(), s.end());
+  std::reverse(v.begin(), v.end());
+  return WithMeta(s, std::move(v));
+}
+
+TimeSeries Concat(const TimeSeries& a, const TimeSeries& b) {
+  std::vector<double> v;
+  v.reserve(a.size() + b.size());
+  v.insert(v.end(), a.begin(), a.end());
+  v.insert(v.end(), b.begin(), b.end());
+  return WithMeta(a, std::move(v));
+}
+
+}  // namespace ts
+}  // namespace sdtw

@@ -1,0 +1,66 @@
+#ifndef SDTW_TS_TRANSFORMS_H_
+#define SDTW_TS_TRANSFORMS_H_
+
+/// \file transforms.h
+/// \brief Value- and time-domain transforms over time series.
+///
+/// These cover the pre-processing steps used in the experiments (z-score
+/// normalisation, as is standard for the UCR sets) and the deformations the
+/// paper's model assumes (temporal shifts and stretches that preserve the
+/// order of temporal features).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace ts {
+
+/// Z-normalises the series (zero mean, unit variance). Series with
+/// (near-)zero variance are centred only.
+TimeSeries ZNormalize(const TimeSeries& s, double eps = 1e-12);
+
+/// Min-max rescales into [lo, hi]. Constant series map to lo.
+TimeSeries MinMaxScale(const TimeSeries& s, double lo = 0.0, double hi = 1.0);
+
+/// Adds a constant offset to every sample.
+TimeSeries Shift(const TimeSeries& s, double offset);
+
+/// Multiplies every sample by a constant gain.
+TimeSeries Scale(const TimeSeries& s, double gain);
+
+/// Linear-interpolation resampling to a new length (new_len >= 1).
+/// A single-sample series resamples to a constant series.
+TimeSeries Resample(const TimeSeries& s, std::size_t new_len);
+
+/// Piecewise aggregate approximation: reduces the series to `segments`
+/// averages. segments must be >= 1; when segments >= size the series is
+/// returned unchanged.
+TimeSeries Paa(const TimeSeries& s, std::size_t segments);
+
+/// Applies a monotone warp map to the time axis: out[i] = s(warp(i)), where
+/// warp maps [0, out_len) into [0, s.size()-1] and is sampled with linear
+/// interpolation. Used by the deformation model to create order-preserving
+/// stretches (the transformation class the paper assumes; see §3.2.2).
+TimeSeries WarpTime(const TimeSeries& s, std::size_t out_len,
+                    const std::function<double(double)>& warp);
+
+/// First differences: out[i] = s[i+1] - s[i] (length n-1).
+TimeSeries Diff(const TimeSeries& s);
+
+/// Simple centred moving average with window half-width r (reflective
+/// boundary handling).
+TimeSeries MovingAverage(const TimeSeries& s, std::size_t r);
+
+/// Reverses the series in time.
+TimeSeries Reverse(const TimeSeries& s);
+
+/// Concatenates two series (label taken from `a`).
+TimeSeries Concat(const TimeSeries& a, const TimeSeries& b);
+
+}  // namespace ts
+}  // namespace sdtw
+
+#endif  // SDTW_TS_TRANSFORMS_H_

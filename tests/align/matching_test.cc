@@ -1,0 +1,177 @@
+#include "align/matching.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace sdtw {
+namespace align {
+namespace {
+
+sift::Keypoint MakeKp(double pos, double sigma, double amp,
+                      std::vector<double> desc) {
+  sift::Keypoint kp;
+  kp.position = pos;
+  kp.sigma = sigma;
+  kp.amplitude = amp;
+  kp.descriptor = std::move(desc);
+  return kp;
+}
+
+TEST(DescriptorDistanceTest, BasicEuclidean) {
+  EXPECT_DOUBLE_EQ(DescriptorDistance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(DescriptorDistance({1.0}, {1.0}), 0.0);
+}
+
+TEST(DescriptorDistanceTest, MismatchIsInfinity) {
+  EXPECT_TRUE(std::isinf(DescriptorDistance({1.0}, {1.0, 2.0})));
+}
+
+TEST(MatchingTest, EmptyInputsGiveNoPairs) {
+  EXPECT_TRUE(FindDominantPairs({}, {}).empty());
+  std::vector<sift::Keypoint> one{MakeKp(0, 1, 0, {1.0, 0.0})};
+  EXPECT_TRUE(FindDominantPairs(one, {}).empty());
+  EXPECT_TRUE(FindDominantPairs({}, one).empty());
+}
+
+TEST(MatchingTest, PerfectMatchFound) {
+  std::vector<sift::Keypoint> xs{MakeKp(10, 2, 0.5, {1.0, 0.0, 0.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(12, 2, 0.5, {1.0, 0.0, 0.0, 0.0}),
+                                 MakeKp(40, 2, 0.5, {0.0, 0.0, 0.0, 1.0})};
+  const auto pairs = FindDominantPairs(xs, ys);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].index_x, 0u);
+  EXPECT_EQ(pairs[0].index_y, 0u);
+  EXPECT_NEAR(pairs[0].descriptor_distance, 0.0, 1e-12);
+}
+
+TEST(MatchingTest, AmplitudeThresholdRejects) {
+  MatchingOptions opt;
+  opt.tau_amplitude = 0.1;
+  std::vector<sift::Keypoint> xs{MakeKp(10, 2, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(10, 2, 0.5, {1.0, 0.0})};
+  EXPECT_TRUE(FindDominantPairs(xs, ys, opt).empty());
+  opt.tau_amplitude = 1.0;
+  EXPECT_EQ(FindDominantPairs(xs, ys, opt).size(), 1u);
+}
+
+TEST(MatchingTest, ScaleRatioThresholdRejects) {
+  MatchingOptions opt;
+  opt.tau_scale = 2.0;
+  std::vector<sift::Keypoint> xs{MakeKp(10, 1.0, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(10, 3.0, 0.0, {1.0, 0.0})};
+  EXPECT_TRUE(FindDominantPairs(xs, ys, opt).empty());
+  opt.tau_scale = 4.0;
+  EXPECT_EQ(FindDominantPairs(xs, ys, opt).size(), 1u);
+}
+
+TEST(MatchingTest, DistinctivenessRejectsAmbiguousMatch) {
+  MatchingOptions opt;
+  opt.tau_distinct = 1.5;
+  // Two nearly identical candidates in Y: ambiguous, should be rejected.
+  std::vector<sift::Keypoint> xs{MakeKp(10, 2, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(12, 2, 0.0, {0.9, 0.1}),
+                                 MakeKp(60, 2, 0.0, {0.9, 0.11})};
+  EXPECT_TRUE(FindDominantPairs(xs, ys, opt).empty());
+}
+
+TEST(MatchingTest, DistinctivenessAcceptsClearWinner) {
+  MatchingOptions opt;
+  opt.tau_distinct = 1.5;
+  std::vector<sift::Keypoint> xs{MakeKp(10, 2, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(12, 2, 0.0, {1.0, 0.01}),
+                                 MakeKp(60, 2, 0.0, {0.0, 1.0})};
+  const auto pairs = FindDominantPairs(xs, ys, opt);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].index_y, 0u);
+}
+
+TEST(MatchingTest, SingleCandidatePassesTrivially) {
+  std::vector<sift::Keypoint> xs{MakeKp(10, 2, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(12, 2, 0.0, {0.8, 0.2})};
+  EXPECT_EQ(FindDominantPairs(xs, ys).size(), 1u);
+}
+
+TEST(MatchingTest, CandidatesFailingThresholdsDoNotCountAsSecondBest) {
+  MatchingOptions opt;
+  opt.tau_distinct = 2.0;
+  opt.tau_amplitude = 0.1;
+  // The ambiguous second candidate has wrong amplitude, so it is excluded
+  // from the distinctiveness comparison entirely.
+  std::vector<sift::Keypoint> xs{MakeKp(10, 2, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(12, 2, 0.0, {0.9, 0.1}),
+                                 MakeKp(60, 2, 5.0, {0.9, 0.1})};
+  EXPECT_EQ(FindDominantPairs(xs, ys, opt).size(), 1u);
+}
+
+TEST(MatchingTest, MutualRequirementFiltersOneSided) {
+  MatchingOptions opt;
+  opt.require_mutual = true;
+  opt.tau_distinct = 1.0001;
+  // x0 prefers y0; y0 prefers x1 (closer descriptor) -> x0's match dropped,
+  // x1's match kept.
+  std::vector<sift::Keypoint> xs{MakeKp(10, 2, 0.0, {0.8, 0.2}),
+                                 MakeKp(50, 2, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(12, 2, 0.0, {1.0, 0.0})};
+  const auto pairs = FindDominantPairs(xs, ys, opt);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].index_x, 1u);
+}
+
+TEST(MatchingTest, PairsSortedByXIndex) {
+  std::vector<sift::Keypoint> xs{MakeKp(10, 2, 0.0, {1.0, 0.0}),
+                                 MakeKp(30, 2, 0.0, {0.0, 1.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(12, 2, 0.0, {1.0, 0.0}),
+                                 MakeKp(33, 2, 0.0, {0.0, 1.0})};
+  const auto pairs = FindDominantPairs(xs, ys);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_LT(pairs[0].index_x, pairs[1].index_x);
+}
+
+
+TEST(MatchingTest, PositionConstraintRejectsDistantPairs) {
+  MatchingOptions opt;
+  opt.tau_position = 0.2;  // max shift = 0.2 * 100 = 20 samples
+  std::vector<sift::Keypoint> xs{MakeKp(80, 2, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(10, 2, 0.0, {1.0, 0.0})};
+  // Shift of 70 samples: rejected when lengths are provided.
+  EXPECT_TRUE(FindDominantPairs(xs, ys, opt, 100, 100).empty());
+  // Without lengths the constraint is inactive (backwards compatible).
+  EXPECT_EQ(FindDominantPairs(xs, ys, opt).size(), 1u);
+  // Disabled threshold admits the pair even with lengths.
+  opt.tau_position = 0.0;
+  EXPECT_EQ(FindDominantPairs(xs, ys, opt, 100, 100).size(), 1u);
+}
+
+TEST(MatchingTest, PositionConstraintAdmitsNearbyPairs) {
+  MatchingOptions opt;
+  opt.tau_position = 0.2;
+  std::vector<sift::Keypoint> xs{MakeKp(50, 2, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(62, 2, 0.0, {1.0, 0.0})};
+  EXPECT_EQ(FindDominantPairs(xs, ys, opt, 100, 100).size(), 1u);
+}
+
+TEST(MatchingTest, PositionConstraintScalesWithLongerSeries) {
+  MatchingOptions opt;
+  opt.tau_position = 0.2;
+  // Shift 30 > 0.2*100 but < 0.2*200: admitted when either series is long.
+  std::vector<sift::Keypoint> xs{MakeKp(50, 2, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(80, 2, 0.0, {1.0, 0.0})};
+  EXPECT_TRUE(FindDominantPairs(xs, ys, opt, 100, 100).empty());
+  EXPECT_EQ(FindDominantPairs(xs, ys, opt, 100, 200).size(), 1u);
+}
+
+TEST(MatchingTest, PositionFilteredCandidatesExcludedFromRatioTest) {
+  MatchingOptions opt;
+  opt.tau_position = 0.2;
+  opt.tau_distinct = 2.0;
+  // The ambiguous duplicate candidate sits 60 samples away: it fails the
+  // position test and must not count as the second-best match.
+  std::vector<sift::Keypoint> xs{MakeKp(50, 2, 0.0, {1.0, 0.0})};
+  std::vector<sift::Keypoint> ys{MakeKp(55, 2, 0.0, {0.9, 0.1}),
+                                 MakeKp(115, 2, 0.0, {0.9, 0.1})};
+  EXPECT_EQ(FindDominantPairs(xs, ys, opt, 120, 120).size(), 1u);
+}
+
+}  // namespace
+}  // namespace align
+}  // namespace sdtw

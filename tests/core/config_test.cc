@@ -1,0 +1,124 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace sdtw {
+namespace core {
+namespace {
+
+TEST(ConfigTest, EmptySpecYieldsBase) {
+  SdtwOptions base;
+  base.extractor.descriptor_length = 32;
+  const auto parsed = ParseOptions("", base);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->extractor.descriptor_length, 32u);
+}
+
+TEST(ConfigTest, ParsesConstraintNames) {
+  for (const auto& [name, type] :
+       std::vector<std::pair<std::string, ConstraintType>>{
+           {"fc,fw", ConstraintType::kFixedCoreFixedWidth},
+           {"fc,aw", ConstraintType::kFixedCoreAdaptiveWidth},
+           {"ac,fw", ConstraintType::kAdaptiveCoreFixedWidth},
+           {"ac,aw", ConstraintType::kAdaptiveCoreAdaptiveWidth}}) {
+    const auto parsed = ParseOptions("constraint=" + name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(parsed->constraint.type, type) << name;
+  }
+}
+
+TEST(ConfigTest, Ac2SetsRadius) {
+  const auto parsed = ParseOptions("constraint=ac2,aw");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->constraint.type,
+            ConstraintType::kAdaptiveCoreAdaptiveWidth);
+  EXPECT_EQ(parsed->constraint.width_average_radius, 1u);
+}
+
+TEST(ConfigTest, ParsesNumericKnobs) {
+  const auto parsed = ParseOptions(
+      "width=0.15 min_width=0.1 max_width=0.5 radius=2 descriptor=16 "
+      "epsilon=0.5 contrast=0.02 max_kp=40 kp_fraction=0.25 octaves=4 "
+      "levels=3 tau_a=0.6 tau_s=3 tau_d=1.4 tau_pos=0.2");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->constraint.fixed_width_fraction, 0.15);
+  EXPECT_DOUBLE_EQ(parsed->constraint.adaptive_width_min_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(parsed->constraint.adaptive_width_max_fraction, 0.5);
+  EXPECT_EQ(parsed->constraint.width_average_radius, 2u);
+  EXPECT_EQ(parsed->extractor.descriptor_length, 16u);
+  EXPECT_DOUBLE_EQ(parsed->extractor.epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(parsed->extractor.min_contrast, 0.02);
+  EXPECT_EQ(parsed->extractor.max_keypoints, 40u);
+  EXPECT_DOUBLE_EQ(parsed->extractor.max_keypoints_fraction, 0.25);
+  EXPECT_EQ(parsed->extractor.scale_space.num_octaves, 4u);
+  EXPECT_EQ(parsed->extractor.scale_space.levels_per_octave, 3u);
+  EXPECT_DOUBLE_EQ(parsed->matching.tau_amplitude, 0.6);
+  EXPECT_DOUBLE_EQ(parsed->matching.tau_scale, 3.0);
+  EXPECT_DOUBLE_EQ(parsed->matching.tau_distinct, 1.4);
+  EXPECT_DOUBLE_EQ(parsed->matching.tau_position, 0.2);
+}
+
+TEST(ConfigTest, ParsesBooleansAndCost) {
+  auto parsed = ParseOptions("symmetric=1 mutual=true cost=squared");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->constraint.symmetric);
+  EXPECT_TRUE(parsed->matching.require_mutual);
+  EXPECT_EQ(parsed->dtw.cost, dtw::CostKind::kSquared);
+  parsed = ParseOptions("symmetric=off cost=abs");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->constraint.symmetric);
+  EXPECT_EQ(parsed->dtw.cost, dtw::CostKind::kAbsolute);
+}
+
+TEST(ConfigTest, RejectsUnknownKey) {
+  std::string error;
+  EXPECT_FALSE(ParseOptions("bogus=1", {}, &error).has_value());
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+}
+
+TEST(ConfigTest, RejectsMalformedToken) {
+  std::string error;
+  EXPECT_FALSE(ParseOptions("width", {}, &error).has_value());
+  EXPECT_FALSE(ParseOptions("=0.1", {}, &error).has_value());
+  EXPECT_FALSE(ParseOptions("width=", {}, &error).has_value());
+}
+
+TEST(ConfigTest, RejectsBadValues) {
+  EXPECT_FALSE(ParseOptions("width=abc").has_value());
+  EXPECT_FALSE(ParseOptions("radius=-1").has_value());
+  EXPECT_FALSE(ParseOptions("symmetric=maybe").has_value());
+  EXPECT_FALSE(ParseOptions("cost=manhattan").has_value());
+  EXPECT_FALSE(ParseOptions("constraint=zz").has_value());
+}
+
+TEST(ConfigTest, FormatParsesBackToSameOptions) {
+  SdtwOptions original;
+  original.constraint.type = ConstraintType::kAdaptiveCoreAdaptiveWidth;
+  original.constraint.width_average_radius = 1;
+  original.constraint.symmetric = true;
+  original.extractor.descriptor_length = 32;
+  original.matching.tau_distinct = 1.4;
+  original.dtw.cost = dtw::CostKind::kSquared;
+  const std::string spec = FormatOptions(original);
+  const auto parsed = ParseOptions(spec);
+  ASSERT_TRUE(parsed.has_value()) << spec;
+  EXPECT_EQ(parsed->constraint.type, original.constraint.type);
+  EXPECT_EQ(parsed->constraint.width_average_radius,
+            original.constraint.width_average_radius);
+  EXPECT_EQ(parsed->constraint.symmetric, original.constraint.symmetric);
+  EXPECT_EQ(parsed->extractor.descriptor_length,
+            original.extractor.descriptor_length);
+  EXPECT_DOUBLE_EQ(parsed->matching.tau_distinct,
+                   original.matching.tau_distinct);
+  EXPECT_EQ(parsed->dtw.cost, original.dtw.cost);
+}
+
+TEST(ConfigTest, LaterKeysOverrideEarlier) {
+  const auto parsed = ParseOptions("width=0.1 width=0.3");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->constraint.fixed_width_fraction, 0.3);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sdtw

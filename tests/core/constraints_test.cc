@@ -1,0 +1,242 @@
+#include "core/constraints.h"
+
+#include <gtest/gtest.h>
+
+namespace sdtw {
+namespace core {
+namespace {
+
+using align::IntervalPair;
+
+std::vector<IntervalPair> TwoIntervals() {
+  // X: [0,49][50,99]; Y: [0,29][30,99] — second half stretched in Y.
+  IntervalPair a;
+  a.begin_x = 0;
+  a.end_x = 49;
+  a.begin_y = 0;
+  a.end_y = 29;
+  IntervalPair b;
+  b.begin_x = 50;
+  b.end_x = 99;
+  b.begin_y = 30;
+  b.end_y = 99;
+  return {a, b};
+}
+
+TEST(ConstraintTypeNameTest, AllNamesDistinct) {
+  EXPECT_STREQ(ConstraintTypeName(ConstraintType::kFixedCoreFixedWidth),
+               "fc,fw");
+  EXPECT_STREQ(ConstraintTypeName(ConstraintType::kFixedCoreAdaptiveWidth),
+               "fc,aw");
+  EXPECT_STREQ(ConstraintTypeName(ConstraintType::kAdaptiveCoreFixedWidth),
+               "ac,fw");
+  EXPECT_STREQ(
+      ConstraintTypeName(ConstraintType::kAdaptiveCoreAdaptiveWidth),
+      "ac,aw");
+}
+
+TEST(DiagonalCoreTest, EndpointsAndMidpoint) {
+  const auto core = DiagonalCore(101, 51);
+  ASSERT_EQ(core.size(), 101u);
+  EXPECT_DOUBLE_EQ(core[0], 0.0);
+  EXPECT_DOUBLE_EQ(core[100], 50.0);
+  EXPECT_DOUBLE_EQ(core[50], 25.0);
+}
+
+TEST(AdaptiveCoreTest, EmptyIntervalsFallBackToDiagonal) {
+  const auto core = AdaptiveCore(50, 50, {});
+  const auto diag = DiagonalCore(50, 50);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(core[i], diag[i]);
+}
+
+TEST(AdaptiveCoreTest, InterpolatesInsideIntervals) {
+  const auto core = AdaptiveCore(100, 100, TwoIntervals());
+  // Inside interval 1: x=25 maps to y = 0 + 25/49*29 ≈ 14.8.
+  EXPECT_NEAR(core[25], 25.0 / 49.0 * 29.0, 1e-9);
+  // Inside interval 2: x=75 maps to y = 30 + 25/49*69 ≈ 65.2.
+  EXPECT_NEAR(core[75], 30.0 + 25.0 / 49.0 * 69.0, 1e-9);
+}
+
+TEST(AdaptiveCoreTest, AnchorsCorners) {
+  const auto core = AdaptiveCore(100, 100, TwoIntervals());
+  EXPECT_DOUBLE_EQ(core[0], 0.0);
+  EXPECT_DOUBLE_EQ(core[99], 99.0);
+}
+
+TEST(AdaptiveCoreTest, MonotoneForOrderedIntervals) {
+  const auto core = AdaptiveCore(100, 100, TwoIntervals());
+  for (std::size_t i = 1; i < core.size(); ++i) {
+    EXPECT_GE(core[i], core[i - 1] - 1e-9);
+  }
+}
+
+TEST(AdaptiveCoreTest, EmptyXIntervalMapsToMidpoint) {
+  IntervalPair a;
+  a.begin_x = 0;
+  a.end_x = 49;
+  a.begin_y = 0;
+  a.end_y = 19;
+  IntervalPair gap;  // single X point vs a whole Y stretch
+  gap.begin_x = 49;
+  gap.end_x = 49;
+  gap.begin_y = 19;
+  gap.end_y = 79;
+  IntervalPair b;
+  b.begin_x = 49;
+  b.end_x = 99;
+  b.begin_y = 79;
+  b.end_y = 99;
+  const auto core = AdaptiveCore(100, 100, {a, gap, b});
+  // Core remains finite and in range everywhere.
+  for (double c : core) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 99.0);
+  }
+}
+
+TEST(AdaptiveWidthsTest, WidthsReflectIntervalSizes) {
+  const auto intervals = TwoIntervals();
+  const auto core = AdaptiveCore(100, 100, intervals);
+  const auto widths = AdaptiveWidths(100, 100, intervals, core, 0, 0.0, 0.0);
+  // Interval 1 in Y has width 30; interval 2 has width 70.
+  EXPECT_NEAR(widths[10], 30.0, 1e-9);
+  EXPECT_NEAR(widths[80], 70.0, 1e-9);
+}
+
+TEST(AdaptiveWidthsTest, MinimumFractionEnforced) {
+  const auto intervals = TwoIntervals();
+  const auto core = AdaptiveCore(100, 100, intervals);
+  const auto widths =
+      AdaptiveWidths(100, 100, intervals, core, 0, 0.50, 0.0);
+  for (double w : widths) EXPECT_GE(w, 50.0 - 1e-9);
+}
+
+TEST(AdaptiveWidthsTest, MaximumFractionEnforced) {
+  const auto intervals = TwoIntervals();
+  const auto core = AdaptiveCore(100, 100, intervals);
+  const auto widths =
+      AdaptiveWidths(100, 100, intervals, core, 0, 0.0, 0.40);
+  for (double w : widths) EXPECT_LE(w, 40.0 + 1e-9);
+}
+
+TEST(AdaptiveWidthsTest, RadiusAveragesNeighbours) {
+  const auto intervals = TwoIntervals();
+  const auto core = AdaptiveCore(100, 100, intervals);
+  const auto w0 = AdaptiveWidths(100, 100, intervals, core, 0, 0.0, 0.0);
+  const auto w1 = AdaptiveWidths(100, 100, intervals, core, 1, 0.0, 0.0);
+  // With r=1, both intervals average to (30+70)/2 = 50.
+  EXPECT_NEAR(w1[10], 50.0, 1e-9);
+  EXPECT_NEAR(w1[80], 50.0, 1e-9);
+  EXPECT_NE(w0[10], w1[10]);
+}
+
+TEST(AdaptiveWidthsTest, NoIntervalsGiveFullWidth) {
+  const auto core = DiagonalCore(50, 60);
+  const auto widths = AdaptiveWidths(50, 60, {}, core, 0, 0.0, 0.0);
+  for (double w : widths) EXPECT_DOUBLE_EQ(w, 60.0);
+}
+
+TEST(BuildBandTest, AllTypesProduceFeasibleBands) {
+  const auto intervals = TwoIntervals();
+  for (ConstraintType type :
+       {ConstraintType::kFixedCoreFixedWidth,
+        ConstraintType::kFixedCoreAdaptiveWidth,
+        ConstraintType::kAdaptiveCoreFixedWidth,
+        ConstraintType::kAdaptiveCoreAdaptiveWidth}) {
+    ConstraintOptions opt;
+    opt.type = type;
+    const dtw::Band band = BuildConstraintBand(100, 100, intervals, opt);
+    EXPECT_TRUE(band.IsFeasible()) << ConstraintTypeName(type);
+  }
+}
+
+TEST(BuildBandTest, FixedCoreFixedWidthIgnoresIntervals) {
+  ConstraintOptions opt;
+  opt.type = ConstraintType::kFixedCoreFixedWidth;
+  opt.fixed_width_fraction = 0.1;
+  const dtw::Band with = BuildConstraintBand(80, 80, TwoIntervals(), opt);
+  const dtw::Band without = BuildConstraintBand(80, 80, {}, opt);
+  EXPECT_EQ(with, without);
+}
+
+TEST(BuildBandTest, AdaptiveCoreFollowsSkewedAlignment) {
+  ConstraintOptions opt;
+  opt.type = ConstraintType::kAdaptiveCoreFixedWidth;
+  opt.fixed_width_fraction = 0.06;
+  const dtw::Band band = BuildConstraintBand(100, 100, TwoIntervals(), opt);
+  // At x=25 the adaptive core is ~14.8, far below the diagonal 25; the band
+  // should contain the skewed core and (being narrow) exclude the diagonal.
+  EXPECT_TRUE(band.Contains(25, 15));
+  EXPECT_FALSE(band.Contains(25, 40));
+}
+
+TEST(BuildBandTest, AdaptiveWidthNarrowerInSmallIntervals) {
+  ConstraintOptions opt;
+  opt.type = ConstraintType::kAdaptiveCoreAdaptiveWidth;
+  const dtw::Band band = BuildConstraintBand(100, 100, TwoIntervals(), opt);
+  // Interval 1 (Y width 30) rows should be narrower than interval 2 rows
+  // (Y width 70).
+  EXPECT_LT(band.row(25).width(), band.row(75).width());
+}
+
+TEST(BuildBandTest, SymmetricBandContainsAsymmetric) {
+  ConstraintOptions opt;
+  opt.type = ConstraintType::kAdaptiveCoreAdaptiveWidth;
+  const dtw::Band directed = BuildConstraintBand(100, 100, TwoIntervals(),
+                                                 opt);
+  opt.symmetric = true;
+  const dtw::Band sym = BuildConstraintBand(100, 100, TwoIntervals(), opt);
+  EXPECT_GE(sym.CellCount(), directed.CellCount());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_LE(sym.row(i).lo, directed.row(i).lo);
+    EXPECT_GE(sym.row(i).hi, directed.row(i).hi);
+  }
+  EXPECT_TRUE(sym.IsFeasible());
+}
+
+TEST(BuildBandTest, RectangularGrids) {
+  IntervalPair a;
+  a.begin_x = 0;
+  a.end_x = 39;
+  a.begin_y = 0;
+  a.end_y = 59;
+  IntervalPair b;
+  b.begin_x = 40;
+  b.end_x = 79;
+  b.begin_y = 60;
+  b.end_y = 119;
+  for (ConstraintType type :
+       {ConstraintType::kFixedCoreAdaptiveWidth,
+        ConstraintType::kAdaptiveCoreFixedWidth,
+        ConstraintType::kAdaptiveCoreAdaptiveWidth}) {
+    ConstraintOptions opt;
+    opt.type = type;
+    const dtw::Band band = BuildConstraintBand(80, 120, {a, b}, opt);
+    EXPECT_TRUE(band.IsFeasible()) << ConstraintTypeName(type);
+    EXPECT_EQ(band.n(), 80u);
+    EXPECT_EQ(band.m(), 120u);
+  }
+}
+
+TEST(BuildBandTest, EmptyGridYieldsEmptyBand) {
+  ConstraintOptions opt;
+  EXPECT_TRUE(BuildConstraintBand(0, 10, {}, opt).empty());
+  EXPECT_TRUE(BuildConstraintBand(10, 0, {}, opt).empty());
+}
+
+TEST(BuildBandTest, NoIntervalsAdaptiveDegradesGracefully) {
+  // Without alignment evidence, ac,aw covers (nearly) the full grid, i.e.
+  // it is conservative rather than wrong.
+  ConstraintOptions opt;
+  opt.type = ConstraintType::kAdaptiveCoreAdaptiveWidth;
+  const dtw::Band band = BuildConstraintBand(60, 60, {}, opt);
+  EXPECT_TRUE(band.IsFeasible());
+  // Width degenerates to the full series length M; centred on the diagonal
+  // that still clips at the corners, so coverage lands around 3/4 of the
+  // grid rather than all of it.
+  EXPECT_GT(band.Coverage(), 0.7);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sdtw

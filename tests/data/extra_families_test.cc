@@ -1,0 +1,101 @@
+#include "data/extra_families.h"
+
+#include <gtest/gtest.h>
+
+#include "ts/stats.h"
+
+namespace sdtw {
+namespace data {
+namespace {
+
+TEST(CbfTest, DefaultCardinalities) {
+  const ts::Dataset ds = MakeCbf();
+  EXPECT_EQ(ds.size(), 90u);
+  EXPECT_EQ(ds.NumClasses(), 3u);
+  for (const auto& s : ds) EXPECT_EQ(s.size(), 128u);
+}
+
+TEST(CbfTest, Deterministic) {
+  GeneratorOptions a, b;
+  a.seed = b.seed = 9;
+  a.num_series = b.num_series = 6;
+  const ts::Dataset d1 = MakeCbf(a);
+  const ts::Dataset d2 = MakeCbf(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(d1[i], d2[i]);
+}
+
+TEST(CbfTest, ClassesStructurallyDifferent) {
+  GeneratorOptions opt;
+  opt.num_series = 30;
+  opt.z_normalize = false;
+  opt.deform.noise_sigma = 0.0;
+  const ts::Dataset ds = MakeCbf(opt);
+  // Bell rises within its active region, funnel falls: compare the mean of
+  // the first vs second half of the active region via correlation with a
+  // ramp.
+  std::vector<double> ramp(128);
+  for (std::size_t i = 0; i < 128; ++i) ramp[i] = static_cast<double>(i);
+  double bell_corr = 0.0, funnel_corr = 0.0;
+  int bells = 0, funnels = 0;
+  for (const auto& s : ds) {
+    const double c = ts::Correlation(s.span(), ramp);
+    if (s.label() == 1) {
+      bell_corr += c;
+      ++bells;
+    } else if (s.label() == 2) {
+      funnel_corr += c;
+      ++funnels;
+    }
+  }
+  ASSERT_GT(bells, 0);
+  ASSERT_GT(funnels, 0);
+  EXPECT_GT(bell_corr / bells, funnel_corr / funnels);
+}
+
+TEST(TwoPatternsTest, DefaultCardinalities) {
+  const ts::Dataset ds = MakeTwoPatterns();
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.NumClasses(), 4u);
+}
+
+TEST(TwoPatternsTest, CustomSizes) {
+  GeneratorOptions opt;
+  opt.length = 64;
+  opt.num_series = 8;
+  const ts::Dataset ds = MakeTwoPatterns(opt);
+  EXPECT_EQ(ds.size(), 8u);
+  EXPECT_EQ(ds[0].size(), 64u);
+}
+
+TEST(TwoPatternsTest, TransientSignsFollowClass) {
+  GeneratorOptions opt;
+  opt.num_series = 16;
+  opt.z_normalize = false;
+  opt.deform.noise_sigma = 0.0;
+  const ts::Dataset ds = MakeTwoPatterns(opt);
+  for (const auto& s : ds) {
+    // First transient lives in the first half, second in the second half.
+    double first_extreme = 0.0, second_extreme = 0.0;
+    for (std::size_t i = 0; i < s.size() / 2; ++i) {
+      if (std::abs(s[i]) > std::abs(first_extreme)) first_extreme = s[i];
+    }
+    for (std::size_t i = s.size() / 2; i < s.size(); ++i) {
+      if (std::abs(s[i]) > std::abs(second_extreme)) second_extreme = s[i];
+    }
+    const bool first_up = (s.label() & 1) != 0;
+    const bool second_up = (s.label() & 2) != 0;
+    EXPECT_EQ(first_extreme > 0.0, first_up) << s.name();
+    EXPECT_EQ(second_extreme > 0.0, second_up) << s.name();
+  }
+}
+
+TEST(TwoPatternsTest, BalancedClasses) {
+  const ts::Dataset ds = MakeTwoPatterns();
+  for (int label : ds.Labels()) {
+    EXPECT_EQ(ds.IndicesOfClass(label).size(), 25u);
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace sdtw

@@ -1,0 +1,213 @@
+#include "data/generators.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ts/stats.h"
+
+namespace sdtw {
+namespace data {
+namespace {
+
+TEST(PatternsTest, StepRisesMonotonically) {
+  const ts::TimeSeries s = patterns::Step(100, 50.0, 5.0);
+  EXPECT_LT(s[0], 0.05);
+  EXPECT_GT(s[99], 0.95);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_GE(s[i], s[i - 1]);
+}
+
+TEST(PatternsTest, RampFlatOutsideRange) {
+  const ts::TimeSeries s = patterns::Ramp(100, 30.0, 60.0);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[29], 0.0);
+  EXPECT_DOUBLE_EQ(s[99], 1.0);
+  EXPECT_NEAR(s[45], 0.5, 0.05);
+}
+
+TEST(PatternsTest, BumpPeaksAtCentre) {
+  const ts::TimeSeries s = patterns::Bump(100, 40.0, 5.0, 2.0);
+  EXPECT_NEAR(s[40], 2.0, 1e-9);
+  EXPECT_LT(s[0], 0.01);
+  EXPECT_LT(s[99], 0.01);
+}
+
+TEST(PatternsTest, NegativeBumpIsDip) {
+  const ts::TimeSeries s = patterns::Bump(100, 40.0, 5.0, -1.0);
+  EXPECT_NEAR(s[40], -1.0, 1e-9);
+}
+
+TEST(PatternsTest, BurstZeroBeforeOnset) {
+  const ts::TimeSeries s = patterns::Burst(100, 50.0, 10.0, 20.0);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(s[i], 0.0);
+  double energy = 0.0;
+  for (std::size_t i = 50; i < 100; ++i) energy += std::abs(s[i]);
+  EXPECT_GT(energy, 0.1);
+}
+
+TEST(PatternsTest, BurstDecays) {
+  const ts::TimeSeries s = patterns::Burst(200, 10.0, 8.0, 15.0, 1.0);
+  double early = 0.0, late = 0.0;
+  for (std::size_t i = 10; i < 40; ++i) early += std::abs(s[i]);
+  for (std::size_t i = 150; i < 180; ++i) late += std::abs(s[i]);
+  EXPECT_GT(early, late);
+}
+
+TEST(PatternsTest, RandomSmoothDeterministicPerSeed) {
+  ts::Rng r1(5), r2(5);
+  const ts::TimeSeries a = patterns::RandomSmooth(100, 6, r1);
+  const ts::TimeSeries b = patterns::RandomSmooth(100, 6, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeformTest, PreservesLengthAndLabel) {
+  ts::TimeSeries proto = patterns::Bump(120, 60.0, 8.0);
+  proto.set_label(3);
+  ts::Rng rng(7);
+  const ts::TimeSeries d = Deform(proto, {}, rng);
+  EXPECT_EQ(d.size(), 120u);
+  EXPECT_EQ(d.label(), 3);
+}
+
+TEST(DeformTest, NoiseFreeDeformKeepsShape) {
+  DeformationOptions opt;
+  opt.noise_sigma = 0.0;
+  opt.amplitude_jitter = 0.0;
+  opt.warp_strength = 0.1;
+  opt.shift_fraction = 0.0;
+  const ts::TimeSeries proto = patterns::Bump(200, 100.0, 10.0);
+  ts::Rng rng(11);
+  const ts::TimeSeries d = Deform(proto, opt, rng);
+  // Peak is preserved (possibly moved slightly).
+  double mx = 0.0;
+  for (double v : d) mx = std::max(mx, v);
+  EXPECT_NEAR(mx, 1.0, 0.05);
+}
+
+TEST(DeformTest, DifferentSeedsDiffer) {
+  const ts::TimeSeries proto = patterns::Bump(100, 50.0, 10.0);
+  ts::Rng r1(1), r2(2);
+  EXPECT_FALSE(Deform(proto, {}, r1) == Deform(proto, {}, r2));
+}
+
+TEST(GunLikeTest, Table1Cardinalities) {
+  const ts::Dataset ds = MakeGunLike();
+  EXPECT_EQ(ds.size(), 50u);
+  EXPECT_EQ(ds.NumClasses(), 2u);
+  for (const auto& s : ds) EXPECT_EQ(s.size(), 150u);
+}
+
+TEST(TraceLikeTest, Table1Cardinalities) {
+  const ts::Dataset ds = MakeTraceLike();
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.NumClasses(), 4u);
+  for (const auto& s : ds) EXPECT_EQ(s.size(), 275u);
+}
+
+TEST(WordsLikeTest, Table1Cardinalities) {
+  const ts::Dataset ds = MakeWordsLike();
+  EXPECT_EQ(ds.size(), 450u);
+  EXPECT_EQ(ds.NumClasses(), 50u);
+  for (const auto& s : ds) EXPECT_EQ(s.size(), 270u);
+}
+
+TEST(GeneratorsTest, ZNormalisedByDefault) {
+  const ts::Dataset ds = MakeGunLike();
+  for (std::size_t i = 0; i < 5; ++i) {
+    const ts::Summary s = ts::Summarize(ds[i]);
+    EXPECT_NEAR(s.mean, 0.0, 1e-9);
+    EXPECT_NEAR(s.stddev, 1.0, 1e-9);
+  }
+}
+
+TEST(GeneratorsTest, ZNormalisationCanBeDisabled) {
+  GeneratorOptions opt;
+  opt.z_normalize = false;
+  opt.num_series = 4;
+  const ts::Dataset ds = MakeGunLike(opt);
+  bool any_nonunit = false;
+  for (const auto& s : ds) {
+    if (std::abs(ts::Summarize(s).stddev - 1.0) > 0.01) any_nonunit = true;
+  }
+  EXPECT_TRUE(any_nonunit);
+}
+
+TEST(GeneratorsTest, DeterministicPerSeed) {
+  GeneratorOptions a, b;
+  a.seed = 42;
+  b.seed = 42;
+  a.num_series = 6;
+  b.num_series = 6;
+  const ts::Dataset d1 = MakeGunLike(a);
+  const ts::Dataset d2 = MakeGunLike(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(d1[i], d2[i]);
+}
+
+TEST(GeneratorsTest, DifferentSeedsProduceDifferentSets) {
+  GeneratorOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.num_series = 4;
+  b.num_series = 4;
+  EXPECT_FALSE(MakeTraceLike(a)[0] == MakeTraceLike(b)[0]);
+}
+
+TEST(GeneratorsTest, CustomSizesHonoured) {
+  GeneratorOptions opt;
+  opt.length = 64;
+  opt.num_series = 10;
+  const ts::Dataset ds = MakeWordsLike(opt);
+  EXPECT_EQ(ds.size(), 10u);
+  EXPECT_EQ(ds[0].size(), 64u);
+}
+
+TEST(GeneratorsTest, ClassesBalanced) {
+  const ts::Dataset ds = MakeTraceLike();
+  for (int label : ds.Labels()) {
+    EXPECT_EQ(ds.IndicesOfClass(label).size(), 25u);
+  }
+}
+
+TEST(GeneratorsTest, SameClassCloserThanCrossClassOnAverage) {
+  // Sanity: Euclidean within class < across classes on GunLike.
+  GeneratorOptions opt;
+  opt.num_series = 20;
+  const ts::Dataset ds = MakeGunLike(opt);
+  double intra = 0.0, inter = 0.0;
+  std::size_t ni = 0, nx = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t j = i + 1; j < ds.size(); ++j) {
+      const double d = ts::EuclideanDistance(ds[i].span(), ds[j].span());
+      if (ds[i].label() == ds[j].label()) {
+        intra += d;
+        ++ni;
+      } else {
+        inter += d;
+        ++nx;
+      }
+    }
+  }
+  ASSERT_GT(ni, 0u);
+  ASSERT_GT(nx, 0u);
+  EXPECT_LT(intra / static_cast<double>(ni), inter / static_cast<double>(nx));
+}
+
+TEST(MakeByNameTest, ResolvesAllNames) {
+  GeneratorOptions opt;
+  opt.num_series = 2;
+  EXPECT_EQ(MakeByName("gun", opt).name(), "GunLike");
+  EXPECT_EQ(MakeByName("Trace", opt).name(), "TraceLike");
+  EXPECT_EQ(MakeByName("50words", opt).name(), "WordsLike");
+  EXPECT_EQ(MakeByName("unknown", opt).name(), "GunLike");
+}
+
+TEST(MakePaperDatasetsTest, ThreeSetsWithPaperCardinalities) {
+  const auto sets = MakePaperDatasets();
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0].size(), 50u);
+  EXPECT_EQ(sets[1].size(), 100u);
+  EXPECT_EQ(sets[2].size(), 450u);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace sdtw

@@ -1,0 +1,195 @@
+#include "dtw/band.h"
+
+#include <gtest/gtest.h>
+
+namespace sdtw {
+namespace dtw {
+namespace {
+
+TEST(BandTest, FullBandCoversEverything) {
+  const Band b = Band::Full(4, 6);
+  EXPECT_EQ(b.n(), 4u);
+  EXPECT_EQ(b.m(), 6u);
+  EXPECT_EQ(b.CellCount(), 24u);
+  EXPECT_DOUBLE_EQ(b.Coverage(), 1.0);
+  EXPECT_TRUE(b.IsFeasible());
+}
+
+TEST(BandTest, EmptyGridYieldsEmptyBand) {
+  EXPECT_TRUE(Band::Full(0, 5).empty());
+  EXPECT_TRUE(Band::Full(5, 0).empty());
+}
+
+TEST(BandTest, ContainsChecksRowsAndColumns) {
+  const Band b = Band::FromRows({{1, 2}, {2, 3}}, 4);
+  EXPECT_TRUE(b.Contains(0, 1));
+  EXPECT_TRUE(b.Contains(0, 2));
+  EXPECT_FALSE(b.Contains(0, 0));
+  EXPECT_FALSE(b.Contains(0, 3));
+  EXPECT_FALSE(b.Contains(2, 2));  // out-of-range row
+}
+
+TEST(BandTest, FromRowsClampsColumns) {
+  const Band b = Band::FromRows({{0, 99}}, 4);
+  EXPECT_EQ(b.row(0).hi, 3u);
+}
+
+TEST(BandTest, MakeFeasibleAnchorsCorners) {
+  Band b = Band::FromRows({{2, 3}, {2, 3}, {0, 1}}, 5);
+  b.MakeFeasible();
+  EXPECT_EQ(b.row(0).lo, 0u);
+  EXPECT_EQ(b.row(2).hi, 4u);
+  EXPECT_TRUE(b.IsFeasible());
+}
+
+TEST(BandTest, MakeFeasibleBridgesForwardGap) {
+  // Row 1 starts far beyond row 0's reach.
+  Band b = Band::FromRows({{0, 1}, {5, 6}, {6, 7}}, 8);
+  b.MakeFeasible();
+  EXPECT_TRUE(b.IsFeasible());
+  EXPECT_LE(b.row(1).lo, b.row(0).hi + 1);
+}
+
+TEST(BandTest, MakeFeasibleBridgesBackwardGap) {
+  // Row 0 ends before row 1 begins by more than a step.
+  Band b = Band::FromRows({{0, 0}, {4, 7}}, 8);
+  b.MakeFeasible();
+  EXPECT_TRUE(b.IsFeasible());
+}
+
+TEST(BandTest, MakeFeasibleIdempotent) {
+  Band b = Band::FromRows({{0, 1}, {6, 7}, {2, 3}}, 8);
+  b.MakeFeasible();
+  Band twice = b;
+  twice.MakeFeasible();
+  EXPECT_EQ(b, twice);
+}
+
+TEST(BandTest, MakeFeasibleHandlesSingleRow) {
+  Band b = Band::FromRows({{2, 2}}, 5);
+  b.MakeFeasible();
+  EXPECT_TRUE(b.IsFeasible());
+  EXPECT_EQ(b.row(0).lo, 0u);
+  EXPECT_EQ(b.row(0).hi, 4u);
+}
+
+TEST(BandTest, WidenExpandsAndClamps) {
+  Band b = Band::FromRows({{2, 2}, {3, 3}}, 6);
+  b.Widen(2);
+  EXPECT_EQ(b.row(0).lo, 0u);
+  EXPECT_EQ(b.row(0).hi, 4u);
+  EXPECT_EQ(b.row(1).lo, 1u);
+  EXPECT_EQ(b.row(1).hi, 5u);
+}
+
+TEST(BandTest, IntersectAndUnion) {
+  Band a = Band::FromRows({{0, 3}, {1, 4}}, 6);
+  Band b = Band::FromRows({{2, 5}, {0, 2}}, 6);
+  Band u = a;
+  ASSERT_TRUE(u.UnionWith(b));
+  EXPECT_EQ(u.row(0).lo, 0u);
+  EXPECT_EQ(u.row(0).hi, 5u);
+  EXPECT_EQ(u.row(1).lo, 0u);
+  EXPECT_EQ(u.row(1).hi, 4u);
+  Band i = a;
+  ASSERT_TRUE(i.IntersectWith(b));
+  EXPECT_EQ(i.row(0).lo, 2u);
+  EXPECT_EQ(i.row(0).hi, 3u);
+}
+
+TEST(BandTest, IntersectShapeMismatchFails) {
+  Band a = Band::Full(3, 3);
+  Band b = Band::Full(4, 3);
+  EXPECT_FALSE(a.IntersectWith(b));
+  EXPECT_FALSE(a.UnionWith(b));
+}
+
+TEST(BandTest, TransposeRoundTripOnFullBand) {
+  const Band b = Band::Full(3, 5);
+  const Band t = b.Transpose();
+  EXPECT_EQ(t.n(), 5u);
+  EXPECT_EQ(t.m(), 3u);
+  EXPECT_EQ(t.CellCount(), b.CellCount());
+  EXPECT_EQ(t.Transpose(), b);
+}
+
+TEST(BandTest, TransposePreservesMembership) {
+  const Band b = Band::FromRows({{0, 1}, {1, 2}, {2, 3}}, 4);
+  const Band t = b.Transpose();
+  for (std::size_t i = 0; i < b.n(); ++i) {
+    for (std::size_t j = 0; j < b.m(); ++j) {
+      EXPECT_EQ(b.Contains(i, j), t.Contains(j, i)) << i << "," << j;
+    }
+  }
+}
+
+TEST(BandTest, ToAsciiShape) {
+  const Band b = Band::FromRows({{0, 0}, {1, 1}}, 2);
+  // Top line is the last row.
+  EXPECT_EQ(b.ToAscii(), ".#\n#.\n");
+}
+
+TEST(SakoeChibaTest, ZeroWidthDegeneratesToDiagonal) {
+  const Band b = SakoeChibaBand(5, 5, 0.0);
+  EXPECT_TRUE(b.IsFeasible());
+  // The diagonal must be inside.
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(b.Contains(i, i));
+}
+
+TEST(SakoeChibaTest, DoubleWidthCoversGrid) {
+  // The half-width is w*M/2 around the diagonal, so w = 2 guarantees every
+  // row spans all of [0, M-1] (w = 1 clips at the corners).
+  const Band b = SakoeChibaBand(6, 8, 2.0);
+  EXPECT_DOUBLE_EQ(b.Coverage(), 1.0);
+  EXPECT_LT(SakoeChibaBand(6, 8, 1.0).Coverage(), 1.0);
+}
+
+TEST(SakoeChibaTest, WidthMonotoneInCoverage) {
+  const Band narrow = SakoeChibaBand(50, 50, 0.06);
+  const Band mid = SakoeChibaBand(50, 50, 0.10);
+  const Band wide = SakoeChibaBand(50, 50, 0.20);
+  EXPECT_LT(narrow.CellCount(), mid.CellCount());
+  EXPECT_LT(mid.CellCount(), wide.CellCount());
+}
+
+TEST(SakoeChibaTest, RectangularGridsFeasible) {
+  for (const auto& [n, m] : {std::pair<std::size_t, std::size_t>{10, 50},
+                             {50, 10},
+                             {1, 10},
+                             {10, 1}}) {
+    const Band b = SakoeChibaBand(n, m, 0.1);
+    EXPECT_TRUE(b.IsFeasible()) << n << "x" << m;
+  }
+}
+
+TEST(ItakuraTest, FeasibleAndContainsCorners) {
+  const Band b = ItakuraBand(40, 40, 2.0);
+  EXPECT_TRUE(b.IsFeasible());
+  EXPECT_TRUE(b.Contains(0, 0));
+  EXPECT_TRUE(b.Contains(39, 39));
+}
+
+TEST(ItakuraTest, NarrowerThanFullGrid) {
+  const Band b = ItakuraBand(40, 40, 2.0);
+  EXPECT_LT(b.Coverage(), 1.0);
+  EXPECT_GT(b.Coverage(), 0.1);
+}
+
+TEST(ItakuraTest, ParallelogramPinchedAtCorners) {
+  const Band b = ItakuraBand(60, 60, 2.0);
+  // Rows near the corners are much narrower than the middle.
+  EXPECT_LT(b.row(1).width(), b.row(30).width());
+  EXPECT_LT(b.row(58).width(), b.row(30).width());
+}
+
+TEST(ItakuraTest, SlopeOneIsDiagonalOnly) {
+  const Band b = ItakuraBand(10, 10, 1.0);
+  EXPECT_TRUE(b.IsFeasible());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(b.Contains(i, i));
+  }
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace sdtw

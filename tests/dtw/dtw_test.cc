@@ -1,0 +1,242 @@
+#include "dtw/dtw.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace sdtw {
+namespace dtw {
+namespace {
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  const ts::TimeSeries x({1.0, 2.0, 3.0, 2.0});
+  const DtwResult r = Dtw(x, x);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  EXPECT_TRUE(IsValidWarpPath(r.path, 4, 4));
+}
+
+TEST(DtwTest, SinglePointSeries) {
+  const ts::TimeSeries x({2.0});
+  const ts::TimeSeries y({5.0});
+  const DtwResult r = Dtw(x, y);
+  EXPECT_DOUBLE_EQ(r.distance, 3.0);
+  ASSERT_EQ(r.path.size(), 1u);
+  EXPECT_EQ(r.path[0], PathPoint(0, 0));
+}
+
+TEST(DtwTest, EmptySeriesGivesInfinity) {
+  const ts::TimeSeries x;
+  const ts::TimeSeries y({1.0});
+  EXPECT_TRUE(std::isinf(Dtw(x, y).distance));
+  EXPECT_TRUE(std::isinf(DtwDistance(x, y)));
+}
+
+TEST(DtwTest, KnownSmallExample) {
+  // x = (0, 1), y = (0, 0, 1): DTW can match x0 to both zeros and x1 to
+  // the one, giving 0.
+  const ts::TimeSeries x({0.0, 1.0});
+  const ts::TimeSeries y({0.0, 0.0, 1.0});
+  const DtwResult r = Dtw(x, y);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  EXPECT_TRUE(IsValidWarpPath(r.path, 2, 3));
+}
+
+TEST(DtwTest, ShiftedStepAlignsCheaply) {
+  // A step at t=3 vs the same step at t=5: DTW absorbs the shift.
+  std::vector<double> a(10, 0.0), b(10, 0.0);
+  for (std::size_t i = 3; i < 10; ++i) a[i] = 1.0;
+  for (std::size_t i = 5; i < 10; ++i) b[i] = 1.0;
+  const ts::TimeSeries x(a), y(b);
+  const double euclid_like = DtwDistance(x, y);
+  EXPECT_DOUBLE_EQ(euclid_like, 0.0);
+}
+
+TEST(DtwTest, DistanceSymmetric) {
+  const ts::TimeSeries x({0.0, 1.0, 0.5, -0.5});
+  const ts::TimeSeries y({0.2, 0.9, -0.2});
+  EXPECT_DOUBLE_EQ(DtwDistance(x, y), DtwDistance(y, x));
+}
+
+TEST(DtwTest, SquaredCostDiffersFromAbsolute) {
+  const ts::TimeSeries x({0.0, 3.0});
+  const ts::TimeSeries y({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(DtwDistance(x, y, CostKind::kAbsolute), 2.0);
+  EXPECT_DOUBLE_EQ(DtwDistance(x, y, CostKind::kSquared), 4.0);
+}
+
+TEST(DtwTest, PathCostMatchesReportedDistance) {
+  const ts::TimeSeries x({0.1, 0.9, 0.4, 0.7, 0.2});
+  const ts::TimeSeries y({0.0, 1.0, 0.5, 0.1});
+  const DtwResult r = Dtw(x, y);
+  EXPECT_NEAR(PathCost(x, y, r.path), r.distance, 1e-9);
+}
+
+TEST(DtwTest, RollingDistanceMatchesFullGrid) {
+  const ts::TimeSeries x({0.3, 1.2, -0.5, 0.8, 0.0, 2.0});
+  const ts::TimeSeries y({0.1, 1.0, -0.2, 0.6, 0.4});
+  EXPECT_NEAR(Dtw(x, y).distance, DtwDistance(x, y), 1e-12);
+}
+
+TEST(DtwTest, CellsFilledIsFullGrid) {
+  const ts::TimeSeries x({1.0, 2.0, 3.0});
+  const ts::TimeSeries y({1.0, 2.0});
+  EXPECT_EQ(Dtw(x, y).cells_filled, 6u);
+}
+
+TEST(DtwTest, WantPathFalseSkipsPath) {
+  DtwOptions opt;
+  opt.want_path = false;
+  const ts::TimeSeries x({1.0, 2.0});
+  const DtwResult r = Dtw(x, x, opt);
+  EXPECT_TRUE(r.path.empty());
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(DtwBandedTest, FullBandMatchesUnconstrained) {
+  const ts::TimeSeries x({0.3, 1.2, -0.5, 0.8, 0.0});
+  const ts::TimeSeries y({0.1, 1.0, -0.2, 0.6});
+  const Band band = Band::Full(x.size(), y.size());
+  EXPECT_NEAR(DtwBanded(x, y, band).distance, Dtw(x, y).distance, 1e-12);
+}
+
+TEST(DtwBandedTest, BandedDistanceNeverBelowOptimal) {
+  const ts::TimeSeries x({0.0, 1.0, 0.0, -1.0, 0.0, 1.0});
+  const ts::TimeSeries y({0.0, 0.0, 1.0, 0.0, -1.0, 0.0});
+  const double opt = Dtw(x, y).distance;
+  for (double w : {0.0, 0.2, 0.5, 1.0}) {
+    const Band band = SakoeChibaBand(x.size(), y.size(), w);
+    EXPECT_GE(DtwBanded(x, y, band).distance, opt - 1e-12) << "w=" << w;
+  }
+}
+
+TEST(DtwBandedTest, PathStaysInsideBand) {
+  const ts::TimeSeries x({0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+  const ts::TimeSeries y({0.0, 2.0, 4.0, 6.0, 8.0, 10.0});
+  const Band band = SakoeChibaBand(6, 6, 0.3);
+  const DtwResult r = DtwBanded(x, y, band);
+  ASSERT_FALSE(r.path.empty());
+  for (const PathPoint& p : r.path) {
+    EXPECT_TRUE(band.Contains(p.first, p.second))
+        << p.first << "," << p.second;
+  }
+}
+
+TEST(DtwBandedTest, BandShapeMismatchGivesInfinity) {
+  const ts::TimeSeries x({1.0, 2.0, 3.0});
+  const ts::TimeSeries y({1.0, 2.0});
+  const Band band = Band::Full(2, 2);
+  EXPECT_TRUE(std::isinf(DtwBanded(x, y, band).distance));
+}
+
+TEST(DtwBandedTest, CellsFilledReflectsBandSize) {
+  const ts::TimeSeries x = ts::TimeSeries::Zeros(50);
+  const ts::TimeSeries y = ts::TimeSeries::Zeros(50);
+  const Band band = SakoeChibaBand(50, 50, 0.1);
+  const DtwResult r = DtwBanded(x, y, band);
+  EXPECT_EQ(r.cells_filled, band.CellCount());
+  EXPECT_LT(r.cells_filled, 2500u);
+}
+
+TEST(DtwBandedTest, RollingBandedMatchesMaterialised) {
+  const ts::TimeSeries x({0.3, 1.2, -0.5, 0.8, 0.0, 0.4, 1.3});
+  const ts::TimeSeries y({0.1, 1.0, -0.2, 0.6, 0.2, 0.9});
+  const Band band = SakoeChibaBand(x.size(), y.size(), 0.4);
+  EXPECT_NEAR(DtwBandedDistance(x, y, band),
+              DtwBanded(x, y, band).distance, 1e-12);
+}
+
+TEST(DtwBandedTest, DiagonalOnlyBandOnEqualLengthsIsEuclideanL1) {
+  const ts::TimeSeries x({0.0, 2.0, 4.0});
+  const ts::TimeSeries y({1.0, 1.0, 5.0});
+  const Band band = SakoeChibaBand(3, 3, 0.0);
+  // Only diagonal cells: |0-1| + |2-1| + |4-5| = 3.
+  EXPECT_DOUBLE_EQ(DtwBanded(x, y, band).distance, 3.0);
+}
+
+TEST(EarlyAbandonTest, ReturnsDistanceWhenUnderThreshold) {
+  const ts::TimeSeries x({0.0, 1.0, 2.0});
+  const ts::TimeSeries y({0.0, 1.1, 2.2});
+  const double d = DtwDistance(x, y);
+  EXPECT_NEAR(DtwDistanceEarlyAbandon(x, y, d + 1.0), d, 1e-12);
+}
+
+TEST(EarlyAbandonTest, AbandonsWhenOverThreshold) {
+  const ts::TimeSeries x = ts::TimeSeries::Constant(20, 0.0);
+  const ts::TimeSeries y = ts::TimeSeries::Constant(20, 10.0);
+  EXPECT_TRUE(std::isinf(DtwDistanceEarlyAbandon(x, y, 1.0)));
+}
+
+TEST(WarpPathTest, ValidatorAcceptsCanonicalPath) {
+  const std::vector<PathPoint> p{{0, 0}, {1, 1}, {2, 1}, {2, 2}};
+  EXPECT_TRUE(IsValidWarpPath(p, 3, 3));
+}
+
+TEST(WarpPathTest, ValidatorRejectsBadStart) {
+  const std::vector<PathPoint> p{{1, 0}, {2, 1}};
+  EXPECT_FALSE(IsValidWarpPath(p, 3, 2));
+}
+
+TEST(WarpPathTest, ValidatorRejectsBadEnd) {
+  const std::vector<PathPoint> p{{0, 0}, {1, 1}};
+  EXPECT_FALSE(IsValidWarpPath(p, 3, 2));
+}
+
+TEST(WarpPathTest, ValidatorRejectsJumps) {
+  const std::vector<PathPoint> p{{0, 0}, {2, 2}};
+  EXPECT_FALSE(IsValidWarpPath(p, 3, 3));
+}
+
+TEST(WarpPathTest, ValidatorRejectsNonMonotone) {
+  const std::vector<PathPoint> p{{0, 0}, {1, 1}, {0, 2}, {1, 2}, {2, 2}};
+  EXPECT_FALSE(IsValidWarpPath(p, 3, 3));
+}
+
+TEST(WarpPathTest, ValidatorRejectsStall) {
+  const std::vector<PathPoint> p{{0, 0}, {0, 0}, {1, 1}};
+  EXPECT_FALSE(IsValidWarpPath(p, 2, 2));
+}
+
+TEST(WarpPathTest, PathLengthWithinBounds) {
+  const ts::TimeSeries x({0.0, 5.0, 1.0, 4.0, 2.0, 3.0});
+  const ts::TimeSeries y({1.0, 3.0, 2.0});
+  const DtwResult r = Dtw(x, y);
+  EXPECT_GE(r.path.size(), std::max(x.size(), y.size()));
+  EXPECT_LE(r.path.size(), x.size() + y.size());
+}
+
+
+TEST(BandedEarlyAbandonTest, AgreesWhenUnderThreshold) {
+  const ts::TimeSeries x({0.0, 1.0, 2.0, 1.0, 0.5});
+  const ts::TimeSeries y({0.1, 0.9, 2.1, 1.2, 0.4});
+  const Band band = SakoeChibaBand(5, 5, 0.4);
+  const double d = DtwBandedDistance(x, y, band);
+  EXPECT_NEAR(DtwBandedDistanceEarlyAbandon(x, y, band, d + 1.0), d, 1e-12);
+}
+
+TEST(BandedEarlyAbandonTest, AbandonsWhenOverThreshold) {
+  const ts::TimeSeries x = ts::TimeSeries::Constant(30, 0.0);
+  const ts::TimeSeries y = ts::TimeSeries::Constant(30, 5.0);
+  const Band band = SakoeChibaBand(30, 30, 0.2);
+  EXPECT_TRUE(
+      std::isinf(DtwBandedDistanceEarlyAbandon(x, y, band, 1.0)));
+}
+
+TEST(BandedEarlyAbandonTest, ThresholdIsInclusive) {
+  const ts::TimeSeries x({0.0, 0.0});
+  const ts::TimeSeries y({1.0, 1.0});
+  const Band band = Band::Full(2, 2);
+  const double d = DtwBandedDistance(x, y, band);  // = 2.0
+  EXPECT_NEAR(DtwBandedDistanceEarlyAbandon(x, y, band, d), d, 1e-12);
+  EXPECT_TRUE(
+      std::isinf(DtwBandedDistanceEarlyAbandon(x, y, band, d - 0.5)));
+}
+
+TEST(BandedEarlyAbandonTest, ShapeMismatchGivesInfinity) {
+  const ts::TimeSeries x({1.0, 2.0, 3.0});
+  const ts::TimeSeries y({1.0, 2.0});
+  EXPECT_TRUE(std::isinf(
+      DtwBandedDistanceEarlyAbandon(x, y, Band::Full(2, 2), 100.0)));
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace sdtw

@@ -1,0 +1,142 @@
+#include "dtw/lower_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "dtw/dtw.h"
+#include "ts/random.h"
+
+namespace sdtw {
+namespace dtw {
+namespace {
+
+ts::TimeSeries RandomSeries(std::size_t n, std::uint64_t seed) {
+  ts::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Gaussian();
+  return ts::TimeSeries(std::move(v));
+}
+
+TEST(EnvelopeTest, ZeroRadiusIsIdentity) {
+  const ts::TimeSeries s({1.0, 3.0, 2.0});
+  const Envelope e = MakeEnvelope(s, 0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(e.upper[i], s[i]);
+    EXPECT_DOUBLE_EQ(e.lower[i], s[i]);
+  }
+}
+
+TEST(EnvelopeTest, BoundsContainSeries) {
+  const ts::TimeSeries s = RandomSeries(100, 3);
+  const Envelope e = MakeEnvelope(s, 5);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_LE(e.lower[i], s[i]);
+    EXPECT_GE(e.upper[i], s[i]);
+  }
+}
+
+TEST(EnvelopeTest, MatchesBruteForce) {
+  const ts::TimeSeries s = RandomSeries(60, 7);
+  const std::size_t r = 4;
+  const Envelope e = MakeEnvelope(s, r);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    double mx = s[i], mn = s[i];
+    const std::size_t lo = i >= r ? i - r : 0;
+    const std::size_t hi = std::min(s.size() - 1, i + r);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      mx = std::max(mx, s[j]);
+      mn = std::min(mn, s[j]);
+    }
+    EXPECT_DOUBLE_EQ(e.upper[i], mx) << i;
+    EXPECT_DOUBLE_EQ(e.lower[i], mn) << i;
+  }
+}
+
+TEST(EnvelopeTest, LargeRadiusGivesGlobalExtrema) {
+  const ts::TimeSeries s({1.0, 5.0, -2.0, 3.0});
+  const Envelope e = MakeEnvelope(s, 100);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(e.upper[i], 5.0);
+    EXPECT_DOUBLE_EQ(e.lower[i], -2.0);
+  }
+}
+
+TEST(LbKimTest, IsLowerBoundOnRandomPairs) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const ts::TimeSeries x = RandomSeries(40, seed * 2 + 1);
+    const ts::TimeSeries y = RandomSeries(35, seed * 2 + 2);
+    const double lb = LbKim(x, y);
+    const double d = DtwDistance(x, y);
+    EXPECT_LE(lb, d + 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(LbKimTest, ZeroForIdenticalSeries) {
+  const ts::TimeSeries x = RandomSeries(30, 5);
+  EXPECT_DOUBLE_EQ(LbKim(x, x), 0.0);
+}
+
+TEST(LbKimTest, PositiveForSeparatedSeries) {
+  const ts::TimeSeries x = ts::TimeSeries::Constant(10, 0.0);
+  const ts::TimeSeries y = ts::TimeSeries::Constant(10, 4.0);
+  EXPECT_GT(LbKim(x, y), 3.9);
+}
+
+TEST(LbKeoghTest, IsLowerBoundUnderMatchingWindow) {
+  // LB_Keogh(r) lower-bounds DTW constrained to the Sakoe-Chiba band of
+  // radius r, hence also full DTW only when the optimal path is inside.
+  // Test against banded DTW for strictness.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const ts::TimeSeries x = RandomSeries(50, 100 + seed);
+    const ts::TimeSeries y = RandomSeries(50, 200 + seed);
+    const std::size_t r = 5;
+    const double lb = LbKeogh(x, y, r);
+    const Band band = SakoeChibaBand(50, 50, 2.0 * 5.0 / 50.0);
+    const double d = DtwBandedDistance(x, y, band);
+    EXPECT_LE(lb, d + 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(LbKeoghTest, FullWindowAlsoBoundsFullDtw) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const ts::TimeSeries x = RandomSeries(40, 300 + seed);
+    const ts::TimeSeries y = RandomSeries(40, 400 + seed);
+    const double lb = LbKeogh(x, y, 40);
+    EXPECT_LE(lb, DtwDistance(x, y) + 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(LbKeoghTest, ZeroWhenInsideEnvelope) {
+  const ts::TimeSeries y({0.0, 1.0, 2.0, 1.0, 0.0});
+  const ts::TimeSeries x({0.5, 1.0, 1.5, 1.0, 0.5});
+  EXPECT_DOUBLE_EQ(LbKeogh(x, y, 2), 0.0);
+}
+
+TEST(LbKeoghTest, LengthMismatchReturnsZero) {
+  const ts::TimeSeries x({1.0, 2.0});
+  const ts::TimeSeries y({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(LbKeogh(x, y, 1), 0.0);
+}
+
+TEST(LbKeoghTest, TightensWithSmallerRadius) {
+  const ts::TimeSeries x = RandomSeries(60, 9);
+  const ts::TimeSeries y = RandomSeries(60, 10);
+  EXPECT_GE(LbKeogh(x, y, 1), LbKeogh(x, y, 10) - 1e-12);
+}
+
+TEST(BandMaxRadiusTest, SakoeChibaRadiusRecovered) {
+  const Band b = SakoeChibaBand(100, 100, 0.2);
+  const std::size_t r = BandMaxRadius(b);
+  // Half-width is ceil(0.2*100/2) = 10.
+  EXPECT_GE(r, 10u);
+  EXPECT_LE(r, 12u);
+}
+
+TEST(BandMaxRadiusTest, FullBandRadiusIsGridWidth) {
+  const Band b = Band::Full(10, 30);
+  EXPECT_GE(BandMaxRadius(b), 29u);
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace sdtw

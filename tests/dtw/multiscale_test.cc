@@ -1,0 +1,117 @@
+#include "dtw/multiscale.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "ts/random.h"
+
+namespace sdtw {
+namespace dtw {
+namespace {
+
+ts::TimeSeries Smooth(std::size_t n, std::uint64_t seed) {
+  ts::Rng rng(seed);
+  return data::patterns::RandomSmooth(n, 6, rng);
+}
+
+TEST(ProjectPathTest, DiagonalPathProjectsAroundDiagonal) {
+  std::vector<PathPoint> coarse;
+  for (std::size_t i = 0; i < 4; ++i) coarse.emplace_back(i, i);
+  const Band band = ProjectPathToBand(coarse, 8, 8, 2, 0);
+  EXPECT_TRUE(band.IsFeasible());
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(band.Contains(i, i)) << i;
+  }
+}
+
+TEST(ProjectPathTest, RadiusWidensBand) {
+  std::vector<PathPoint> coarse;
+  for (std::size_t i = 0; i < 4; ++i) coarse.emplace_back(i, i);
+  const Band narrow = ProjectPathToBand(coarse, 8, 8, 2, 0);
+  const Band wide = ProjectPathToBand(coarse, 8, 8, 2, 2);
+  EXPECT_GT(wide.CellCount(), narrow.CellCount());
+}
+
+TEST(ProjectPathTest, UncoveredTrailingRowsInherit) {
+  std::vector<PathPoint> coarse{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  // 9 rows with shrink 2: row 8 is not covered by any projected block.
+  const Band band = ProjectPathToBand(coarse, 9, 9, 2, 0);
+  EXPECT_TRUE(band.IsFeasible());
+}
+
+TEST(MultiscaleTest, SmallInputsSolvedExactly) {
+  const ts::TimeSeries x = Smooth(20, 1);
+  const ts::TimeSeries y = Smooth(20, 2);
+  MultiscaleOptions opt;
+  opt.min_size = 32;
+  const DtwResult exact = Dtw(x, y);
+  const DtwResult ms = MultiscaleDtw(x, y, opt);
+  EXPECT_NEAR(ms.distance, exact.distance, 1e-12);
+}
+
+TEST(MultiscaleTest, ApproximationIsUpperBound) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const ts::TimeSeries x = Smooth(200, 10 + seed);
+    const ts::TimeSeries y = Smooth(200, 20 + seed);
+    const double exact = Dtw(x, y).distance;
+    const double approx = MultiscaleDtw(x, y).distance;
+    EXPECT_GE(approx, exact - 1e-9) << seed;
+  }
+}
+
+TEST(MultiscaleTest, CloseToExactOnSmoothData) {
+  const ts::TimeSeries x = Smooth(256, 42);
+  const ts::TimeSeries y = Smooth(256, 43);
+  const double exact = Dtw(x, y).distance;
+  MultiscaleOptions opt;
+  opt.radius = 4;
+  const double approx = MultiscaleDtw(x, y, opt).distance;
+  ASSERT_GT(exact, 0.0);
+  EXPECT_LT((approx - exact) / exact, 0.25);
+}
+
+TEST(MultiscaleTest, FillsFewerCellsThanFullGrid) {
+  const ts::TimeSeries x = Smooth(512, 5);
+  const ts::TimeSeries y = Smooth(512, 6);
+  const DtwResult r = MultiscaleDtw(x, y);
+  EXPECT_LT(r.cells_filled, 512u * 512u / 2u);
+}
+
+TEST(MultiscaleTest, PathIsValid) {
+  const ts::TimeSeries x = Smooth(128, 7);
+  const ts::TimeSeries y = Smooth(150, 8);
+  const DtwResult r = MultiscaleDtw(x, y);
+  EXPECT_TRUE(IsValidWarpPath(r.path, 128, 150));
+}
+
+TEST(MultiscaleConstrainedTest, RespectsConstraintBand) {
+  const ts::TimeSeries x = Smooth(128, 9);
+  const ts::TimeSeries y = Smooth(128, 10);
+  const Band constraint = SakoeChibaBand(128, 128, 0.3);
+  MultiscaleOptions opt;
+  opt.want_path = true;
+  const DtwResult r = MultiscaleDtwConstrained(x, y, constraint, opt);
+  ASSERT_FALSE(r.path.empty());
+  // Path must lie inside the (feasibility-repaired) constraint ∩ projection;
+  // in particular inside a slightly widened constraint.
+  Band widened = constraint;
+  widened.Widen(2);
+  for (const PathPoint& p : r.path) {
+    EXPECT_TRUE(widened.Contains(p.first, p.second));
+  }
+}
+
+TEST(MultiscaleConstrainedTest, UpperBoundsBandedDtw) {
+  const ts::TimeSeries x = Smooth(100, 11);
+  const ts::TimeSeries y = Smooth(100, 12);
+  const Band constraint = SakoeChibaBand(100, 100, 0.4);
+  const double banded = DtwBanded(x, y, constraint).distance;
+  const double combined =
+      MultiscaleDtwConstrained(x, y, constraint).distance;
+  EXPECT_GE(combined, banded - 1e-9);
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace sdtw

@@ -1,0 +1,112 @@
+#include "dtw/path_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "ts/random.h"
+
+namespace sdtw {
+namespace dtw {
+namespace {
+
+std::vector<PathPoint> DiagonalPath(std::size_t n) {
+  std::vector<PathPoint> p;
+  for (std::size_t i = 0; i < n; ++i) p.emplace_back(i, i);
+  return p;
+}
+
+TEST(AnalyzePathTest, EmptyPathGivesDefaults) {
+  const PathStats s = AnalyzePath({}, 5, 5);
+  EXPECT_EQ(s.length, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_diagonal_deviation, 0.0);
+}
+
+TEST(AnalyzePathTest, PureDiagonalHasZeroDeviation) {
+  const PathStats s = AnalyzePath(DiagonalPath(10), 10, 10);
+  EXPECT_DOUBLE_EQ(s.mean_diagonal_deviation, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_diagonal_deviation, 0.0);
+  EXPECT_DOUBLE_EQ(s.diagonal_step_fraction, 1.0);
+  EXPECT_EQ(s.longest_stall, 0u);
+  EXPECT_EQ(s.length, 10u);
+}
+
+TEST(AnalyzePathTest, StallCountsConsecutiveNonDiagonalSteps) {
+  // (0,0)->(0,1)->(0,2)->(1,3)->(2,3): two vertical-ish steps then diag
+  // then horizontal.
+  const std::vector<PathPoint> p{{0, 0}, {0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const PathStats s = AnalyzePath(p, 3, 4);
+  EXPECT_EQ(s.longest_stall, 2u);
+  EXPECT_NEAR(s.diagonal_step_fraction, 0.25, 1e-12);
+}
+
+TEST(AnalyzePathTest, DeviationMeasuredAgainstScaledDiagonal) {
+  // On a 2x3 grid the scaled diagonal for i=1 is j=2.
+  const std::vector<PathPoint> p{{0, 0}, {1, 1}, {1, 2}};
+  const PathStats s = AnalyzePath(p, 2, 3);
+  EXPECT_DOUBLE_EQ(s.max_diagonal_deviation, 1.0);  // (1,1) is 1 off
+}
+
+TEST(ObservedCoreTest, DiagonalPathGivesDiagonalCore) {
+  const auto core = ObservedCore(DiagonalPath(8), 8);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(core[i], i);
+}
+
+TEST(ObservedCoreTest, MultipleMatchesAveraged) {
+  const std::vector<PathPoint> p{{0, 0}, {0, 2}, {1, 3}};
+  const auto core = ObservedCore(p, 2);
+  EXPECT_DOUBLE_EQ(core[0], 1.0);  // (0+2)/2
+  EXPECT_DOUBLE_EQ(core[1], 3.0);
+}
+
+TEST(PathContainmentTest, FullBandContainsEverything) {
+  const Band full = Band::Full(10, 10);
+  EXPECT_DOUBLE_EQ(PathContainment(DiagonalPath(10), full), 1.0);
+}
+
+TEST(PathContainmentTest, PartialContainment) {
+  // Band covering only column 0: contains only the first diagonal point.
+  Band b = Band::FromRows(std::vector<BandRow>(4, BandRow{0, 0}), 4);
+  EXPECT_DOUBLE_EQ(PathContainment(DiagonalPath(4), b), 0.25);
+}
+
+TEST(PathContainmentTest, EmptyPathIsZero) {
+  EXPECT_DOUBLE_EQ(PathContainment({}, Band::Full(3, 3)), 0.0);
+}
+
+TEST(OracleBandTest, ContainsItsPath) {
+  ts::Rng rng(3);
+  const ts::TimeSeries x = data::patterns::RandomSmooth(60, 8, rng);
+  const ts::TimeSeries y = data::patterns::RandomSmooth(70, 8, rng);
+  const DtwResult r = Dtw(x, y);
+  const Band oracle = OracleBand(r.path, 60, 70);
+  EXPECT_TRUE(oracle.IsFeasible());
+  EXPECT_DOUBLE_EQ(PathContainment(r.path, oracle), 1.0);
+}
+
+TEST(OracleBandTest, RecoversExactDistance) {
+  ts::Rng rng(4);
+  const ts::TimeSeries x = data::patterns::RandomSmooth(50, 6, rng);
+  const ts::TimeSeries y = data::patterns::RandomSmooth(50, 6, rng);
+  const DtwResult exact = Dtw(x, y);
+  const Band oracle = OracleBand(exact.path, 50, 50);
+  EXPECT_NEAR(DtwBanded(x, y, oracle).distance, exact.distance, 1e-9);
+}
+
+TEST(OracleBandTest, TighterThanFullGrid) {
+  ts::Rng rng(5);
+  const ts::TimeSeries x = data::patterns::RandomSmooth(80, 6, rng);
+  const ts::TimeSeries y = data::patterns::RandomSmooth(80, 6, rng);
+  const DtwResult exact = Dtw(x, y);
+  const Band oracle = OracleBand(exact.path, 80, 80);
+  EXPECT_LT(oracle.Coverage(), 0.5);
+}
+
+TEST(OracleBandTest, MarginWidens) {
+  const Band tight = OracleBand(DiagonalPath(10), 10, 10, 0);
+  const Band wide = OracleBand(DiagonalPath(10), 10, 10, 2);
+  EXPECT_GT(wide.CellCount(), tight.CellCount());
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace sdtw

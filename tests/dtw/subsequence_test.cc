@@ -1,0 +1,162 @@
+#include "dtw/subsequence.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "ts/random.h"
+#include "ts/transforms.h"
+
+namespace sdtw {
+namespace dtw {
+namespace {
+
+// A long series containing a known bump at [60, 100] on a flat baseline.
+ts::TimeSeries SeriesWithBump(std::size_t n = 200, double center = 80.0) {
+  return data::patterns::Bump(n, center, 7.0, 1.0);
+}
+
+ts::TimeSeries BumpQuery() {
+  // A short bump-shaped query (the pattern to find).
+  return data::patterns::Bump(40, 20.0, 7.0, 1.0);
+}
+
+TEST(SubsequenceTest, EmptyInputsGiveInfiniteMatch) {
+  const SubsequenceMatch m =
+      FindBestSubsequence(ts::TimeSeries(), SeriesWithBump());
+  EXPECT_TRUE(std::isinf(m.distance));
+  EXPECT_TRUE(
+      std::isinf(FindBestSubsequence(BumpQuery(), ts::TimeSeries()).distance));
+}
+
+TEST(SubsequenceTest, FindsEmbeddedPattern) {
+  const SubsequenceMatch m =
+      FindBestSubsequence(BumpQuery(), SeriesWithBump());
+  // The matched window must cover the bump at ~80.
+  EXPECT_LE(m.begin, 80u);
+  EXPECT_GE(m.end, 80u);
+  EXPECT_LT(m.distance, 1.0);
+}
+
+TEST(SubsequenceTest, ExactEmbeddedCopyHasNearZeroDistance) {
+  // Plant an exact copy of the query inside a flat series.
+  const ts::TimeSeries query = BumpQuery();
+  std::vector<double> v(300, 0.0);
+  for (std::size_t i = 0; i < query.size(); ++i) v[130 + i] = query[i];
+  const SubsequenceMatch m =
+      FindBestSubsequence(query, ts::TimeSeries(std::move(v)));
+  EXPECT_NEAR(m.distance, 0.0, 1e-9);
+  EXPECT_GE(m.begin, 120u);
+  EXPECT_LE(m.end, 180u);
+}
+
+TEST(SubsequenceTest, WindowBoundsOrdered) {
+  const SubsequenceMatch m =
+      FindBestSubsequence(BumpQuery(), SeriesWithBump());
+  EXPECT_LE(m.begin, m.end);
+  EXPECT_LT(m.end, SeriesWithBump().size());
+}
+
+TEST(SubsequenceTest, PathSpansQueryAndWindow) {
+  const ts::TimeSeries query = BumpQuery();
+  const ts::TimeSeries series = SeriesWithBump();
+  const SubsequenceMatch m = FindBestSubsequence(query, series);
+  ASSERT_FALSE(m.path.empty());
+  EXPECT_EQ(m.path.front().first, 0u);
+  EXPECT_EQ(m.path.front().second, m.begin);
+  EXPECT_EQ(m.path.back().first, query.size() - 1);
+  EXPECT_EQ(m.path.back().second, m.end);
+  // Monotone steps.
+  for (std::size_t k = 1; k < m.path.size(); ++k) {
+    EXPECT_GE(m.path[k].first, m.path[k - 1].first);
+    EXPECT_GE(m.path[k].second, m.path[k - 1].second);
+  }
+}
+
+TEST(SubsequenceTest, WantPathFalseSkipsPath) {
+  SubsequenceOptions opt;
+  opt.want_path = false;
+  const SubsequenceMatch m =
+      FindBestSubsequence(BumpQuery(), SeriesWithBump(), opt);
+  EXPECT_TRUE(m.path.empty());
+  EXPECT_TRUE(std::isfinite(m.distance));
+}
+
+TEST(SubsequenceTest, SubsequenceNeverWorseThanGlobalDtw) {
+  // Open begin/end can only relax the alignment problem.
+  ts::Rng rng(3);
+  const ts::TimeSeries q = data::patterns::RandomSmooth(30, 4, rng);
+  const ts::TimeSeries s = data::patterns::RandomSmooth(100, 8, rng);
+  const double global = Dtw(q, s).distance;
+  const double sub = FindBestSubsequence(q, s).distance;
+  EXPECT_LE(sub, global + 1e-9);
+}
+
+TEST(SubsequenceTest, ShiftedPatternStillFound) {
+  for (double center : {30.0, 100.0, 170.0}) {
+    const SubsequenceMatch m =
+        FindBestSubsequence(BumpQuery(), SeriesWithBump(200, center));
+    EXPECT_LE(m.begin, static_cast<std::size_t>(center));
+    EXPECT_GE(m.end, static_cast<std::size_t>(center)) << center;
+  }
+}
+
+TEST(TopKSubsequenceTest, FindsMultipleOccurrences) {
+  // Two bumps at 50 and 150.
+  std::vector<double> v(200, 0.0);
+  const ts::TimeSeries b1 = data::patterns::Bump(200, 50.0, 7.0, 1.0);
+  const ts::TimeSeries b2 = data::patterns::Bump(200, 150.0, 7.0, 1.0);
+  for (std::size_t i = 0; i < 200; ++i) v[i] = b1[i] + b2[i];
+  const auto matches =
+      FindTopKSubsequences(BumpQuery(), ts::TimeSeries(std::move(v)), 2);
+  ASSERT_EQ(matches.size(), 2u);
+  // One match per bump, non-overlapping.
+  const bool covers50 = (matches[0].begin <= 50 && matches[0].end >= 50) ||
+                        (matches[1].begin <= 50 && matches[1].end >= 50);
+  const bool covers150 = (matches[0].begin <= 150 && matches[0].end >= 150) ||
+                         (matches[1].begin <= 150 && matches[1].end >= 150);
+  EXPECT_TRUE(covers50);
+  EXPECT_TRUE(covers150);
+  EXPECT_TRUE(matches[0].end < matches[1].begin ||
+              matches[1].end < matches[0].begin);
+}
+
+TEST(TopKSubsequenceTest, MatchesSortedByQualityGreedily) {
+  std::vector<double> v(200, 0.0);
+  const ts::TimeSeries strong = data::patterns::Bump(200, 50.0, 7.0, 1.0);
+  const ts::TimeSeries weak = data::patterns::Bump(200, 150.0, 7.0, 0.6);
+  for (std::size_t i = 0; i < 200; ++i) v[i] = strong[i] + weak[i];
+  const auto matches =
+      FindTopKSubsequences(BumpQuery(), ts::TimeSeries(std::move(v)), 2);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_LE(matches[0].distance, matches[1].distance);
+  // The strong bump should win round one.
+  EXPECT_LE(matches[0].begin, 50u);
+  EXPECT_GE(matches[0].end, 50u);
+}
+
+TEST(TopKSubsequenceTest, KZeroGivesNothing) {
+  EXPECT_TRUE(
+      FindTopKSubsequences(BumpQuery(), SeriesWithBump(), 0).empty());
+}
+
+TEST(TopKSubsequenceTest, ExhaustsSeriesGracefully) {
+  // Ask for far more matches than samples available: every returned match
+  // must be finite and the windows pairwise disjoint (the series has only
+  // 80 samples, so at most 80 windows exist).
+  const auto matches =
+      FindTopKSubsequences(BumpQuery(), SeriesWithBump(80), 200);
+  EXPECT_GE(matches.size(), 1u);
+  EXPECT_LE(matches.size(), 80u);
+  for (std::size_t a = 0; a < matches.size(); ++a) {
+    EXPECT_TRUE(std::isfinite(matches[a].distance));
+    for (std::size_t b = a + 1; b < matches.size(); ++b) {
+      EXPECT_TRUE(matches[a].end < matches[b].begin ||
+                  matches[b].end < matches[a].begin);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace sdtw

@@ -1,0 +1,88 @@
+#include "eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace sdtw {
+namespace eval {
+namespace {
+
+TEST(ConfusionMatrixTest, EmptyMatrix) {
+  ConfusionMatrix cm;
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.MacroRecall(), 0.0);
+  EXPECT_TRUE(cm.Labels().empty());
+}
+
+TEST(ConfusionMatrixTest, PerfectPredictions) {
+  ConfusionMatrix cm;
+  cm.Add(0, 0);
+  cm.Add(1, 1);
+  cm.Add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.MacroRecall(), 1.0);
+  EXPECT_EQ(cm.total(), 3u);
+}
+
+TEST(ConfusionMatrixTest, CountsCells) {
+  ConfusionMatrix cm;
+  cm.Add(0, 1);
+  cm.Add(0, 1);
+  cm.Add(0, 0);
+  EXPECT_EQ(cm.Count(0, 1), 2u);
+  EXPECT_EQ(cm.Count(0, 0), 1u);
+  EXPECT_EQ(cm.Count(1, 0), 0u);
+}
+
+TEST(ConfusionMatrixTest, AccuracyMixed) {
+  ConfusionMatrix cm;
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  cm.Add(1, 1);
+  cm.Add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.5);
+}
+
+TEST(ConfusionMatrixTest, RecallPerClass) {
+  ConfusionMatrix cm;
+  cm.Add(0, 0);
+  cm.Add(0, 0);
+  cm.Add(0, 1);  // class 0: 2/3 recall
+  cm.Add(1, 1);  // class 1: 1/1
+  EXPECT_NEAR(cm.Recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(99), 0.0);
+  EXPECT_NEAR(cm.MacroRecall(), (2.0 / 3.0 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, PrecisionPerClass) {
+  ConfusionMatrix cm;
+  cm.Add(0, 0);
+  cm.Add(1, 0);  // predicted 0 twice, one correct
+  cm.Add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.Precision(0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(42), 0.0);
+}
+
+TEST(ConfusionMatrixTest, LabelsUnionOfTruthAndPredicted) {
+  ConfusionMatrix cm;
+  cm.Add(0, 5);
+  const auto labels = cm.Labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 5);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCells) {
+  ConfusionMatrix cm;
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  const std::string s = cm.ToString();
+  EXPECT_NE(s.find("truth"), std::string::npos);
+  EXPECT_NE(s.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace sdtw

@@ -1,0 +1,128 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace sdtw {
+namespace eval {
+namespace {
+
+ts::Dataset SmallGun() {
+  data::GeneratorOptions opt;
+  opt.num_series = 12;
+  opt.length = 80;
+  return data::MakeGunLike(opt);
+}
+
+TEST(DistanceMatrixTest, FullDtwSymmetricZeroDiagonal) {
+  const ts::Dataset ds = SmallGun();
+  const DistanceMatrix m = ComputeFullDtwMatrix(ds);
+  ASSERT_EQ(m.n, ds.size());
+  for (std::size_t i = 0; i < m.n; ++i) {
+    EXPECT_DOUBLE_EQ(m.At(i, i), 0.0);
+    for (std::size_t j = 0; j < m.n; ++j) {
+      EXPECT_DOUBLE_EQ(m.At(i, j), m.At(j, i));
+    }
+  }
+  EXPECT_GT(m.dp_seconds, 0.0);
+}
+
+TEST(DistanceMatrixTest, SdtwMatrixUpperBoundsReference) {
+  const ts::Dataset ds = SmallGun();
+  const DistanceMatrix ref = ComputeFullDtwMatrix(ds);
+  core::SdtwOptions opt;
+  const DistanceMatrix approx = ComputeSdtwMatrix(ds, opt);
+  for (std::size_t i = 0; i < ref.n; ++i) {
+    for (std::size_t j = 0; j < ref.n; ++j) {
+      EXPECT_GE(approx.At(i, j), ref.At(i, j) - 1e-9);
+      EXPECT_TRUE(std::isfinite(approx.At(i, j)));
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, SdtwFillsFewerCells) {
+  const ts::Dataset ds = SmallGun();
+  const DistanceMatrix ref = ComputeFullDtwMatrix(ds);
+  core::SdtwOptions opt;
+  opt.constraint.type = core::ConstraintType::kFixedCoreFixedWidth;
+  opt.constraint.fixed_width_fraction = 0.1;
+  const DistanceMatrix approx = ComputeSdtwMatrix(ds, opt);
+  EXPECT_LT(approx.cells_filled, ref.cells_filled);
+}
+
+TEST(ComputeMetricsTest, SelfComparisonIsPerfect) {
+  const ts::Dataset ds = SmallGun();
+  const DistanceMatrix ref = ComputeFullDtwMatrix(ds);
+  const AlgorithmMetrics m = ComputeMetrics("self", ds, ref, ref);
+  EXPECT_DOUBLE_EQ(m.retrieval_accuracy_top5, 1.0);
+  EXPECT_DOUBLE_EQ(m.retrieval_accuracy_top10, 1.0);
+  EXPECT_DOUBLE_EQ(m.distance_error, 0.0);
+  EXPECT_DOUBLE_EQ(m.classification_accuracy_top5, 1.0);
+  EXPECT_DOUBLE_EQ(m.classification_accuracy_top10, 1.0);
+}
+
+TEST(ComputeMetricsTest, DistanceErrorNonNegativeForBands) {
+  const ts::Dataset ds = SmallGun();
+  const DistanceMatrix ref = ComputeFullDtwMatrix(ds);
+  core::SdtwOptions opt;
+  opt.constraint.type = core::ConstraintType::kFixedCoreFixedWidth;
+  opt.constraint.fixed_width_fraction = 0.06;
+  const DistanceMatrix approx = ComputeSdtwMatrix(ds, opt);
+  const AlgorithmMetrics m = ComputeMetrics("fc", ds, ref, approx);
+  EXPECT_GE(m.distance_error, 0.0);
+  EXPECT_GE(m.intra_class_distance_error, 0.0);
+}
+
+TEST(ComputeMetricsTest, MismatchedShapesGiveDefault) {
+  const ts::Dataset ds = SmallGun();
+  const DistanceMatrix ref = ComputeFullDtwMatrix(ds);
+  DistanceMatrix wrong;
+  wrong.n = 2;
+  wrong.distance.assign(4, 0.0);
+  const AlgorithmMetrics m = ComputeMetrics("bad", ds, ref, wrong);
+  EXPECT_DOUBLE_EQ(m.retrieval_accuracy_top5, 0.0);
+}
+
+TEST(RunExperimentTest, FullRosterProducesMetrics) {
+  data::GeneratorOptions gopt;
+  gopt.num_series = 10;
+  gopt.length = 60;
+  const ts::Dataset ds = data::MakeGunLike(gopt);
+  const auto roster = core::PaperAlgorithmRoster(16);
+  const ExperimentResult result = RunExperiment(ds, roster);
+  ASSERT_EQ(result.algorithms.size(), roster.size());
+  // The dtw row is the reference itself: perfect accuracy, zero error.
+  EXPECT_DOUBLE_EQ(result.algorithms[0].retrieval_accuracy_top5, 1.0);
+  EXPECT_DOUBLE_EQ(result.algorithms[0].distance_error, 0.0);
+  for (const AlgorithmMetrics& a : result.algorithms) {
+    EXPECT_GE(a.retrieval_accuracy_top5, 0.0);
+    EXPECT_LE(a.retrieval_accuracy_top5, 1.0);
+    EXPECT_GE(a.distance_error, -1e-9);
+  }
+}
+
+TEST(RunExperimentTest, WiderSakoeBandIsMoreAccurate) {
+  data::GeneratorOptions gopt;
+  gopt.num_series = 14;
+  gopt.length = 100;
+  gopt.deform.shift_fraction = 0.10;  // force visible shifts
+  const ts::Dataset ds = data::MakeTraceLike(gopt);
+  std::vector<core::NamedConfig> roster;
+  for (double w : {0.06, 0.20}) {
+    core::NamedConfig c;
+    c.label = w < 0.1 ? "narrow" : "wide";
+    c.options.constraint.type = core::ConstraintType::kFixedCoreFixedWidth;
+    c.options.constraint.fixed_width_fraction = w;
+    roster.push_back(c);
+  }
+  const ExperimentResult result = RunExperiment(ds, roster);
+  // Paper Fig 13(a): larger w => more accurate fc,fw.
+  EXPECT_LE(result.algorithms[1].distance_error,
+            result.algorithms[0].distance_error + 1e-9);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace sdtw

@@ -1,0 +1,146 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace sdtw {
+namespace eval {
+namespace {
+
+TEST(TopKTest, ReturnsSmallestDistances) {
+  const std::vector<double> d{5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto top = TopK(d, 2, 99);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(TopKTest, ExcludesSelf) {
+  const std::vector<double> d{0.0, 1.0, 2.0};
+  const auto top = TopK(d, 2, 0);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+}
+
+TEST(TopKTest, KLargerThanCandidates) {
+  const std::vector<double> d{1.0, 2.0};
+  const auto top = TopK(d, 10, 0);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+TEST(TopKTest, TiesBrokenByIndex) {
+  const std::vector<double> d{1.0, 1.0, 1.0};
+  const auto top = TopK(d, 2, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(TopKOverlapTest, FullOverlap) {
+  EXPECT_DOUBLE_EQ(TopKOverlap({1, 2, 3}, {3, 2, 1}, 3), 1.0);
+}
+
+TEST(TopKOverlapTest, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(TopKOverlap({1, 2, 3, 4}, {3, 4, 5, 6}, 4), 0.5);
+}
+
+TEST(TopKOverlapTest, NoOverlap) {
+  EXPECT_DOUBLE_EQ(TopKOverlap({1, 2}, {3, 4}, 2), 0.0);
+}
+
+TEST(TopKOverlapTest, ZeroKIsZero) {
+  EXPECT_DOUBLE_EQ(TopKOverlap({}, {}, 0), 0.0);
+}
+
+TEST(DistanceErrorTest, ExactMatchIsZero) {
+  EXPECT_DOUBLE_EQ(DistanceError(2.0, 2.0), 0.0);
+}
+
+TEST(DistanceErrorTest, OverestimateIsPositive) {
+  EXPECT_DOUBLE_EQ(DistanceError(2.0, 3.0), 0.5);
+}
+
+TEST(DistanceErrorTest, ZeroReferenceZeroApprox) {
+  EXPECT_DOUBLE_EQ(DistanceError(0.0, 0.0), 0.0);
+}
+
+TEST(DistanceErrorTest, ZeroReferenceNonzeroApproxIsInf) {
+  EXPECT_TRUE(std::isinf(DistanceError(0.0, 1.0)));
+}
+
+TEST(KnnLabelSetTest, SingleMajorityLabel) {
+  const std::vector<int> labels{0, 1, 1, 2};
+  const auto set = KnnLabelSet({1, 2, 3}, labels);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], 1);
+}
+
+TEST(KnnLabelSetTest, TieReturnsAllMaxLabels) {
+  const std::vector<int> labels{0, 1, 0, 1};
+  const auto set = KnnLabelSet({0, 1, 2, 3}, labels);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0], 0);
+  EXPECT_EQ(set[1], 1);
+}
+
+TEST(KnnLabelSetTest, EmptyNeighboursGiveEmptySet) {
+  EXPECT_TRUE(KnnLabelSet({}, {0, 1}).empty());
+}
+
+TEST(KnnLabelSetTest, OutOfRangeIndicesIgnored) {
+  const std::vector<int> labels{7};
+  const auto set = KnnLabelSet({0, 5}, labels);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], 7);
+}
+
+TEST(LabelSetJaccardTest, IdenticalSetsAreOne) {
+  EXPECT_DOUBLE_EQ(LabelSetJaccard({1, 2}, {2, 1}), 1.0);
+}
+
+TEST(LabelSetJaccardTest, DisjointSetsAreZero) {
+  EXPECT_DOUBLE_EQ(LabelSetJaccard({1}, {2}), 0.0);
+}
+
+TEST(LabelSetJaccardTest, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(LabelSetJaccard({1, 2}, {2, 3}), 1.0 / 3.0);
+}
+
+TEST(LabelSetJaccardTest, BothEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(LabelSetJaccard({}, {}), 1.0);
+}
+
+TEST(LabelSetJaccardTest, DuplicatesDeduplicated) {
+  EXPECT_DOUBLE_EQ(LabelSetJaccard({1, 1, 1}, {1}), 1.0);
+}
+
+TEST(MeanAccumulatorTest, EmptyMeanIsZero) {
+  MeanAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.count(), 0u);
+}
+
+TEST(MeanAccumulatorTest, RunningMean) {
+  MeanAccumulator acc;
+  acc.Add(1.0);
+  acc.Add(2.0);
+  acc.Add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_EQ(acc.count(), 3u);
+}
+
+TEST(TimeGainTest, HalfTimeIsHalfGain) {
+  EXPECT_DOUBLE_EQ(TimeGain(2.0, 1.0), 0.5);
+}
+
+TEST(TimeGainTest, SlowerIsNegative) {
+  EXPECT_LT(TimeGain(1.0, 2.0), 0.0);
+}
+
+TEST(TimeGainTest, ZeroReferenceIsZero) {
+  EXPECT_DOUBLE_EQ(TimeGain(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace sdtw

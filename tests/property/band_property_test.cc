@@ -1,0 +1,185 @@
+// Property-based tests on Band construction and feasibility repair, swept
+// over grid shapes and randomly corrupted bands.
+
+#include <gtest/gtest.h>
+
+#include "core/constraints.h"
+#include "dtw/band.h"
+#include "dtw/dtw.h"
+#include "ts/random.h"
+
+namespace sdtw {
+namespace dtw {
+namespace {
+
+struct GridShape {
+  std::size_t n;
+  std::size_t m;
+  std::uint64_t seed;
+};
+
+class BandPropertyTest : public ::testing::TestWithParam<GridShape> {};
+
+Band RandomBand(std::size_t n, std::size_t m, ts::Rng& rng) {
+  std::vector<BandRow> rows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t a =
+        static_cast<std::size_t>(rng.UniformInt(0, static_cast<long>(m - 1)));
+    const std::size_t b =
+        static_cast<std::size_t>(rng.UniformInt(0, static_cast<long>(m - 1)));
+    rows[i] = BandRow{std::min(a, b), std::max(a, b)};
+  }
+  return Band::FromRows(std::move(rows), m);
+}
+
+TEST_P(BandPropertyTest, MakeFeasibleAlwaysRepairsRandomBands) {
+  const GridShape p = GetParam();
+  ts::Rng rng(p.seed);
+  for (int trial = 0; trial < 25; ++trial) {
+    Band band = RandomBand(p.n, p.m, rng);
+    band.MakeFeasible();
+    EXPECT_TRUE(band.IsFeasible())
+        << "trial " << trial << " on " << p.n << "x" << p.m;
+  }
+}
+
+TEST_P(BandPropertyTest, MakeFeasibleIsIdempotent) {
+  const GridShape p = GetParam();
+  ts::Rng rng(p.seed + 100);
+  for (int trial = 0; trial < 10; ++trial) {
+    Band band = RandomBand(p.n, p.m, rng);
+    band.MakeFeasible();
+    Band again = band;
+    again.MakeFeasible();
+    EXPECT_EQ(band, again);
+  }
+}
+
+TEST_P(BandPropertyTest, FeasibleBandsYieldFiniteDtw) {
+  const GridShape p = GetParam();
+  ts::Rng rng(p.seed + 200);
+  std::vector<double> xv(p.n), yv(p.m);
+  for (double& v : xv) v = rng.Gaussian();
+  for (double& v : yv) v = rng.Gaussian();
+  const ts::TimeSeries x(xv), y(yv);
+  for (int trial = 0; trial < 10; ++trial) {
+    Band band = RandomBand(p.n, p.m, rng);
+    band.MakeFeasible();
+    const DtwResult r = DtwBanded(x, y, band);
+    EXPECT_TRUE(std::isfinite(r.distance)) << trial;
+    EXPECT_TRUE(IsValidWarpPath(r.path, p.n, p.m)) << trial;
+    for (const PathPoint& pt : r.path) {
+      EXPECT_TRUE(band.Contains(pt.first, pt.second));
+    }
+  }
+}
+
+TEST_P(BandPropertyTest, UnionPreservesFeasibility) {
+  const GridShape p = GetParam();
+  ts::Rng rng(p.seed + 300);
+  for (int trial = 0; trial < 10; ++trial) {
+    Band a = RandomBand(p.n, p.m, rng);
+    Band b = RandomBand(p.n, p.m, rng);
+    a.MakeFeasible();
+    b.MakeFeasible();
+    ASSERT_TRUE(a.UnionWith(b));
+    // Union of two feasible bands is feasible: both corner anchors remain
+    // and row-connectivity can only improve with wider rows.
+    EXPECT_TRUE(a.IsFeasible()) << trial;
+  }
+}
+
+TEST_P(BandPropertyTest, TransposeInvolution) {
+  const GridShape p = GetParam();
+  ts::Rng rng(p.seed + 400);
+  Band band = RandomBand(p.n, p.m, rng);
+  band.MakeFeasible();
+  const Band round_trip = band.Transpose().Transpose();
+  // Transpose is lossless for bands whose rows are contiguous intervals in
+  // both directions; the involution must at least contain the original.
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t j = band.row(i).lo; j <= band.row(i).hi; ++j) {
+      EXPECT_TRUE(round_trip.Contains(i, j));
+    }
+  }
+}
+
+TEST_P(BandPropertyTest, CellCountMatchesContains) {
+  const GridShape p = GetParam();
+  ts::Rng rng(p.seed + 500);
+  Band band = RandomBand(p.n, p.m, rng);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t j = 0; j < p.m; ++j) {
+      if (band.Contains(i, j)) ++count;
+    }
+  }
+  EXPECT_EQ(count, band.CellCount());
+}
+
+TEST_P(BandPropertyTest, SakoeChibaContainsScaledDiagonal) {
+  const GridShape p = GetParam();
+  const Band band = SakoeChibaBand(p.n, p.m, 0.1);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    const std::size_t j = p.n > 1
+                              ? (i * (p.m - 1)) / (p.n - 1)
+                              : 0;
+    EXPECT_TRUE(band.Contains(i, j)) << i;
+  }
+}
+
+TEST_P(BandPropertyTest, ConstraintBandsFeasibleUnderRandomIntervals) {
+  const GridShape p = GetParam();
+  ts::Rng rng(p.seed + 600);
+  // Random (possibly ugly) interval partitions with matching counts.
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t cuts =
+        static_cast<std::size_t>(rng.UniformInt(0, 4));
+    std::vector<std::size_t> bx{0}, by{0};
+    for (std::size_t c = 0; c < cuts; ++c) {
+      bx.push_back(static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<long>(p.n - 1))));
+      by.push_back(static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<long>(p.m - 1))));
+    }
+    std::sort(bx.begin(), bx.end());
+    std::sort(by.begin(), by.end());
+    bx.push_back(p.n - 1);
+    by.push_back(p.m - 1);
+    std::vector<align::IntervalPair> intervals;
+    for (std::size_t k = 0; k + 1 < bx.size(); ++k) {
+      align::IntervalPair ip;
+      ip.begin_x = bx[k];
+      ip.end_x = bx[k + 1];
+      ip.begin_y = by[k];
+      ip.end_y = by[k + 1];
+      intervals.push_back(ip);
+    }
+    for (core::ConstraintType type :
+         {core::ConstraintType::kFixedCoreAdaptiveWidth,
+          core::ConstraintType::kAdaptiveCoreFixedWidth,
+          core::ConstraintType::kAdaptiveCoreAdaptiveWidth}) {
+      core::ConstraintOptions opt;
+      opt.type = type;
+      const Band band = core::BuildConstraintBand(p.n, p.m, intervals, opt);
+      EXPECT_TRUE(band.IsFeasible())
+          << core::ConstraintTypeName(type) << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, BandPropertyTest,
+    ::testing::Values(GridShape{2, 2, 1}, GridShape{5, 9, 2},
+                      GridShape{9, 5, 3}, GridShape{20, 20, 4},
+                      GridShape{50, 13, 5}, GridShape{13, 50, 6},
+                      GridShape{100, 100, 7}, GridShape{1, 10, 8},
+                      GridShape{10, 1, 9}, GridShape{3, 200, 10}),
+    [](const ::testing::TestParamInfo<GridShape>& info) {
+      return "n" + std::to_string(info.param.n) + "_m" +
+             std::to_string(info.param.m);
+    });
+
+}  // namespace
+}  // namespace dtw
+}  // namespace sdtw

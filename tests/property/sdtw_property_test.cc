@@ -1,0 +1,190 @@
+// Property-based tests on the full sDTW pipeline, swept over constraint
+// strategies, descriptor lengths, and data profiles.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/sdtw.h"
+#include "data/generators.h"
+#include "dtw/dtw.h"
+#include "ts/random.h"
+#include "ts/transforms.h"
+
+namespace sdtw {
+namespace core {
+namespace {
+
+struct PipelineParam {
+  ConstraintType type;
+  std::size_t descriptor_length;
+  std::size_t radius;
+  bool symmetric;
+};
+
+class SdtwPropertyTest : public ::testing::TestWithParam<PipelineParam> {
+ protected:
+  SdtwOptions MakeOptions() const {
+    const PipelineParam p = GetParam();
+    SdtwOptions opt;
+    opt.constraint.type = p.type;
+    opt.constraint.width_average_radius = p.radius;
+    opt.constraint.symmetric = p.symmetric;
+    opt.extractor.descriptor_length = p.descriptor_length;
+    return opt;
+  }
+};
+
+ts::TimeSeries Smooth(std::size_t n, std::uint64_t seed, std::size_t k = 12) {
+  ts::Rng rng(seed);
+  return ts::ZNormalize(data::patterns::RandomSmooth(n, k, rng));
+}
+
+TEST_P(SdtwPropertyTest, DistanceFiniteAndUpperBoundsOptimal) {
+  Sdtw engine(MakeOptions());
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const ts::TimeSeries x = Smooth(120, 1000 + seed);
+    const ts::TimeSeries y = Smooth(140, 2000 + seed);
+    const double approx = engine.Compare(x, y).distance;
+    EXPECT_TRUE(std::isfinite(approx)) << seed;
+    EXPECT_GE(approx, dtw::DtwDistance(x, y) - 1e-9) << seed;
+  }
+}
+
+TEST_P(SdtwPropertyTest, SelfDistanceZero) {
+  Sdtw engine(MakeOptions());
+  const ts::TimeSeries x = Smooth(130, 7);
+  EXPECT_NEAR(engine.Compare(x, x).distance, 0.0, 1e-9);
+}
+
+TEST_P(SdtwPropertyTest, BandAlwaysFeasible) {
+  Sdtw engine(MakeOptions());
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const ts::TimeSeries x = Smooth(100, 3000 + seed);
+    const ts::TimeSeries y = Smooth(100 + 10 * seed, 4000 + seed);
+    const SdtwResult r = engine.Compare(x, y);
+    EXPECT_TRUE(r.band.IsFeasible()) << seed;
+  }
+}
+
+TEST_P(SdtwPropertyTest, DeterministicAcrossRuns) {
+  Sdtw engine(MakeOptions());
+  const ts::TimeSeries x = Smooth(110, 8);
+  const ts::TimeSeries y = Smooth(110, 9);
+  EXPECT_DOUBLE_EQ(engine.Compare(x, y).distance,
+                   engine.Compare(x, y).distance);
+}
+
+TEST_P(SdtwPropertyTest, RobustToConstantInput) {
+  Sdtw engine(MakeOptions());
+  const ts::TimeSeries flat = ts::TimeSeries::Constant(100, 0.0);
+  const ts::TimeSeries x = Smooth(100, 10);
+  EXPECT_TRUE(std::isfinite(engine.Compare(flat, x).distance));
+  EXPECT_TRUE(std::isfinite(engine.Compare(x, flat).distance));
+  EXPECT_NEAR(engine.Compare(flat, flat).distance, 0.0, 1e-12);
+}
+
+TEST_P(SdtwPropertyTest, RobustToShortInputs) {
+  Sdtw engine(MakeOptions());
+  const ts::TimeSeries tiny({0.1, 0.9, 0.2, 0.8});
+  const ts::TimeSeries x = Smooth(90, 11);
+  EXPECT_TRUE(std::isfinite(engine.Compare(tiny, x).distance));
+  EXPECT_TRUE(std::isfinite(engine.Compare(tiny, tiny).distance));
+}
+
+TEST_P(SdtwPropertyTest, NoiseInjectionKeepsPipelineAlive) {
+  // Failure injection: heavy noise, spikes, NaN-free but extreme values.
+  Sdtw engine(MakeOptions());
+  ts::Rng rng(12);
+  ts::TimeSeries spiky = Smooth(120, 13);
+  for (std::size_t i = 0; i < spiky.size(); i += 17) {
+    spiky[i] += rng.Coin() ? 50.0 : -50.0;
+  }
+  const ts::TimeSeries x = Smooth(120, 14);
+  const double d = engine.Compare(spiky, x).distance;
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GE(d, 0.0);
+}
+
+TEST_P(SdtwPropertyTest, IntervalsAlwaysTileBothSeries) {
+  Sdtw engine(MakeOptions());
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const ts::TimeSeries x = Smooth(100, 5000 + seed);
+    const ts::TimeSeries y = Smooth(130, 6000 + seed);
+    const SdtwResult r = engine.Compare(x, y);
+    ASSERT_FALSE(r.intervals.empty());
+    EXPECT_EQ(r.intervals.front().begin_x, 0u);
+    EXPECT_EQ(r.intervals.back().end_x, 99u);
+    EXPECT_EQ(r.intervals.front().begin_y, 0u);
+    EXPECT_EQ(r.intervals.back().end_y, 129u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategySweep, SdtwPropertyTest,
+    ::testing::Values(
+        PipelineParam{ConstraintType::kFixedCoreFixedWidth, 64, 0, false},
+        PipelineParam{ConstraintType::kFixedCoreAdaptiveWidth, 64, 0, false},
+        PipelineParam{ConstraintType::kAdaptiveCoreFixedWidth, 64, 0, false},
+        PipelineParam{ConstraintType::kAdaptiveCoreAdaptiveWidth, 64, 0,
+                      false},
+        PipelineParam{ConstraintType::kAdaptiveCoreAdaptiveWidth, 64, 1,
+                      false},
+        PipelineParam{ConstraintType::kAdaptiveCoreAdaptiveWidth, 64, 2,
+                      false},
+        PipelineParam{ConstraintType::kAdaptiveCoreAdaptiveWidth, 4, 0,
+                      false},
+        PipelineParam{ConstraintType::kAdaptiveCoreAdaptiveWidth, 128, 0,
+                      false},
+        PipelineParam{ConstraintType::kAdaptiveCoreFixedWidth, 8, 0, false},
+        PipelineParam{ConstraintType::kFixedCoreAdaptiveWidth, 16, 1, false},
+        PipelineParam{ConstraintType::kAdaptiveCoreAdaptiveWidth, 64, 0,
+                      true},
+        PipelineParam{ConstraintType::kAdaptiveCoreFixedWidth, 32, 0, true}),
+    [](const ::testing::TestParamInfo<PipelineParam>& info) {
+      std::string name;
+      switch (info.param.type) {
+        case ConstraintType::kFixedCoreFixedWidth:
+          name = "fcfw";
+          break;
+        case ConstraintType::kFixedCoreAdaptiveWidth:
+          name = "fcaw";
+          break;
+        case ConstraintType::kAdaptiveCoreFixedWidth:
+          name = "acfw";
+          break;
+        case ConstraintType::kAdaptiveCoreAdaptiveWidth:
+          name = "acaw";
+          break;
+      }
+      name += "_d" + std::to_string(info.param.descriptor_length);
+      name += "_r" + std::to_string(info.param.radius);
+      if (info.param.symmetric) name += "_sym";
+      return name;
+    });
+
+// Descriptor-length sweep as its own parameterized suite (Figure 18's axis).
+class DescriptorSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DescriptorSweepTest, ExtractionAndMatchingWork) {
+  SdtwOptions opt;
+  opt.extractor.descriptor_length = GetParam();
+  Sdtw engine(opt);
+  const ts::TimeSeries x = Smooth(150, 20);
+  const auto features = engine.ExtractFeatures(x);
+  ASSERT_FALSE(features.empty());
+  for (const auto& kp : features) {
+    EXPECT_EQ(kp.descriptor.size(), GetParam());
+  }
+  const ts::TimeSeries y = Smooth(150, 21);
+  EXPECT_TRUE(std::isfinite(engine.Compare(x, y).distance));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig18Lengths, DescriptorSweepTest,
+                         ::testing::Values(4, 8, 16, 32, 64, 128),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "len" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace core
+}  // namespace sdtw

@@ -1,0 +1,178 @@
+#include "retrieval/knn.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "dtw/dtw.h"
+
+namespace sdtw {
+namespace retrieval {
+namespace {
+
+ts::Dataset SmallGun(std::size_t n = 16, std::size_t len = 100) {
+  data::GeneratorOptions opt;
+  opt.num_series = n;
+  opt.length = len;
+  return data::MakeGunLike(opt);
+}
+
+TEST(KnnEngineTest, EmptyIndexReturnsNothing) {
+  KnnEngine engine;
+  EXPECT_TRUE(engine.Query(ts::TimeSeries({1.0, 2.0}), 3).empty());
+  EXPECT_EQ(engine.Classify(ts::TimeSeries({1.0, 2.0}), 3), -1);
+}
+
+TEST(KnnEngineTest, SelfQueryFindsSelfFirst) {
+  const ts::Dataset ds = SmallGun();
+  KnnEngine engine;
+  engine.Index(ds);
+  const auto hits = engine.Query(ds[3], 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].index, 3u);
+  EXPECT_NEAR(hits[0].distance, 0.0, 1e-9);
+}
+
+TEST(KnnEngineTest, ExcludeSupportsLeaveOneOut) {
+  const ts::Dataset ds = SmallGun();
+  KnnEngine engine;
+  engine.Index(ds);
+  const auto hits = engine.Query(ds[3], 3, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  for (const Hit& h : hits) EXPECT_NE(h.index, 3u);
+}
+
+TEST(KnnEngineTest, HitsSortedAscending) {
+  const ts::Dataset ds = SmallGun();
+  KnnEngine engine;
+  engine.Index(ds);
+  const auto hits = engine.Query(ds[0], 5, 0);
+  ASSERT_EQ(hits.size(), 5u);
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i].distance, hits[i - 1].distance);
+  }
+}
+
+TEST(KnnEngineTest, FullDtwModeMatchesDirectComputation) {
+  const ts::Dataset ds = SmallGun(10);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kFullDtw;
+  opt.use_lb_kim = false;
+  opt.use_lb_keogh = false;
+  opt.use_early_abandon = false;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const auto hits = engine.Query(ds[0], 1, 0);
+  ASSERT_EQ(hits.size(), 1u);
+  // Verify against brute force.
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+  for (std::size_t j = 1; j < ds.size(); ++j) {
+    const double d = dtw::DtwDistance(ds[0], ds[j]);
+    if (d < best) {
+      best = d;
+      best_idx = j;
+    }
+  }
+  EXPECT_EQ(hits[0].index, best_idx);
+  EXPECT_NEAR(hits[0].distance, best, 1e-9);
+}
+
+TEST(KnnEngineTest, CascadePreservesExactResults) {
+  // The LB cascade and early abandoning must not change the top-k result
+  // for the exact-DTW distance.
+  const ts::Dataset ds = SmallGun(14);
+  KnnOptions plain;
+  plain.distance = DistanceKind::kFullDtw;
+  plain.use_lb_kim = false;
+  plain.use_lb_keogh = false;
+  plain.use_early_abandon = false;
+  KnnOptions cascade;
+  cascade.distance = DistanceKind::kFullDtw;
+  KnnEngine a(plain), b(cascade);
+  a.Index(ds);
+  b.Index(ds);
+  for (std::size_t q = 0; q < 5; ++q) {
+    const auto ha = a.Query(ds[q], 3, q);
+    const auto hb = b.Query(ds[q], 3, q);
+    ASSERT_EQ(ha.size(), hb.size()) << q;
+    for (std::size_t i = 0; i < ha.size(); ++i) {
+      EXPECT_EQ(ha[i].index, hb[i].index) << q;
+      EXPECT_NEAR(ha[i].distance, hb[i].distance, 1e-9) << q;
+    }
+  }
+}
+
+TEST(KnnEngineTest, CascadeActuallyPrunes) {
+  const ts::Dataset ds = SmallGun(20);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kFullDtw;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  QueryStats stats;
+  engine.Query(ds[0], 1, 0, &stats);
+  EXPECT_EQ(stats.candidates, 19u);
+  EXPECT_GT(stats.pruned_by_kim + stats.pruned_by_keogh +
+                stats.pruned_by_early_abandon,
+            0u);
+  EXPECT_LT(stats.dp_evaluations, stats.candidates);
+}
+
+TEST(KnnEngineTest, ClassifyMajorityVote) {
+  const ts::Dataset ds = SmallGun(20);
+  KnnEngine engine;
+  engine.Index(ds);
+  // Self-classification with k=3 including self should recover the label.
+  int correct = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (engine.Classify(ds[i], 3) == ds[i].label()) ++correct;
+  }
+  EXPECT_GE(correct, 5);
+}
+
+TEST(KnnEngineTest, LeaveOneOutAccuracyReasonable) {
+  const ts::Dataset ds = SmallGun(20, 100);
+  KnnEngine engine;
+  engine.Index(ds);
+  const double acc = engine.LeaveOneOutAccuracy(1);
+  EXPECT_GE(acc, 0.5);  // two balanced classes; random is 0.5
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(KnnEngineTest, SdtwModeUpperBoundsFullDtwDistances) {
+  const ts::Dataset ds = SmallGun(10);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kSdtw;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const auto hits = engine.Query(ds[0], 3, 0);
+  for (const Hit& h : hits) {
+    EXPECT_GE(h.distance, dtw::DtwDistance(ds[0], ds[h.index]) - 1e-9);
+  }
+}
+
+TEST(KnnEngineTest, EuclideanModeOnEqualLengths) {
+  ts::Dataset ds;
+  ds.Add(ts::TimeSeries({0.0, 0.0, 0.0}, 0));
+  ds.Add(ts::TimeSeries({1.0, 1.0, 1.0}, 1));
+  ds.Add(ts::TimeSeries({5.0, 5.0, 5.0}, 2));
+  KnnOptions opt;
+  opt.distance = DistanceKind::kEuclidean;
+  opt.use_lb_kim = false;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const auto hits = engine.Query(ts::TimeSeries({0.9, 0.9, 0.9}), 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].index, 1u);
+}
+
+TEST(KnnEngineTest, KLargerThanIndexReturnsAll) {
+  const ts::Dataset ds = SmallGun(5);
+  KnnEngine engine;
+  engine.Index(ds);
+  EXPECT_EQ(engine.Query(ds[0], 100).size(), 5u);
+}
+
+}  // namespace
+}  // namespace retrieval
+}  // namespace sdtw

@@ -1,0 +1,98 @@
+#include "retrieval/parallel.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "dtw/dtw.h"
+#include "eval/experiment.h"
+
+namespace sdtw {
+namespace retrieval {
+namespace {
+
+TEST(ParallelMatrixTest, TrivialSizes) {
+  EXPECT_TRUE(ParallelPairwiseMatrix(0, [](std::size_t, std::size_t) {
+                return 1.0;
+              }).empty());
+  const auto one = ParallelPairwiseMatrix(1, [](std::size_t, std::size_t) {
+    return 1.0;
+  });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 0.0);
+}
+
+TEST(ParallelMatrixTest, EveryPairComputedExactlyOnce) {
+  const std::size_t n = 17;
+  std::vector<std::atomic<int>> counts(n * n);
+  const auto matrix = ParallelPairwiseMatrix(
+      n,
+      [&counts, n](std::size_t i, std::size_t j) {
+        counts[i * n + j].fetch_add(1);
+        return static_cast<double>(i + j);
+      },
+      4);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const int expected = (i < j) ? 1 : 0;
+      EXPECT_EQ(counts[i * n + j].load(), expected) << i << "," << j;
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(matrix[i * n + j], static_cast<double>(i + j));
+      }
+    }
+  }
+}
+
+TEST(ParallelMatrixTest, SymmetricZeroDiagonal) {
+  const std::size_t n = 9;
+  const auto matrix = ParallelPairwiseMatrix(
+      n,
+      [](std::size_t i, std::size_t j) {
+        return static_cast<double>(i * 31 + j * 7);
+      },
+      3);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i * n + i], 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i * n + j], matrix[j * n + i]);
+    }
+  }
+}
+
+TEST(ParallelMatrixTest, MatchesSequentialDtwMatrix) {
+  data::GeneratorOptions opt;
+  opt.num_series = 10;
+  opt.length = 60;
+  const ts::Dataset ds = data::MakeTraceLike(opt);
+  const eval::DistanceMatrix reference = eval::ComputeFullDtwMatrix(ds);
+  const auto parallel = ParallelPairwiseMatrix(
+      ds.size(),
+      [&ds](std::size_t i, std::size_t j) {
+        return dtw::DtwDistance(ds[i], ds[j]);
+      },
+      4);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t j = 0; j < ds.size(); ++j) {
+      EXPECT_NEAR(parallel[i * ds.size() + j], reference.At(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(ParallelMatrixTest, SingleThreadPathWorks) {
+  const auto matrix = ParallelPairwiseMatrix(
+      5, [](std::size_t i, std::size_t j) { return double(i + j); }, 1);
+  EXPECT_DOUBLE_EQ(matrix[0 * 5 + 4], 4.0);
+}
+
+TEST(ParallelMatrixTest, ThreadCountDoesNotChangeResult) {
+  auto fn = [](std::size_t i, std::size_t j) {
+    return std::sqrt(static_cast<double>(i * 1000 + j));
+  };
+  const auto a = ParallelPairwiseMatrix(23, fn, 1);
+  const auto b = ParallelPairwiseMatrix(23, fn, 7);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace retrieval
+}  // namespace sdtw

@@ -1,0 +1,255 @@
+#include "sift/extractor.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "ts/random.h"
+#include "ts/transforms.h"
+
+namespace sdtw {
+namespace sift {
+namespace {
+
+ts::TimeSeries BumpSeries(std::size_t n, double center, double width) {
+  return data::patterns::Bump(n, center, width, 1.0);
+}
+
+ts::TimeSeries Bumpy(std::size_t n, std::uint64_t seed, std::size_t k = 10) {
+  ts::Rng rng(seed);
+  return data::patterns::RandomSmooth(n, k, rng);
+}
+
+TEST(KeypointTest, ScopeGeometry) {
+  Keypoint kp;
+  kp.position = 50.0;
+  kp.sigma = 4.0;
+  EXPECT_DOUBLE_EQ(kp.scope_radius(), 12.0);
+  EXPECT_DOUBLE_EQ(kp.scope_start(), 38.0);
+  EXPECT_DOUBLE_EQ(kp.scope_end(), 62.0);
+  EXPECT_DOUBLE_EQ(kp.scope_length(), 24.0);
+}
+
+TEST(KeypointTest, ScopeStartClampedAtZero) {
+  Keypoint kp;
+  kp.position = 2.0;
+  kp.sigma = 3.0;
+  EXPECT_DOUBLE_EQ(kp.scope_start(), 0.0);
+}
+
+TEST(KeypointTest, ScaleClassification) {
+  Keypoint kp;
+  kp.octave = 0;
+  EXPECT_EQ(ClassifyScale(kp), ScaleClass::kFine);
+  kp.octave = 1;
+  EXPECT_EQ(ClassifyScale(kp), ScaleClass::kMedium);
+  kp.octave = 2;
+  EXPECT_EQ(ClassifyScale(kp), ScaleClass::kRough);
+  kp.octave = 5;
+  EXPECT_EQ(ClassifyScale(kp), ScaleClass::kRough);
+}
+
+TEST(ExtractorTest, ConstantSeriesHasNoKeypoints) {
+  SalientExtractor ex;
+  const auto kps = ex.Extract(ts::TimeSeries::Constant(200, 1.0));
+  EXPECT_TRUE(kps.empty());
+}
+
+TEST(ExtractorTest, SingleBumpDetected) {
+  SalientExtractor ex;
+  const auto kps = ex.Extract(BumpSeries(128, 64.0, 5.0));
+  ASSERT_FALSE(kps.empty());
+  // At least one keypoint near the bump centre.
+  bool near = false;
+  for (const Keypoint& kp : kps) {
+    if (std::abs(kp.position - 64.0) < 10.0) near = true;
+  }
+  EXPECT_TRUE(near);
+}
+
+TEST(ExtractorTest, KeypointsSortedByPosition) {
+  SalientExtractor ex;
+  const auto kps = ex.Extract(Bumpy(256, 21));
+  for (std::size_t i = 1; i < kps.size(); ++i) {
+    EXPECT_LE(kps[i - 1].position, kps[i].position);
+  }
+}
+
+TEST(ExtractorTest, PositionsWithinSeries) {
+  SalientExtractor ex;
+  const ts::TimeSeries s = Bumpy(150, 22);
+  const auto kps = ex.Extract(s);
+  for (const Keypoint& kp : kps) {
+    EXPECT_GE(kp.position, 0.0);
+    EXPECT_LE(kp.position, static_cast<double>(s.size() - 1));
+  }
+}
+
+TEST(ExtractorTest, DescriptorLengthHonoured) {
+  for (std::size_t len : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    ExtractorOptions opt;
+    opt.descriptor_length = len;
+    SalientExtractor ex(opt);
+    const auto kps = ex.Extract(Bumpy(256, 23));
+    ASSERT_FALSE(kps.empty()) << len;
+    for (const Keypoint& kp : kps) {
+      EXPECT_EQ(kp.descriptor.size(), len);
+    }
+  }
+}
+
+TEST(ExtractorTest, OddDescriptorLengthRoundedUp) {
+  ExtractorOptions opt;
+  opt.descriptor_length = 7;
+  SalientExtractor ex(opt);
+  EXPECT_EQ(ex.options().descriptor_length, 8u);
+}
+
+TEST(ExtractorTest, NormalisedDescriptorsHaveUnitNorm) {
+  SalientExtractor ex;
+  const auto kps = ex.Extract(Bumpy(256, 24));
+  ASSERT_FALSE(kps.empty());
+  for (const Keypoint& kp : kps) {
+    double norm = 0.0;
+    for (double v : kp.descriptor) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      EXPECT_NEAR(norm, 1.0, 1e-6);
+    }
+  }
+}
+
+TEST(ExtractorTest, DescriptorClampBoundsComponents) {
+  ExtractorOptions opt;
+  opt.descriptor_clamp = 0.2;
+  SalientExtractor ex(opt);
+  const auto kps = ex.Extract(Bumpy(256, 25));
+  for (const Keypoint& kp : kps) {
+    for (double v : kp.descriptor) {
+      EXPECT_LE(v, 0.45);  // clamped then renormalised; stays bounded.
+      EXPECT_GE(v, 0.0);
+    }
+  }
+}
+
+TEST(ExtractorTest, AmplitudeInvarianceViaNormalisation) {
+  // Descriptors of s and 3*s should match when normalisation is on.
+  ExtractorOptions opt;
+  SalientExtractor ex(opt);
+  const ts::TimeSeries s = Bumpy(200, 26);
+  const ts::TimeSeries s3 = ts::Scale(s, 3.0);
+  const auto k1 = ex.Extract(s);
+  const auto k2 = ex.Extract(s3);
+  ASSERT_FALSE(k1.empty());
+  ASSERT_EQ(k1.size(), k2.size());
+  for (std::size_t i = 0; i < k1.size(); ++i) {
+    ASSERT_EQ(k1[i].descriptor.size(), k2[i].descriptor.size());
+    for (std::size_t d = 0; d < k1[i].descriptor.size(); ++d) {
+      EXPECT_NEAR(k1[i].descriptor[d], k2[i].descriptor[d], 1e-6);
+    }
+  }
+}
+
+TEST(ExtractorTest, ShiftRobustness) {
+  // A temporal shift moves keypoints by (roughly) the shift amount.
+  const std::size_t n = 256;
+  ts::TimeSeries a = BumpSeries(n, 80.0, 6.0);
+  ts::TimeSeries b = BumpSeries(n, 120.0, 6.0);
+  SalientExtractor ex;
+  const auto ka = ex.Extract(a);
+  const auto kb = ex.Extract(b);
+  ASSERT_FALSE(ka.empty());
+  ASSERT_FALSE(kb.empty());
+  // Strongest keypoint of each should sit near its bump.
+  auto strongest = [](const std::vector<Keypoint>& kps) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < kps.size(); ++i) {
+      if (std::abs(kps[i].response) > std::abs(kps[best].response)) best = i;
+    }
+    return kps[best];
+  };
+  EXPECT_NEAR(strongest(ka).position, 80.0, 12.0);
+  EXPECT_NEAR(strongest(kb).position, 120.0, 12.0);
+}
+
+TEST(ExtractorTest, WiderBumpFoundAtLargerScale) {
+  // A width-30 bump has its characteristic scale around sigma ~ 30, which
+  // lives in octave 4 of the pyramid; give the extractor enough octaves.
+  ExtractorOptions opt;
+  opt.scale_space.num_octaves = 5;
+  SalientExtractor ex3(opt);
+  const auto narrow = ex3.Extract(BumpSeries(512, 256.0, 3.0));
+  const auto wide = ex3.Extract(BumpSeries(512, 256.0, 30.0));
+  ASSERT_FALSE(narrow.empty());
+  ASSERT_FALSE(wide.empty());
+  auto max_sigma = [](const std::vector<Keypoint>& kps) {
+    double s = 0.0;
+    for (const Keypoint& kp : kps) {
+      s = std::max(s, kp.sigma);
+    }
+    return s;
+  };
+  EXPECT_GT(max_sigma(wide), max_sigma(narrow));
+}
+
+TEST(ExtractorTest, EpsilonRelaxationAdmitsMoreKeypoints) {
+  const ts::TimeSeries s = Bumpy(300, 27, 16);
+  ExtractorOptions strict;
+  strict.epsilon = 0.0;
+  ExtractorOptions relaxed;
+  relaxed.epsilon = 0.2;
+  const auto k_strict = SalientExtractor(strict).Extract(s);
+  const auto k_relaxed = SalientExtractor(relaxed).Extract(s);
+  EXPECT_GE(k_relaxed.size(), k_strict.size());
+}
+
+TEST(ExtractorTest, MinContrastFiltersWeakKeypoints) {
+  const ts::TimeSeries s = Bumpy(300, 28, 16);
+  ExtractorOptions low;
+  low.min_contrast = 0.0;
+  ExtractorOptions high;
+  high.min_contrast = 0.05;
+  const auto k_low = SalientExtractor(low).Extract(s);
+  const auto k_high = SalientExtractor(high).Extract(s);
+  EXPECT_LE(k_high.size(), k_low.size());
+}
+
+TEST(ExtractorTest, DipsDetectedWhenMinimaEnabled) {
+  // A pure dip (negative bump).
+  const ts::TimeSeries dip = data::patterns::Bump(128, 64.0, 5.0, -1.0);
+  ExtractorOptions with;
+  with.detect_minima = true;
+  ExtractorOptions without;
+  without.detect_minima = false;
+  const auto k_with = SalientExtractor(with).Extract(dip);
+  const auto k_without = SalientExtractor(without).Extract(dip);
+  // Disabling minima must not find more keypoints than enabling them.
+  EXPECT_GE(k_with.size(), k_without.size());
+  ASSERT_FALSE(k_with.empty());
+}
+
+TEST(ExtractorTest, ScopeRadiusIsThreeSigma) {
+  SalientExtractor ex;
+  const auto kps = ex.Extract(Bumpy(200, 29));
+  for (const Keypoint& kp : kps) {
+    EXPECT_DOUBLE_EQ(kp.scope_radius(), 3.0 * kp.sigma);
+  }
+}
+
+TEST(CountByScaleTest, BucketsByOctave) {
+  std::vector<Keypoint> kps(5);
+  kps[0].octave = 0;
+  kps[1].octave = 0;
+  kps[2].octave = 1;
+  kps[3].octave = 2;
+  kps[4].octave = 4;
+  const ScaleHistogram h = CountByScale(kps);
+  EXPECT_DOUBLE_EQ(h.fine, 2);
+  EXPECT_DOUBLE_EQ(h.medium, 1);
+  EXPECT_DOUBLE_EQ(h.rough, 2);
+  EXPECT_DOUBLE_EQ(h.total(), 5);
+}
+
+}  // namespace
+}  // namespace sift
+}  // namespace sdtw

@@ -1,0 +1,132 @@
+#include "signal/gaussian.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ts/stats.h"
+
+namespace sdtw {
+namespace signal {
+namespace {
+
+TEST(GaussianKernelTest, NormalisedToUnitSum) {
+  const GaussianKernel k = MakeGaussianKernel(2.0);
+  double sum = 0.0;
+  for (double v : k.taps) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(GaussianKernelTest, SymmetricTaps) {
+  const GaussianKernel k = MakeGaussianKernel(1.5);
+  const std::size_t n = k.taps.size();
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    EXPECT_NEAR(k.taps[i], k.taps[n - 1 - i], 1e-12);
+  }
+}
+
+TEST(GaussianKernelTest, PeakAtCentre) {
+  const GaussianKernel k = MakeGaussianKernel(1.0);
+  const std::size_t c = k.radius();
+  for (std::size_t i = 0; i < k.taps.size(); ++i) {
+    EXPECT_LE(k.taps[i], k.taps[c] + 1e-15);
+  }
+}
+
+TEST(GaussianKernelTest, ThreeSigmaSupport) {
+  const GaussianKernel k = MakeGaussianKernel(2.0);
+  EXPECT_EQ(k.radius(), 6u);
+}
+
+TEST(GaussianKernelTest, NonPositiveSigmaIsIdentity) {
+  const GaussianKernel k = MakeGaussianKernel(0.0);
+  ASSERT_EQ(k.taps.size(), 1u);
+  EXPECT_DOUBLE_EQ(k.taps[0], 1.0);
+}
+
+TEST(ConvolveTest, IdentityKernelPreservesSignal) {
+  const std::vector<double> x{1.0, -2.0, 3.0};
+  const auto y = Convolve(x, MakeGaussianKernel(0.0));
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(ConvolveTest, ConstantSignalInvariant) {
+  const std::vector<double> x(20, 4.0);
+  const auto y = Convolve(x, MakeGaussianKernel(2.5));
+  for (double v : y) EXPECT_NEAR(v, 4.0, 1e-12);
+}
+
+TEST(ConvolveTest, SmoothingReducesVariance) {
+  std::vector<double> x(64);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  const auto y = Convolve(x, MakeGaussianKernel(2.0));
+  EXPECT_LT(ts::StdDev(std::span<const double>(y)),
+            ts::StdDev(std::span<const double>(x)));
+}
+
+TEST(ConvolveTest, EmptyInputYieldsEmpty) {
+  EXPECT_TRUE(Convolve({}, MakeGaussianKernel(1.0)).empty());
+}
+
+TEST(ConvolveTest, SingleSampleSurvivesWideKernel) {
+  const auto y = Convolve({5.0}, MakeGaussianKernel(10.0));
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_NEAR(y[0], 5.0, 1e-9);
+}
+
+TEST(ConvolveTest, ReflectiveBoundaryPreservesEdgeLevel) {
+  // A step-free signal should not develop edge artefacts.
+  std::vector<double> x(32);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 2.0;
+  x[31] = 2.0;
+  const auto y = Convolve(x, MakeGaussianKernel(3.0));
+  EXPECT_NEAR(y.front(), 2.0, 1e-9);
+  EXPECT_NEAR(y.back(), 2.0, 1e-9);
+}
+
+TEST(GaussianSmoothTest, PreservesMetadata) {
+  ts::TimeSeries s({1.0, 2.0, 3.0}, 5);
+  s.set_name("abc");
+  const ts::TimeSeries out = GaussianSmooth(s, 1.0);
+  EXPECT_EQ(out.label(), 5);
+  EXPECT_EQ(out.name(), "abc");
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(GradientTest, LinearSignalHasConstantGradient) {
+  std::vector<double> x(10);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 3.0 * static_cast<double>(i);
+  }
+  const auto g = Gradient(x);
+  for (double v : g) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(GradientTest, ConstantSignalHasZeroGradient) {
+  const auto g = Gradient(std::vector<double>(8, 1.0));
+  for (double v : g) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(GradientTest, ShortInputs) {
+  EXPECT_TRUE(Gradient({}).empty());
+  const auto g1 = Gradient({4.0});
+  ASSERT_EQ(g1.size(), 1u);
+  EXPECT_DOUBLE_EQ(g1[0], 0.0);
+}
+
+TEST(Downsample2Test, TakesEverySecondSample) {
+  const auto y = Downsample2({0.0, 1.0, 2.0, 3.0, 4.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+}
+
+TEST(Downsample2Test, EmptyAndSingle) {
+  EXPECT_TRUE(Downsample2({}).empty());
+  EXPECT_EQ(Downsample2({1.0}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace signal
+}  // namespace sdtw

@@ -1,0 +1,90 @@
+#include "ts/stats.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace sdtw {
+namespace ts {
+namespace {
+
+TEST(StatsTest, SummarizeEmpty) {
+  const Summary s = Summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, SummarizeSingle) {
+  const std::vector<double> v{3.0};
+  const Summary s = Summarize(std::span<const double>(v));
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, SummarizeKnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = Summarize(std::span<const double>(v));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  const std::vector<double> v{-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(Mean(std::span<const double>(v)), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev(std::span<const double>(v)), 1.0);
+}
+
+TEST(StatsTest, MeanAbs) {
+  const std::vector<double> v{-2.0, 2.0, -4.0};
+  EXPECT_NEAR(MeanAbs(std::span<const double>(v)), 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MeanAbs(std::span<const double>{}), 0.0);
+}
+
+TEST(StatsTest, CorrelationPerfect) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(Correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(StatsTest, CorrelationAnti) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(Correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(StatsTest, CorrelationZeroVariance) {
+  const std::vector<double> a{1.0, 1.0, 1.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Correlation(a, b), 0.0);
+}
+
+TEST(StatsTest, CorrelationMismatchedLengths) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Correlation(a, b), 0.0);
+}
+
+TEST(StatsTest, EuclideanDistanceBasic) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(StatsTest, EuclideanDistanceMismatchIsInfinite) {
+  const std::vector<double> a{0.0};
+  const std::vector<double> b{0.0, 1.0};
+  EXPECT_TRUE(std::isinf(EuclideanDistance(a, b)));
+}
+
+TEST(StatsTest, EuclideanDistanceSelfIsZero) {
+  const std::vector<double> a{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace sdtw

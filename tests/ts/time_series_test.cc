@@ -1,0 +1,137 @@
+#include "ts/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace sdtw {
+namespace ts {
+namespace {
+
+TEST(TimeSeriesTest, DefaultIsEmptyAndUnlabelled) {
+  TimeSeries s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.has_label());
+  EXPECT_EQ(s.label(), -1);
+}
+
+TEST(TimeSeriesTest, ConstructFromVector) {
+  TimeSeries s({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 3.0);
+  EXPECT_DOUBLE_EQ(s.front(), 1.0);
+  EXPECT_DOUBLE_EQ(s.back(), 3.0);
+}
+
+TEST(TimeSeriesTest, LabelledConstructor) {
+  TimeSeries s(std::vector<double>{1.0, 2.0}, 7);
+  EXPECT_TRUE(s.has_label());
+  EXPECT_EQ(s.label(), 7);
+}
+
+TEST(TimeSeriesTest, ZerosAndConstantFactories) {
+  const TimeSeries z = TimeSeries::Zeros(5);
+  EXPECT_EQ(z.size(), 5u);
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+  const TimeSeries c = TimeSeries::Constant(3, 2.5);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(TimeSeriesTest, MutableAccess) {
+  TimeSeries s({1.0, 2.0});
+  s[1] = 9.0;
+  EXPECT_DOUBLE_EQ(s[1], 9.0);
+  s.mutable_values().push_back(4.0);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(TimeSeriesTest, SpanMatchesValues) {
+  TimeSeries s({1.0, 2.0, 3.0});
+  auto sp = s.span();
+  ASSERT_EQ(sp.size(), 3u);
+  EXPECT_DOUBLE_EQ(sp[1], 2.0);
+}
+
+TEST(TimeSeriesTest, AtThrowsOutOfRange) {
+  TimeSeries s({1.0});
+  EXPECT_NO_THROW(s.at(0));
+  EXPECT_THROW(s.at(1), std::out_of_range);
+}
+
+TEST(TimeSeriesTest, SliceBasic) {
+  TimeSeries s({0.0, 1.0, 2.0, 3.0, 4.0});
+  s.set_label(3);
+  const TimeSeries sub = s.Slice(1, 3);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub[0], 1.0);
+  EXPECT_DOUBLE_EQ(sub[2], 3.0);
+  EXPECT_EQ(sub.label(), 3);
+}
+
+TEST(TimeSeriesTest, SliceClampsAtEnd) {
+  TimeSeries s({0.0, 1.0, 2.0});
+  const TimeSeries sub = s.Slice(2, 10);
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_DOUBLE_EQ(sub[0], 2.0);
+}
+
+TEST(TimeSeriesTest, SliceOutOfRangeIsEmpty) {
+  TimeSeries s({0.0, 1.0});
+  EXPECT_TRUE(s.Slice(5, 2).empty());
+}
+
+TEST(TimeSeriesTest, EqualityIgnoresName) {
+  TimeSeries a({1.0, 2.0});
+  TimeSeries b({1.0, 2.0});
+  b.set_name("other");
+  EXPECT_EQ(a, b);
+  b.set_label(1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DatasetTest, EmptyByDefault) {
+  Dataset ds("x");
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.name(), "x");
+  EXPECT_TRUE(ds.Labels().empty());
+}
+
+TEST(DatasetTest, LabelsSortedAndDistinct) {
+  Dataset ds;
+  ds.Add(TimeSeries({1.0}, 2));
+  ds.Add(TimeSeries({1.0}, 0));
+  ds.Add(TimeSeries({1.0}, 2));
+  const std::vector<int> labels = ds.Labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 2);
+  EXPECT_EQ(ds.NumClasses(), 2u);
+}
+
+TEST(DatasetTest, IndicesOfClass) {
+  Dataset ds;
+  ds.Add(TimeSeries({1.0}, 1));
+  ds.Add(TimeSeries({1.0}, 0));
+  ds.Add(TimeSeries({1.0}, 1));
+  const auto idx = ds.IndicesOfClass(1);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 2u);
+}
+
+TEST(DatasetTest, UnlabelledSeriesExcludedFromLabels) {
+  Dataset ds;
+  ds.Add(TimeSeries({1.0}));
+  EXPECT_TRUE(ds.Labels().empty());
+}
+
+TEST(DatasetTest, MaxLength) {
+  Dataset ds;
+  ds.Add(TimeSeries({1.0, 2.0}));
+  ds.Add(TimeSeries({1.0, 2.0, 3.0}));
+  EXPECT_EQ(ds.MaxLength(), 3u);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace sdtw

@@ -1,0 +1,165 @@
+#include "ts/transforms.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ts/stats.h"
+
+namespace sdtw {
+namespace ts {
+namespace {
+
+TEST(TransformsTest, ZNormalizeMeanAndVariance) {
+  TimeSeries s({1.0, 2.0, 3.0, 4.0, 5.0});
+  const TimeSeries z = ZNormalize(s);
+  const Summary sum = Summarize(z);
+  EXPECT_NEAR(sum.mean, 0.0, 1e-12);
+  EXPECT_NEAR(sum.stddev, 1.0, 1e-12);
+}
+
+TEST(TransformsTest, ZNormalizeConstantSeriesCentresOnly) {
+  TimeSeries s = TimeSeries::Constant(4, 7.0);
+  const TimeSeries z = ZNormalize(s);
+  for (double v : z) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(TransformsTest, ZNormalizePreservesLabel) {
+  TimeSeries s({1.0, 2.0}, 4);
+  EXPECT_EQ(ZNormalize(s).label(), 4);
+}
+
+TEST(TransformsTest, MinMaxScaleRange) {
+  TimeSeries s({2.0, 4.0, 6.0});
+  const TimeSeries m = MinMaxScale(s, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(m[0], 0.0);
+  EXPECT_DOUBLE_EQ(m[1], 0.5);
+  EXPECT_DOUBLE_EQ(m[2], 1.0);
+}
+
+TEST(TransformsTest, MinMaxScaleConstantMapsToLo) {
+  TimeSeries s = TimeSeries::Constant(3, 5.0);
+  const TimeSeries m = MinMaxScale(s, -1.0, 1.0);
+  for (double v : m) EXPECT_DOUBLE_EQ(v, -1.0);
+}
+
+TEST(TransformsTest, ShiftAndScale) {
+  TimeSeries s({1.0, -1.0});
+  const TimeSeries sh = Shift(s, 2.0);
+  EXPECT_DOUBLE_EQ(sh[0], 3.0);
+  EXPECT_DOUBLE_EQ(sh[1], 1.0);
+  const TimeSeries sc = Scale(s, -2.0);
+  EXPECT_DOUBLE_EQ(sc[0], -2.0);
+  EXPECT_DOUBLE_EQ(sc[1], 2.0);
+}
+
+TEST(TransformsTest, ResampleIdentityLength) {
+  TimeSeries s({0.0, 1.0, 2.0, 3.0});
+  const TimeSeries r = Resample(s, 4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(r[i], s[i], 1e-12);
+}
+
+TEST(TransformsTest, ResampleUpscalesLinearly) {
+  TimeSeries s({0.0, 2.0});
+  const TimeSeries r = Resample(s, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_NEAR(r[1], 1.0, 1e-12);
+}
+
+TEST(TransformsTest, ResampleEndpointsPreserved) {
+  TimeSeries s({5.0, 1.0, 9.0});
+  const TimeSeries r = Resample(s, 7);
+  EXPECT_NEAR(r.front(), 5.0, 1e-12);
+  EXPECT_NEAR(r.back(), 9.0, 1e-12);
+}
+
+TEST(TransformsTest, ResampleToOne) {
+  TimeSeries s({5.0, 1.0});
+  const TimeSeries r = Resample(s, 1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+}
+
+TEST(TransformsTest, PaaAverages) {
+  TimeSeries s({1.0, 3.0, 5.0, 7.0});
+  const TimeSeries p = Paa(s, 2);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 2.0);
+  EXPECT_DOUBLE_EQ(p[1], 6.0);
+}
+
+TEST(TransformsTest, PaaMoreSegmentsThanSamplesIsIdentity) {
+  TimeSeries s({1.0, 2.0});
+  const TimeSeries p = Paa(s, 5);
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(TransformsTest, PaaUnevenSegments) {
+  TimeSeries s({1.0, 2.0, 3.0, 4.0, 5.0});
+  const TimeSeries p = Paa(s, 2);
+  ASSERT_EQ(p.size(), 2u);
+  // Segments [0,2) and [2,5): means 1.5 and 4.
+  EXPECT_DOUBLE_EQ(p[0], 1.5);
+  EXPECT_DOUBLE_EQ(p[1], 4.0);
+}
+
+TEST(TransformsTest, WarpTimeIdentity) {
+  TimeSeries s({0.0, 1.0, 4.0, 9.0});
+  const TimeSeries w = WarpTime(s, 4, [](double i) { return i; });
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(w[i], s[i], 1e-12);
+}
+
+TEST(TransformsTest, WarpTimeStretch) {
+  TimeSeries s({0.0, 2.0});
+  const TimeSeries w = WarpTime(s, 3, [](double i) { return i / 2.0; });
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_NEAR(w[1], 1.0, 1e-12);
+}
+
+TEST(TransformsTest, WarpTimeClampsOutOfRange) {
+  TimeSeries s({1.0, 2.0});
+  const TimeSeries w = WarpTime(s, 2, [](double i) { return i * 100.0; });
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+}
+
+TEST(TransformsTest, DiffBasic) {
+  TimeSeries s({1.0, 4.0, 2.0});
+  const TimeSeries d = Diff(s);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], -2.0);
+}
+
+TEST(TransformsTest, DiffOfSingleIsEmpty) {
+  EXPECT_TRUE(Diff(TimeSeries({1.0})).empty());
+}
+
+TEST(TransformsTest, MovingAverageSmoothsConstant) {
+  TimeSeries s = TimeSeries::Constant(10, 3.0);
+  const TimeSeries m = MovingAverage(s, 2);
+  for (double v : m) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(TransformsTest, MovingAverageReducesVariance) {
+  TimeSeries s({1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0});
+  const TimeSeries m = MovingAverage(s, 1);
+  EXPECT_LT(Summarize(m).stddev, Summarize(s).stddev);
+}
+
+TEST(TransformsTest, ReverseRoundTrips) {
+  TimeSeries s({1.0, 2.0, 3.0});
+  EXPECT_EQ(Reverse(Reverse(s)), s);
+  EXPECT_DOUBLE_EQ(Reverse(s)[0], 3.0);
+}
+
+TEST(TransformsTest, ConcatLengthsAndOrder) {
+  TimeSeries a({1.0, 2.0}, 1);
+  TimeSeries b({3.0});
+  const TimeSeries c = Concat(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+  EXPECT_EQ(c.label(), 1);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace sdtw
