@@ -159,8 +159,8 @@ int CmdFind(const std::string& path, std::size_t query_row,
   return 0;
 }
 
-void Usage() {
-  std::fprintf(stderr,
+void Usage(std::FILE* out = stderr) {
+  std::fprintf(out,
                "usage:\n"
                "  sdtw_cli distance <ucr_file> <row_a> <row_b> "
                "[--constraint=<fc,fw|fc,aw|ac,fw|ac,aw|ac2,aw>] "
@@ -179,6 +179,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    Usage(stdout);
+    return 0;
+  }
   if (cmd == "demo") return CmdDemo();
   if (cmd == "distance" && argc >= 5) {
     std::string constraint = "ac2,aw";

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Mirrors the tier-1 verify command: configure, build, run every test suite.
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
+cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
