@@ -16,6 +16,8 @@ BenchConfig ParseArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--full") {
       config.full_scale = true;
+    } else if (arg == "--smoke") {
+      config.smoke = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       config.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--ucr_dir=", 0) == 0) {
@@ -36,11 +38,18 @@ bool Wanted(const BenchConfig& config, const std::string& name) {
 ts::Dataset Generate(const BenchConfig& config, const std::string& name,
                      std::size_t full_len, std::size_t full_count,
                      std::size_t small_len, std::size_t small_count,
-                     std::uint64_t seed_offset) {
+                     std::size_t smoke_count, std::uint64_t seed_offset) {
   data::GeneratorOptions opt;
   opt.seed = config.seed + seed_offset;
-  opt.length = config.full_scale ? full_len : small_len;
-  opt.num_series = config.full_scale ? full_count : small_count;
+  if (config.smoke) {
+    // Tiny but structurally intact (classes preserved): every bench
+    // finishes in well under a second, catching bit-rot, not measuring.
+    opt.length = 48;
+    opt.num_series = smoke_count;
+  } else {
+    opt.length = config.full_scale ? full_len : small_len;
+    opt.num_series = config.full_scale ? full_count : small_count;
+  }
   return data::MakeByName(name, opt);
 }
 
@@ -63,13 +72,13 @@ std::vector<ts::Dataset> LoadDatasets(const BenchConfig& config) {
   // Gun-like keeps its 2 classes, Trace-like its 4, Words-like its 50 (so
   // the "many classes, few per class" difficulty survives scaling).
   if (Wanted(config, "gun")) {
-    sets.push_back(Generate(config, "gun", 150, 50, 128, 30, 0));
+    sets.push_back(Generate(config, "gun", 150, 50, 128, 30, 8, 0));
   }
   if (Wanted(config, "trace")) {
-    sets.push_back(Generate(config, "trace", 275, 100, 160, 36, 1));
+    sets.push_back(Generate(config, "trace", 275, 100, 160, 36, 8, 1));
   }
   if (Wanted(config, "50words")) {
-    sets.push_back(Generate(config, "50words", 270, 450, 150, 100, 2));
+    sets.push_back(Generate(config, "50words", 270, 450, 150, 100, 50, 2));
   }
   return sets;
 }

@@ -8,6 +8,8 @@
 ///   --full            paper-scale data set sizes (Table 1); default is a
 ///                     reduced scale that preserves the structural profiles
 ///                     but keeps a full run in seconds rather than minutes
+///   --smoke           tiny data sets (CI smoke runs: exercise every code
+///                     path in well under a second; numbers meaningless)
 ///   --seed=<u64>      generator seed
 ///   --ucr_dir=<path>  directory containing real UCR files (Gun_Point,
 ///                     Trace, 50words in "<label>,v1,v2,..." format); when
@@ -25,6 +27,7 @@ namespace bench {
 
 struct BenchConfig {
   bool full_scale = false;
+  bool smoke = false;  // overrides full_scale
   std::uint64_t seed = 17;
   std::string ucr_dir;
   std::string only_dataset;  // empty = all three

@@ -21,20 +21,26 @@ int main(int argc, char** argv) {
   for (const ts::Dataset& ds : datasets) {
     std::printf("== Figure 17, %s: matching vs DP time ==\n",
                 ds.name().c_str());
-    std::printf("%-12s %12s %12s %14s\n", "algorithm", "match_ms",
-                "dp_ms", "match_share");
+    std::printf("%-12s %12s %12s %14s %12s\n", "algorithm", "match_ms",
+                "dp_ms", "match_share", "dp_peak_kb");
+    // dp_peak_kb: largest band-compressed DP allocation of any pair — the
+    // memory the locally relevant constraints save over a full matrix.
+    const auto peak_kb = [](std::size_t cells) {
+      return 8.0 * static_cast<double>(cells) / 1024.0;
+    };
     for (const core::NamedConfig& cfg : roster) {
       if (cfg.full_dtw) {
         const eval::DistanceMatrix m = eval::ComputeFullDtwMatrix(ds);
-        std::printf("%-12s %12.2f %12.2f %13.1f%%\n", cfg.label, 0.0,
-                    1e3 * m.dp_seconds, 0.0);
+        std::printf("%-12s %12.2f %12.2f %13.1f%% %12.1f\n", cfg.label, 0.0,
+                    1e3 * m.dp_seconds, 0.0, peak_kb(m.peak_dp_cells));
         continue;
       }
       const eval::DistanceMatrix m = eval::ComputeSdtwMatrix(ds, cfg.options);
       const double total = m.matching_seconds + m.dp_seconds;
-      std::printf("%-12s %12.2f %12.2f %13.1f%%\n", cfg.label,
+      std::printf("%-12s %12.2f %12.2f %13.1f%% %12.1f\n", cfg.label,
                   1e3 * m.matching_seconds, 1e3 * m.dp_seconds,
-                  total > 0.0 ? 100.0 * m.matching_seconds / total : 0.0);
+                  total > 0.0 ? 100.0 * m.matching_seconds / total : 0.0,
+                  peak_kb(m.peak_dp_cells));
     }
     std::printf("\n");
   }

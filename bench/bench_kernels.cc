@@ -64,6 +64,60 @@ BENCHMARK(BM_DtwSakoeChiba)
     ->Args({256, 20})
     ->Args({512, 10});
 
+// A diagonal band of fixed absolute half-width, independent of n — the
+// regime where band-compressed storage matters: the band area grows
+// linearly in n while the grid grows quadratically.
+dtw::Band FixedWidthDiagonalBand(std::size_t n, std::size_t m,
+                                 std::size_t half_width) {
+  std::vector<dtw::BandRow> rows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t diag =
+        n > 1 ? i * (m - 1) / (n - 1) : 0;
+    rows[i].lo = diag > half_width ? diag - half_width : 0;
+    rows[i].hi = std::min(diag + half_width, m - 1);
+  }
+  dtw::Band band = dtw::Band::FromRows(std::move(rows), m);
+  band.MakeFeasible();
+  return band;
+}
+
+// Distance-only banded DP over a narrow fixed-width band at growing n.
+// With band-compressed rolling rows, time per item (= per band cell)
+// should stay flat as n grows; an O(n*m) buffer would make it grow
+// linearly with n.
+void BM_DtwBandedNarrowDistance(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 1);
+  const ts::TimeSeries y = MakeSeries(n, 2);
+  const dtw::Band band = FixedWidthDiagonalBand(n, n, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::DtwBandedDistance(x, y, band));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(band.CellCount()));
+}
+BENCHMARK(BM_DtwBandedNarrowDistance)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+// Path-preserving banded DP on the same narrow bands: storage is
+// Σ band-row widths (~33 n doubles), so n = 16384 stays in the ~4 MB
+// range instead of the 2 GB a full (n+1)^2 matrix would need.
+void BM_DtwBandedNarrowPath(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 1);
+  const ts::TimeSeries y = MakeSeries(n, 2);
+  const dtw::Band band = FixedWidthDiagonalBand(n, n, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::DtwBanded(x, y, band).path.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(band.CellCount()));
+}
+BENCHMARK(BM_DtwBandedNarrowPath)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
 void BM_SdtwBandedCompare(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const ts::TimeSeries x = MakeSeries(n, 1);

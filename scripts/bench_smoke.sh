@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench_fig* binary at --smoke scale to catch bench
+# bit-rot (benches are not covered by ctest). Usage: bench_smoke.sh [build_dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+if [ ! -d "${build_dir}/bench" ]; then
+  echo "error: ${build_dir}/bench not found (configure and build first)" >&2
+  exit 1
+fi
+
+status=0
+ran=0
+for bench in "${build_dir}"/bench/bench_fig*; do
+  [ -x "${bench}" ] || continue
+  echo "== smoke: ${bench}"
+  if ! "${bench}" --smoke > /dev/null; then
+    echo "FAILED: ${bench}" >&2
+    status=1
+  fi
+  ran=$((ran + 1))
+done
+if [ "${ran}" -eq 0 ]; then
+  echo "error: no bench_fig* executables found in ${build_dir}/bench" >&2
+  exit 1
+fi
+exit "${status}"

@@ -108,6 +108,8 @@ SdtwResult Sdtw::Compare(
   }
   result.timing.matching_seconds = SecondsSince(t0);
 
+  // The banded DP uses band-compressed storage (rolling band-width rows
+  // when want_path is off), so both time and memory follow the band area.
   const auto t1 = std::chrono::steady_clock::now();
   dtw::DtwResult dp = dtw::DtwBanded(x, y, result.band, options_.dtw);
   result.timing.dp_seconds = SecondsSince(t1);
@@ -115,6 +117,7 @@ SdtwResult Sdtw::Compare(
   result.distance = dp.distance;
   result.path = std::move(dp.path);
   result.cells_filled = dp.cells_filled;
+  result.cells_allocated = dp.cells_allocated;
   return result;
 }
 

@@ -56,6 +56,10 @@ struct SdtwResult {
   std::vector<align::IntervalPair> intervals;
   /// Cells of the grid actually filled.
   std::size_t cells_filled = 0;
+  /// Peak DP storage in doubles (band-compressed: Σ band-row widths when a
+  /// path is requested, 2 × max band-row width otherwise — never the full
+  /// (N+1)x(M+1) grid).
+  std::size_t cells_allocated = 0;
   StageTiming timing;
 };
 

@@ -1,0 +1,30 @@
+#include "dtw/band_matrix.h"
+
+#include <algorithm>
+
+namespace sdtw {
+namespace dtw {
+
+BandMatrix::BandMatrix(const Band& band, bool open_begin) : m_(band.m()) {
+  const std::size_t n = band.n();
+  lo_.resize(n + 1);
+  offset_.resize(n + 2);
+  // DP row 0 is the border: just the origin for closed-begin, the whole
+  // zero row for open-begin.
+  lo_[0] = 0;
+  offset_[0] = 0;
+  offset_[1] = (open_begin ? m_ : 0) + 1;
+  for (std::size_t i = 1; i <= n; ++i) {
+    // Inverted band rows (lo > hi) and rows entirely right of the grid
+    // store nothing.
+    const auto [lo, hi] = DpWindow(band.row(i - 1), m_);
+    lo_[i] = lo;
+    offset_[i + 1] = offset_[i] + (lo <= hi ? hi - lo + 1 : 0);
+  }
+  cells_.assign(offset_[n + 1], std::numeric_limits<double>::infinity());
+  std::fill(cells_.begin(), cells_.begin() + static_cast<long>(offset_[1]),
+            0.0);
+}
+
+}  // namespace dtw
+}  // namespace sdtw

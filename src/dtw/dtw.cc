@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dtw/band_matrix.h"
+
 namespace sdtw {
 namespace dtw {
 
@@ -10,14 +12,14 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Backtracks the optimal path through a fully materialised accumulation
-// matrix d (row-major, (n+1) x (m+1), with the +inf border at row/col 0).
-std::vector<PathPoint> Backtrack(const std::vector<double>& d, std::size_t n,
-                                 std::size_t m) {
+// Backtracks the optimal path from (n, m) through an accumulation matrix
+// exposed as at(i, j) in DP coordinates (+inf border at row/col 0 and
+// outside any band).
+template <typename MatrixAt>
+std::vector<PathPoint> BacktrackImpl(const MatrixAt& at, std::size_t n,
+                                     std::size_t m) {
   std::vector<PathPoint> path;
   if (n == 0 || m == 0) return path;
-  const std::size_t stride = m + 1;
-  auto at = [&](std::size_t i, std::size_t j) { return d[i * stride + j]; };
   std::size_t i = n;
   std::size_t j = m;
   if (!std::isfinite(at(i, j))) return path;
@@ -76,9 +78,91 @@ DtwResult DtwFullImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
     }
   }
   result.cells_filled = n * m;
+  result.cells_allocated = (n + 1) * stride;
   result.distance = d[n * stride + m];
-  if (want_path) result.path = Backtrack(d, n, m);
+  if (want_path) {
+    result.path = BacktrackImpl(
+        [&](std::size_t i, std::size_t j) { return d[i * stride + j]; }, n,
+        m);
+  }
   return result;
+}
+
+// Fills one DP row window: cur[0..chi-clo] receives DP columns [clo, chi]
+// of row i, reading DP row i-1 from prev whose window is [plo, phi]
+// (reads outside it are +inf, exactly like the out-of-band cells of a
+// full matrix). Cells with no finite predecessor stay +inf and are not
+// counted. Returns the minimum filled value (for early abandoning).
+// Shared by the rolling and the path-preserving banded kernels — this is
+// the one copy of the banded recurrence.
+template <typename Cost>
+double FillBandRow(const double* prev, std::size_t plo, std::size_t phi,
+                   double* cur, std::size_t clo, std::size_t chi, double xi,
+                   const ts::TimeSeries& y, Cost cost, std::size_t* cells) {
+  double row_min = kInf;
+  double left = kInf;  // value at (i, j-1); out-of-band at j == clo
+  for (std::size_t j = clo; j <= chi; ++j) {
+    const double up = j >= plo && j <= phi ? prev[j - plo] : kInf;
+    const double diag =
+        j - 1 >= plo && j - 1 <= phi ? prev[j - 1 - plo] : kInf;
+    const double best = std::min({up, left, diag});
+    double v = kInf;
+    if (std::isfinite(best)) {
+      v = best + cost(xi, y[j - 1]);
+      row_min = std::min(row_min, v);
+      ++*cells;
+    }
+    cur[j - clo] = v;
+    left = v;
+  }
+  return row_min;
+}
+
+// Band-compressed distance-only kernel: two rolling buffers sized to the
+// widest band row. Memory is O(max band-row width) regardless of n and m,
+// and per-row work is O(row width) — no full-row infinity re-fill. With
+// `abandon`, returns +inf as soon as every filled cell of a row exceeds
+// `threshold`. Reports the number of cells filled (finite predecessors
+// only, the paper's work measure) and the doubles allocated.
+template <typename Cost>
+double BandedRollingKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                           const Band& band, bool abandon, double threshold,
+                           Cost cost, std::size_t* cells_filled,
+                           std::size_t* cells_allocated) {
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  std::size_t max_width = 1;  // DP row 0 holds the origin cell
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [lo, hi] = DpWindow(band.row(i), m);
+    if (lo <= hi) max_width = std::max(max_width, hi - lo + 1);
+  }
+  std::vector<double> prev_buf(max_width, kInf);
+  std::vector<double> cur_buf(max_width, kInf);
+  if (cells_allocated != nullptr) *cells_allocated = 2 * max_width;
+  // DP window held by prev_buf; starts as the origin row {0}.
+  std::size_t plo = 0;
+  std::size_t phi = 0;
+  prev_buf[0] = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const auto [clo, chi] = DpWindow(band.row(i - 1), m);
+    double row_min = kInf;
+    if (clo <= chi) {
+      row_min = FillBandRow(prev_buf.data(), plo, phi, cur_buf.data(), clo,
+                            chi, x[i - 1], y, cost, &cells);
+    }
+    if (abandon && row_min > threshold) {
+      if (cells_filled != nullptr) *cells_filled = cells;
+      return kInf;
+    }
+    std::swap(prev_buf, cur_buf);
+    plo = clo;
+    phi = chi;
+  }
+  if (cells_filled != nullptr) *cells_filled = cells;
+  const double d = m >= plo && m <= phi ? prev_buf[m - plo] : kInf;
+  if (abandon) return d <= threshold ? d : kInf;
+  return d;
 }
 
 template <typename Cost>
@@ -88,27 +172,31 @@ DtwResult DtwBandedImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
   const std::size_t n = x.size();
   const std::size_t m = y.size();
   if (n == 0 || m == 0 || band.n() != n || band.m() != m) return result;
-  const std::size_t stride = m + 1;
-  std::vector<double> d((n + 1) * stride, kInf);
-  d[0] = 0.0;
+  if (!want_path) {
+    // Distance-only: no cell needs to outlive its row, so the rolling
+    // kernel's two band-width buffers suffice.
+    result.distance =
+        BandedRollingKernel(x, y, band, /*abandon=*/false, kInf, cost,
+                            &result.cells_filled, &result.cells_allocated);
+    return result;
+  }
+  // Path-preserving: keep every in-band cell (and nothing else) so the
+  // backtrack can walk the matrix.
+  BandMatrix d(band);
   std::size_t cells = 0;
   for (std::size_t i = 1; i <= n; ++i) {
-    const BandRow& r = band.row(i - 1);
-    if (r.lo > r.hi) continue;
-    const double xi = x[i - 1];
-    double* row = d.data() + i * stride;
-    const double* prev = d.data() + (i - 1) * stride;
-    for (std::size_t j = r.lo + 1; j <= r.hi + 1 && j <= m; ++j) {
-      const double best = std::min({prev[j], row[j - 1], prev[j - 1]});
-      if (!std::isfinite(best)) continue;
-      row[j] = best + cost(xi, y[j - 1]);
-      ++cells;
-    }
+    const std::size_t clo = d.row_lo(i);
+    const std::size_t chi = d.row_hi(i);
+    if (clo > chi) continue;
+    FillBandRow(d.row_data(i - 1), d.row_lo(i - 1), d.row_hi(i - 1),
+                d.row_data(i), clo, chi, x[i - 1], y, cost, &cells);
   }
   result.cells_filled = cells;
-  result.distance = d[n * stride + m];
-  if (want_path && std::isfinite(result.distance)) {
-    result.path = Backtrack(d, n, m);
+  result.cells_allocated = d.cells_allocated();
+  result.distance = d.at(n, m);
+  if (std::isfinite(result.distance)) {
+    result.path = BacktrackImpl(
+        [&](std::size_t i, std::size_t j) { return d.at(i, j); }, n, m);
   }
   return result;
 }
@@ -135,31 +223,6 @@ double DtwDistanceImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
 }
 
 template <typename Cost>
-double DtwBandedDistanceImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
-                             const Band& band, Cost cost) {
-  const std::size_t n = x.size();
-  const std::size_t m = y.size();
-  if (n == 0 || m == 0 || band.n() != n || band.m() != m) return kInf;
-  std::vector<double> prev(m + 1, kInf);
-  std::vector<double> cur(m + 1, kInf);
-  prev[0] = 0.0;
-  for (std::size_t i = 1; i <= n; ++i) {
-    const BandRow& r = band.row(i - 1);
-    std::fill(cur.begin(), cur.end(), kInf);
-    if (r.lo <= r.hi) {
-      const double xi = x[i - 1];
-      for (std::size_t j = r.lo + 1; j <= r.hi + 1 && j <= m; ++j) {
-        const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
-        if (!std::isfinite(best)) continue;
-        cur[j] = best + cost(xi, y[j - 1]);
-      }
-    }
-    std::swap(prev, cur);
-  }
-  return prev[m];
-}
-
-template <typename Cost>
 double DtwEarlyAbandonImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
                            double threshold, Cost cost) {
   const std::size_t n = x.size();
@@ -176,35 +239,6 @@ double DtwEarlyAbandonImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
       const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
       cur[j] = best + cost(xi, y[j - 1]);
       row_min = std::min(row_min, cur[j]);
-    }
-    if (row_min > threshold) return kInf;
-    std::swap(prev, cur);
-  }
-  return prev[m] <= threshold ? prev[m] : kInf;
-}
-
-template <typename Cost>
-double DtwBandedEarlyAbandonImpl(const ts::TimeSeries& x,
-                                 const ts::TimeSeries& y, const Band& band,
-                                 double threshold, Cost cost) {
-  const std::size_t n = x.size();
-  const std::size_t m = y.size();
-  if (n == 0 || m == 0 || band.n() != n || band.m() != m) return kInf;
-  std::vector<double> prev(m + 1, kInf);
-  std::vector<double> cur(m + 1, kInf);
-  prev[0] = 0.0;
-  for (std::size_t i = 1; i <= n; ++i) {
-    const BandRow& r = band.row(i - 1);
-    std::fill(cur.begin(), cur.end(), kInf);
-    double row_min = kInf;
-    if (r.lo <= r.hi) {
-      const double xi = x[i - 1];
-      for (std::size_t j = r.lo + 1; j <= r.hi + 1 && j <= m; ++j) {
-        const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
-        if (!std::isfinite(best)) continue;
-        cur[j] = best + cost(xi, y[j - 1]);
-        row_min = std::min(row_min, cur[j]);
-      }
     }
     if (row_min > threshold) return kInf;
     std::swap(prev, cur);
@@ -238,10 +272,16 @@ double DtwDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
 
 double DtwBandedDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
                          const Band& band, CostKind cost) {
-  if (cost == CostKind::kAbsolute) {
-    return DtwBandedDistanceImpl(x, y, band, AbsCost{});
+  if (x.empty() || y.empty() || band.n() != x.size() ||
+      band.m() != y.size()) {
+    return kInf;
   }
-  return DtwBandedDistanceImpl(x, y, band, SquaredCost{});
+  if (cost == CostKind::kAbsolute) {
+    return BandedRollingKernel(x, y, band, /*abandon=*/false, kInf,
+                               AbsCost{}, nullptr, nullptr);
+  }
+  return BandedRollingKernel(x, y, band, /*abandon=*/false, kInf,
+                             SquaredCost{}, nullptr, nullptr);
 }
 
 double DtwDistanceEarlyAbandon(const ts::TimeSeries& x,
@@ -257,10 +297,16 @@ double DtwBandedDistanceEarlyAbandon(const ts::TimeSeries& x,
                                      const ts::TimeSeries& y,
                                      const Band& band, double threshold,
                                      CostKind cost) {
-  if (cost == CostKind::kAbsolute) {
-    return DtwBandedEarlyAbandonImpl(x, y, band, threshold, AbsCost{});
+  if (x.empty() || y.empty() || band.n() != x.size() ||
+      band.m() != y.size()) {
+    return kInf;
   }
-  return DtwBandedEarlyAbandonImpl(x, y, band, threshold, SquaredCost{});
+  if (cost == CostKind::kAbsolute) {
+    return BandedRollingKernel(x, y, band, /*abandon=*/true, threshold,
+                               AbsCost{}, nullptr, nullptr);
+  }
+  return BandedRollingKernel(x, y, band, /*abandon=*/true, threshold,
+                             SquaredCost{}, nullptr, nullptr);
 }
 
 bool IsValidWarpPath(const std::vector<PathPoint>& path, std::size_t n,

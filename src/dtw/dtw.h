@@ -6,8 +6,18 @@
 ///
 /// Implements the classic O(NM) dynamic program of §2.1.3 — D(i, j) =
 /// min(D(i-1,j), D(i,j-1), D(i-1,j-1)) + Δ(x_i, y_j) — with warp-path
-/// backtracking, plus a banded variant that fills only the cells inside a
-/// Band and a memory-lean two-row variant when only the distance is needed.
+/// backtracking, plus banded variants that fill only the cells inside a
+/// Band.
+///
+/// The banded kernels use band-compressed storage in two modes so that
+/// memory follows the band, not the grid:
+///  * distance-only: two rolling buffers sized to the widest band row
+///    (O(max band-row width) doubles), used by DtwBandedDistance,
+///    DtwBandedDistanceEarlyAbandon, and DtwBanded when want_path is off;
+///  * path-preserving: a BandMatrix holding only the Σ(hi−lo+1) in-band
+///    cells with per-row offsets, walked by a band-aware backtrack.
+/// Both produce distances, paths, and cells_filled identical to a fully
+/// materialised (N+1)x(M+1) matrix.
 
 #include <cstddef>
 #include <limits>
@@ -35,6 +45,11 @@ struct DtwResult {
   /// Number of grid cells actually filled by the DP (the paper's measure of
   /// work saved by pruning).
   std::size_t cells_filled = 0;
+  /// Number of doubles allocated for DP cell storage — (N+1)*(M+1) for the
+  /// full kernel, Σ band-row widths (+1 origin) for the path-preserving
+  /// banded kernel, 2 * max band-row width for the rolling distance-only
+  /// kernels. The storage footprint band compression shrinks.
+  std::size_t cells_allocated = 0;
 };
 
 /// \brief Knobs for the DTW kernels.
@@ -52,6 +67,8 @@ DtwResult Dtw(const ts::TimeSeries& x, const ts::TimeSeries& y,
 /// it is used as-is (callers should MakeFeasible() it first — all builders
 /// in this library already do). Cells outside the band are treated as
 /// +infinity. If the band is infeasible the result distance is +infinity.
+/// Storage is band-compressed: Σ band-row widths cells when a path is
+/// requested, two rolling band-width rows otherwise.
 DtwResult DtwBanded(const ts::TimeSeries& x, const ts::TimeSeries& y,
                     const Band& band, const DtwOptions& options = {});
 
@@ -60,7 +77,8 @@ DtwResult DtwBanded(const ts::TimeSeries& x, const ts::TimeSeries& y,
 double DtwDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
                    CostKind cost = CostKind::kAbsolute);
 
-/// Distance-only banded DTW with rolling rows.
+/// Distance-only banded DTW with rolling rows sized to the widest band row
+/// (O(max band-row width) memory; per-row work is O(row width)).
 double DtwBandedDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
                          const Band& band,
                          CostKind cost = CostKind::kAbsolute);

@@ -35,14 +35,28 @@ Envelope MakeEnvelope(const ts::TimeSeries& s, std::size_t r) {
   return env;
 }
 
+SeriesStats MakeSeriesStats(const ts::TimeSeries& s) {
+  SeriesStats stats;
+  if (s.empty()) return stats;
+  stats.first = s.front();
+  stats.last = s.back();
+  const auto minmax = std::minmax_element(s.begin(), s.end());
+  stats.min = *minmax.first;
+  stats.max = *minmax.second;
+  stats.valid = true;
+  return stats;
+}
+
 double LbKim(const ts::TimeSeries& x, const ts::TimeSeries& y) {
-  if (x.empty() || y.empty()) return 0.0;
-  const double d_first = std::abs(x.front() - y.front());
-  const double d_last = std::abs(x.back() - y.back());
-  auto minmax_x = std::minmax_element(x.begin(), x.end());
-  auto minmax_y = std::minmax_element(y.begin(), y.end());
-  const double d_min = std::abs(*minmax_x.first - *minmax_y.first);
-  const double d_max = std::abs(*minmax_x.second - *minmax_y.second);
+  return LbKim(MakeSeriesStats(x), MakeSeriesStats(y));
+}
+
+double LbKim(const SeriesStats& x, const SeriesStats& y) {
+  if (!x.valid || !y.valid) return 0.0;
+  const double d_first = std::abs(x.first - y.first);
+  const double d_last = std::abs(x.last - y.last);
+  const double d_min = std::abs(x.min - y.min);
+  const double d_max = std::abs(x.max - y.max);
   // Each of the four quantities individually lower-bounds the DTW distance
   // (first/last points are always matched to each other; the smaller global
   // extremum must be matched to a value on the other side of the other

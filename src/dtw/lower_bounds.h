@@ -30,9 +30,28 @@ struct Envelope {
 /// Uses a monotonic-deque sliding window (O(n)).
 Envelope MakeEnvelope(const ts::TimeSeries& s, std::size_t r);
 
+/// \brief O(1)-combinable summary of a series for LB_Kim: the first/last
+/// values and the global extrema. Indexes cache one per series so the
+/// cascade's stage-1 test costs O(1) per candidate instead of rescanning
+/// the candidate series on every query.
+struct SeriesStats {
+  double first = 0.0;
+  double last = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  bool valid = false;  ///< false for an empty series.
+};
+
+/// One O(n) pass over `s` producing its LB_Kim summary.
+SeriesStats MakeSeriesStats(const ts::TimeSeries& s);
+
 /// LB_Kim (4-point variant): cost of the first/last points plus the
 /// min/max points. A constant-time bound, valid for the absolute cost.
 double LbKim(const ts::TimeSeries& x, const ts::TimeSeries& y);
+
+/// LB_Kim from precomputed summaries — identical value to
+/// LbKim(x, y) with MakeSeriesStats(x), MakeSeriesStats(y), in O(1).
+double LbKim(const SeriesStats& x, const SeriesStats& y);
 
 /// LB_Keogh: sum over i of the distance from x[i] to the envelope of y.
 /// Requires equal lengths (standard formulation); returns 0 otherwise

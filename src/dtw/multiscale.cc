@@ -78,6 +78,10 @@ DtwResult MultiscaleImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
   refine.want_path = options.want_path;
   DtwResult result = DtwBanded(x, y, band, refine);
   result.cells_filled += coarse_result.cells_filled;
+  // The coarse and refined matrices never coexist, so the peak DP storage
+  // is the larger of the two.
+  result.cells_allocated =
+      std::max(result.cells_allocated, coarse_result.cells_allocated);
   return result;
 }
 

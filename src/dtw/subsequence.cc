@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dtw/band_matrix.h"
+
 namespace sdtw {
 namespace dtw {
 
@@ -10,23 +12,30 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Fills the open-begin accumulation matrix (row-major (n+1) x (m+1)):
-// d(0, j) = 0 for all j (free start), d(i, 0) = +inf for i >= 1.
-std::vector<double> FillOpenBeginMatrix(const ts::TimeSeries& query,
-                                        const ts::TimeSeries& series,
-                                        CostKind cost) {
+// Fills the open-begin accumulation matrix in BandMatrix (band-compressed)
+// storage: d(0, j) = 0 for all j (free start), d(i, 0) = +inf for i >= 1.
+// Today the matrix is full-width (Band::Full); routing it through
+// BandMatrix shares the storage/backtrack machinery with the banded
+// kernels and makes a band-constrained subsequence search a drop-in.
+BandMatrix FillOpenBeginMatrix(const ts::TimeSeries& query,
+                               const ts::TimeSeries& series, CostKind cost) {
   const std::size_t n = query.size();
   const std::size_t m = series.size();
-  const std::size_t stride = m + 1;
-  std::vector<double> d((n + 1) * stride, kInf);
-  for (std::size_t j = 0; j <= m; ++j) d[j] = 0.0;
+  BandMatrix d = BandMatrix::OpenBegin(Band::Full(n, m));
   for (std::size_t i = 1; i <= n; ++i) {
     const double qi = query[i - 1];
-    double* row = d.data() + i * stride;
-    const double* prev = d.data() + (i - 1) * stride;
+    // DP row i stores columns [1, m]; row 0 stores [0, m].
+    double* row = d.row_data(i);
+    const double* prev = d.row_data(i - 1);
+    const std::size_t plo = d.row_lo(i - 1);
+    double left = kInf;  // d(i, 0) = +inf
     for (std::size_t j = 1; j <= m; ++j) {
-      const double best = std::min({prev[j], row[j - 1], prev[j - 1]});
-      row[j] = best + EvalCost(cost, qi, series[j - 1]);
+      const double up = prev[j - plo];
+      const double diag = j - 1 >= plo ? prev[j - 1 - plo] : kInf;
+      const double best = std::min({up, left, diag});
+      const double v = best + EvalCost(cost, qi, series[j - 1]);
+      row[j - 1] = v;
+      left = v;
     }
   }
   return d;
@@ -34,12 +43,10 @@ std::vector<double> FillOpenBeginMatrix(const ts::TimeSeries& query,
 
 // Backtracks from (n, end_col) to the free-start row, returning the path in
 // (query index, series index) coordinates and the matched begin column.
-std::vector<PathPoint> BacktrackOpenBegin(const std::vector<double>& d,
-                                          std::size_t n, std::size_t m,
+std::vector<PathPoint> BacktrackOpenBegin(const BandMatrix& d, std::size_t n,
                                           std::size_t end_col,
                                           std::size_t* begin_col) {
-  const std::size_t stride = m + 1;
-  auto at = [&](std::size_t i, std::size_t j) { return d[i * stride + j]; };
+  auto at = [&](std::size_t i, std::size_t j) { return d.at(i, j); };
   std::vector<PathPoint> path;
   std::size_t i = n;
   std::size_t j = end_col;
@@ -83,19 +90,16 @@ SubsequenceMatch FindBestSubsequence(const ts::TimeSeries& query,
   const std::size_t n = query.size();
   const std::size_t m = series.size();
   if (n == 0 || m == 0) return match;
-  const std::vector<double> d =
-      FillOpenBeginMatrix(query, series, options.cost);
-  const std::size_t stride = m + 1;
+  const BandMatrix d = FillOpenBeginMatrix(query, series, options.cost);
   // Open end: the best distance is the minimum of the last row.
   std::size_t best_j = 1;
   for (std::size_t j = 2; j <= m; ++j) {
-    if (d[n * stride + j] < d[n * stride + best_j]) best_j = j;
+    if (d.at(n, j) < d.at(n, best_j)) best_j = j;
   }
-  match.distance = d[n * stride + best_j];
+  match.distance = d.at(n, best_j);
   match.end = best_j - 1;
   std::size_t begin_col = 0;
-  std::vector<PathPoint> path =
-      BacktrackOpenBegin(d, n, m, best_j, &begin_col);
+  std::vector<PathPoint> path = BacktrackOpenBegin(d, n, best_j, &begin_col);
   match.begin = begin_col;
   if (options.want_path) match.path = std::move(path);
   return match;

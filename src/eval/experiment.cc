@@ -1,5 +1,6 @@
 #include "eval/experiment.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -28,6 +29,9 @@ DistanceMatrix ComputeFullDtwMatrix(const ts::Dataset& dataset,
       m.distance[i * m.n + j] = d;
       m.distance[j * m.n + i] = d;
       m.cells_filled += dataset[i].size() * dataset[j].size();
+      // DtwDistance keeps two rolling rows of the full grid width.
+      m.peak_dp_cells =
+          std::max(m.peak_dp_cells, 2 * (dataset[j].size() + 1));
     }
   }
   m.dp_seconds = Seconds(t0);
@@ -60,6 +64,7 @@ DistanceMatrix ComputeSdtwMatrix(const ts::Dataset& dataset,
       m.matching_seconds += r.timing.matching_seconds;
       m.dp_seconds += r.timing.dp_seconds;
       m.cells_filled += r.cells_filled;
+      m.peak_dp_cells = std::max(m.peak_dp_cells, r.cells_allocated);
     }
   }
   return m;

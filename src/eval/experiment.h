@@ -35,6 +35,9 @@ struct DistanceMatrix {
   double dp_seconds = 0.0;
   /// Total filled DP cells.
   std::size_t cells_filled = 0;
+  /// Largest DP storage (doubles) any single pair allocated — with the
+  /// band-compressed kernels this tracks the band, not the grid.
+  std::size_t peak_dp_cells = 0;
 
   double At(std::size_t i, std::size_t j) const {
     return distance[i * n + j];

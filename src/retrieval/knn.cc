@@ -20,6 +20,18 @@ double L1Distance(const ts::TimeSeries& a, const ts::TimeSeries& b) {
   return sum;
 }
 
+// True Euclidean distance (sqrt of summed squared differences) on
+// equal-length series; +inf otherwise.
+double EuclideanDistance(const ts::TimeSeries& a, const ts::TimeSeries& b) {
+  if (a.size() != b.size()) return kInf;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
 }  // namespace
 
 KnnEngine::KnnEngine(KnnOptions options) : options_(std::move(options)) {
@@ -32,9 +44,11 @@ void KnnEngine::Index(const ts::Dataset& dataset) {
   series_.clear();
   features_.clear();
   envelopes_.clear();
+  stats_.clear();
   series_.reserve(dataset.size());
   features_.reserve(dataset.size());
   envelopes_.reserve(dataset.size());
+  stats_.reserve(dataset.size());
 
   keogh_radius_ = static_cast<std::size_t>(std::ceil(
       options_.keogh_radius_fraction *
@@ -50,18 +64,29 @@ void KnnEngine::Index(const ts::Dataset& dataset) {
     envelopes_.push_back(options_.use_lb_keogh
                              ? dtw::MakeEnvelope(s, keogh_radius_)
                              : dtw::Envelope{});
+    stats_.push_back(dtw::MakeSeriesStats(s));
   }
 }
 
 double KnnEngine::Distance(const ts::TimeSeries& query,
+                           const dtw::SeriesStats& query_stats,
                            const std::vector<sift::Keypoint>& query_features,
                            std::size_t candidate, double best_so_far,
                            QueryStats* stats) const {
   const ts::TimeSeries& target = series_[candidate];
 
-  // Cascade stage 1: constant-time LB_Kim.
-  if (options_.use_lb_kim && std::isfinite(best_so_far)) {
-    if (dtw::LbKim(query, target) > best_so_far) {
+  // Cascade stage 1: LB_Kim over cached summaries — genuinely O(1) per
+  // candidate (the query summary is computed once per query, the candidate
+  // summary once at Index() time). LB_Kim is a max of absolute pointwise
+  // differences: a valid lower bound for absolute-cost DTW (the kFullDtw
+  // mode always uses it), the L1 norm, and the Euclidean norm — but NOT
+  // for squared-cost distances (|d| > d^2 when |d| < 1), so it must stay
+  // off when the sDTW engine ranks by squared cost.
+  const bool lb_kim_sound =
+      options_.distance != DistanceKind::kSdtw ||
+      engine_.options().dtw.cost == dtw::CostKind::kAbsolute;
+  if (options_.use_lb_kim && lb_kim_sound && std::isfinite(best_so_far)) {
+    if (dtw::LbKim(query_stats, stats_[candidate]) > best_so_far) {
       if (stats != nullptr) ++stats->pruned_by_kim;
       return kInf;
     }
@@ -82,6 +107,8 @@ double KnnEngine::Distance(const ts::TimeSeries& query,
   if (stats != nullptr) ++stats->dp_evaluations;
   switch (options_.distance) {
     case DistanceKind::kEuclidean:
+      return EuclideanDistance(query, target);
+    case DistanceKind::kL1:
       return L1Distance(query, target);
     case DistanceKind::kFullDtw:
       if (options_.use_early_abandon && std::isfinite(best_so_far)) {
@@ -126,6 +153,7 @@ std::vector<Hit> KnnEngine::Query(const ts::TimeSeries& query, std::size_t k,
       options_.distance == DistanceKind::kSdtw
           ? engine_.ExtractFeatures(query)
           : std::vector<sift::Keypoint>{};
+  const dtw::SeriesStats query_stats = dtw::MakeSeriesStats(query);
 
   if (stats != nullptr) *stats = QueryStats{};
   for (std::size_t i = 0; i < series_.size(); ++i) {
@@ -133,7 +161,8 @@ std::vector<Hit> KnnEngine::Query(const ts::TimeSeries& query, std::size_t k,
     if (stats != nullptr) ++stats->candidates;
     const double best_so_far =
         heap.size() == k && k > 0 ? heap.front().distance : kInf;
-    const double d = Distance(query, query_features, i, best_so_far, stats);
+    const double d =
+        Distance(query, query_stats, query_features, i, best_so_far, stats);
     if (!std::isfinite(d) || (heap.size() == k && d >= best_so_far)) {
       continue;
     }

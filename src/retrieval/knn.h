@@ -30,7 +30,10 @@ namespace retrieval {
 enum class DistanceKind {
   kFullDtw,   ///< Exact O(NM) DTW.
   kSdtw,      ///< Salient-feature constrained DTW (the paper's sDTW).
-  kEuclidean, ///< Pointwise L1 on equal lengths (baseline).
+  kEuclidean, ///< True Euclidean (sqrt of summed squared pointwise
+              ///< differences) on equal lengths (baseline).
+  kL1,        ///< Pointwise L1 (sum of absolute differences) on equal
+              ///< lengths (baseline).
 };
 
 /// \brief Engine configuration.
@@ -98,6 +101,7 @@ class KnnEngine {
 
  private:
   double Distance(const ts::TimeSeries& query,
+                  const dtw::SeriesStats& query_stats,
                   const std::vector<sift::Keypoint>& query_features,
                   std::size_t candidate, double best_so_far,
                   QueryStats* stats) const;
@@ -107,6 +111,9 @@ class KnnEngine {
   std::vector<ts::TimeSeries> series_;
   std::vector<std::vector<sift::Keypoint>> features_;
   std::vector<dtw::Envelope> envelopes_;
+  /// Cached per-series min/max/first/last so the LB_Kim cascade stage is
+  /// O(1) per candidate (no rescan of the candidate series per query).
+  std::vector<dtw::SeriesStats> stats_;
   std::size_t keogh_radius_ = 0;
 };
 

@@ -1,10 +1,38 @@
 #include "retrieval/parallel.h"
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 
 namespace sdtw {
 namespace retrieval {
+
+namespace {
+
+// Number of strict-upper-triangle pairs in rows before row i (row-major):
+// B(i) = sum_{r<i} (n-1-r) = i*(2n-i-1)/2.
+std::size_t PairsBeforeRow(std::size_t n, std::size_t i) {
+  return i * (2 * n - i - 1) / 2;
+}
+
+// Closed-form inverse of the flattened triangular index: the row of pair t
+// is the largest i with B(i) <= t, i.e. the floor of the smaller root of
+// i^2 - (2n-1)i + 2t = 0. The sqrt is exact enough in double for any
+// realistic n ((2n-1)^2 < 2^53); the one-step correction loops absorb
+// rounding at the boundaries.
+std::pair<std::size_t, std::size_t> UnflattenPairIndex(std::size_t n,
+                                                       std::size_t t) {
+  const double b = static_cast<double>(2 * n - 1);
+  const double disc = std::sqrt(b * b - 8.0 * static_cast<double>(t));
+  std::size_t i = static_cast<std::size_t>((b - disc) / 2.0);
+  if (i > n - 2) i = n - 2;
+  while (i > 0 && PairsBeforeRow(n, i) > t) --i;
+  while (i < n - 2 && PairsBeforeRow(n, i + 1) <= t) ++i;
+  const std::size_t j = i + 1 + (t - PairsBeforeRow(n, i));
+  return {i, j};
+}
+
+}  // namespace
 
 std::vector<double> ParallelPairwiseMatrix(std::size_t n,
                                            const PairDistanceFn& distance,
@@ -23,17 +51,7 @@ std::vector<double> ParallelPairwiseMatrix(std::size_t n,
     for (;;) {
       const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
       if (t >= total_pairs) return;
-      // Invert the triangular index t -> (i, j), j > i.
-      // Row i holds (n-1-i) pairs; walk rows until t fits.
-      std::size_t i = 0;
-      std::size_t remaining = t;
-      std::size_t row_len = n - 1;
-      while (remaining >= row_len) {
-        remaining -= row_len;
-        ++i;
-        --row_len;
-      }
-      const std::size_t j = i + 1 + remaining;
+      const auto [i, j] = UnflattenPairIndex(n, t);
       const double d = distance(i, j);
       matrix[i * n + j] = d;
       matrix[j * n + i] = d;

@@ -1,0 +1,68 @@
+#include "dtw/band_matrix.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace sdtw {
+namespace dtw {
+namespace {
+
+TEST(BandMatrixTest, ClosedBeginStoresOriginOnly) {
+  const Band band = Band::Full(3, 4);
+  const BandMatrix d(band);
+  EXPECT_EQ(d.n(), 3u);
+  EXPECT_EQ(d.m(), 4u);
+  EXPECT_EQ(d.row_lo(0), 0u);
+  EXPECT_EQ(d.row_hi(0), 0u);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(d.at(0, 1)));  // border beyond the origin
+  // DP rows 1..n cover columns [1, m].
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(d.row_lo(i), 1u);
+    EXPECT_EQ(d.row_hi(i), 4u);
+    EXPECT_TRUE(std::isinf(d.at(i, 0)));  // column-0 border never stored
+    EXPECT_TRUE(std::isinf(d.at(i, 1)));  // in-band cells start at +inf
+  }
+  // 1 origin cell + 3 rows of 4.
+  EXPECT_EQ(d.cells_allocated(), 13u);
+}
+
+TEST(BandMatrixTest, OpenBeginStoresZeroBorderRow) {
+  const BandMatrix d = BandMatrix::OpenBegin(Band::Full(2, 5));
+  EXPECT_EQ(d.row_lo(0), 0u);
+  EXPECT_EQ(d.row_hi(0), 5u);
+  for (std::size_t j = 0; j <= 5; ++j) {
+    EXPECT_DOUBLE_EQ(d.at(0, j), 0.0) << j;
+  }
+  EXPECT_TRUE(std::isinf(d.at(1, 0)));
+  EXPECT_EQ(d.cells_allocated(), 6u + 2u * 5u);
+}
+
+TEST(BandMatrixTest, NarrowBandWindowsFollowTheBand) {
+  std::vector<BandRow> rows = {{0, 1}, {1, 2}, {2, 3}};
+  const Band band = Band::FromRows(std::move(rows), 4);
+  BandMatrix d(band);
+  EXPECT_EQ(d.row_lo(2), 2u);  // band row 1 = [1,2] shifted by the border
+  EXPECT_EQ(d.row_hi(2), 3u);
+  EXPECT_TRUE(std::isinf(d.at(2, 1)));  // left of the window
+  EXPECT_TRUE(std::isinf(d.at(2, 4)));  // right of the window
+  d.row_data(2)[0] = 7.5;  // DP cell (2, 2)
+  EXPECT_DOUBLE_EQ(d.at(2, 2), 7.5);
+  // 1 origin + widths 2 + 2 + 2.
+  EXPECT_EQ(d.cells_allocated(), 7u);
+}
+
+TEST(BandMatrixTest, InvertedRowsStoreNothing) {
+  std::vector<BandRow> rows = {{0, 3}, {3, 1}, {0, 3}};
+  const Band band = Band::FromRows(std::move(rows), 4);
+  const BandMatrix d(band);
+  EXPECT_GT(d.row_lo(2), d.row_hi(2));
+  for (std::size_t j = 0; j <= 4; ++j) {
+    EXPECT_TRUE(std::isinf(d.at(2, j))) << j;
+  }
+  EXPECT_EQ(d.cells_allocated(), 1u + 4u + 0u + 4u);
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace sdtw

@@ -1,5 +1,6 @@
 #include "dtw/dtw.h"
 
+#include <algorithm>
 #include <cmath>
 #include <gtest/gtest.h>
 
@@ -150,6 +151,43 @@ TEST(DtwBandedTest, DiagonalOnlyBandOnEqualLengthsIsEuclideanL1) {
   const Band band = SakoeChibaBand(3, 3, 0.0);
   // Only diagonal cells: |0-1| + |2-1| + |4-5| = 3.
   EXPECT_DOUBLE_EQ(DtwBanded(x, y, band).distance, 3.0);
+}
+
+TEST(DtwBandedTest, DistanceOnlyAllocationIsBandRowBounded) {
+  // The distance-only banded DP must allocate two rolling rows sized to
+  // the widest band row — not an (n+1) x (m+1) buffer.
+  const std::size_t n = 200;
+  const ts::TimeSeries x = ts::TimeSeries::Zeros(n);
+  const ts::TimeSeries y = ts::TimeSeries::Zeros(n);
+  const Band band = SakoeChibaBand(n, n, 0.05);
+  std::size_t max_width = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_width = std::max(max_width, band.row(i).width());
+  }
+  DtwOptions opt;
+  opt.want_path = false;
+  const DtwResult r = DtwBanded(x, y, band, opt);
+  EXPECT_LE(r.cells_allocated, 2 * max_width);
+  EXPECT_LT(r.cells_allocated, (n + 1) * (n + 1) / 100);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(DtwBandedTest, PathAllocationIsBandCellsOnly) {
+  const std::size_t n = 120;
+  const ts::TimeSeries x = ts::TimeSeries::Zeros(n);
+  const ts::TimeSeries y = ts::TimeSeries::Zeros(n);
+  const Band band = SakoeChibaBand(n, n, 0.1);
+  const DtwResult r = DtwBanded(x, y, band);
+  // Exactly the in-band cells plus the origin — Σ(hi−lo+1) storage.
+  EXPECT_EQ(r.cells_allocated, band.CellCount() + 1);
+  EXPECT_LT(r.cells_allocated, (n + 1) * (n + 1));
+  EXPECT_TRUE(IsValidWarpPath(r.path, n, n));
+}
+
+TEST(DtwTest, FullKernelReportsFullGridAllocation) {
+  const ts::TimeSeries x({1.0, 2.0, 3.0});
+  const ts::TimeSeries y({1.0, 2.0});
+  EXPECT_EQ(Dtw(x, y).cells_allocated, 4u * 3u);
 }
 
 TEST(EarlyAbandonTest, ReturnsDistanceWhenUnderThreshold) {

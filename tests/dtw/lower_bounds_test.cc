@@ -124,6 +124,32 @@ TEST(LbKeoghTest, TightensWithSmallerRadius) {
   EXPECT_GE(LbKeogh(x, y, 1), LbKeogh(x, y, 10) - 1e-12);
 }
 
+TEST(SeriesStatsTest, CachedLbKimMatchesDirect) {
+  const ts::TimeSeries x = RandomSeries(80, 21);
+  const ts::TimeSeries y = RandomSeries(64, 22);
+  const SeriesStats sx = MakeSeriesStats(x);
+  const SeriesStats sy = MakeSeriesStats(y);
+  EXPECT_TRUE(sx.valid);
+  EXPECT_DOUBLE_EQ(LbKim(sx, sy), LbKim(x, y));
+}
+
+TEST(SeriesStatsTest, SummaryFieldsAreCorrect) {
+  const ts::TimeSeries s({3.0, -1.0, 7.0, 2.0});
+  const SeriesStats st = MakeSeriesStats(s);
+  EXPECT_DOUBLE_EQ(st.first, 3.0);
+  EXPECT_DOUBLE_EQ(st.last, 2.0);
+  EXPECT_DOUBLE_EQ(st.min, -1.0);
+  EXPECT_DOUBLE_EQ(st.max, 7.0);
+  EXPECT_TRUE(st.valid);
+}
+
+TEST(SeriesStatsTest, EmptySeriesIsInvalidAndBoundsZero) {
+  const SeriesStats empty = MakeSeriesStats(ts::TimeSeries{});
+  EXPECT_FALSE(empty.valid);
+  const SeriesStats other = MakeSeriesStats(ts::TimeSeries({1.0}));
+  EXPECT_DOUBLE_EQ(LbKim(empty, other), 0.0);
+}
+
 TEST(BandMaxRadiusTest, SakoeChibaRadiusRecovered) {
   const Band b = SakoeChibaBand(100, 100, 0.2);
   const std::size_t r = BandMaxRadius(b);

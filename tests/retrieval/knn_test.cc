@@ -151,6 +151,75 @@ TEST(KnnEngineTest, SdtwModeUpperBoundsFullDtwDistances) {
   }
 }
 
+TEST(KnnEngineTest, EuclideanAndL1ArePinnedOnKnownPair) {
+  // Regression: kEuclidean used to compute pointwise L1. Pin both
+  // distances on a known pair — diffs (1, 2, 3):
+  //   L1 = 1 + 2 + 3 = 6,  Euclidean = sqrt(1 + 4 + 9) = sqrt(14).
+  ts::Dataset ds;
+  ds.Add(ts::TimeSeries({1.0, 1.0, 1.0}, 0));
+  const ts::TimeSeries query({2.0, 3.0, 4.0});
+
+  KnnOptions euclid;
+  euclid.distance = DistanceKind::kEuclidean;
+  euclid.use_lb_kim = false;
+  KnnEngine e(euclid);
+  e.Index(ds);
+  const auto eh = e.Query(query, 1);
+  ASSERT_EQ(eh.size(), 1u);
+  EXPECT_DOUBLE_EQ(eh[0].distance, std::sqrt(14.0));
+
+  KnnOptions l1;
+  l1.distance = DistanceKind::kL1;
+  l1.use_lb_kim = false;
+  KnnEngine l(l1);
+  l.Index(ds);
+  const auto lh = l.Query(query, 1);
+  ASSERT_EQ(lh.size(), 1u);
+  EXPECT_DOUBLE_EQ(lh[0].distance, 6.0);
+}
+
+TEST(KnnEngineTest, L1AndEuclideanRejectLengthMismatch) {
+  // Both pointwise baselines are undefined across lengths and must yield
+  // +inf (no hit) for a mismatched candidate.
+  ts::Dataset ds;
+  ds.Add(ts::TimeSeries({0.0, 0.0}, 0));  // length mismatch vs query
+  const ts::TimeSeries query({1.0, 1.0, 1.0});
+  for (const DistanceKind kind : {DistanceKind::kL1,
+                                  DistanceKind::kEuclidean}) {
+    KnnOptions opt;
+    opt.distance = kind;
+    opt.use_lb_kim = false;
+    KnnEngine engine(opt);
+    engine.Index(ds);
+    EXPECT_TRUE(engine.Query(query, 1).empty());
+  }
+}
+
+TEST(KnnEngineTest, L1AndEuclideanAgreeOnRankingOfOffsetSeries) {
+  // Candidates at constant offsets from the query: both norms are
+  // monotone in the offset, so the rankings must be identical.
+  ts::Dataset ds;
+  ds.Add(ts::TimeSeries({5.0, 5.0, 5.0, 5.0}, 0));
+  ds.Add(ts::TimeSeries({1.0, 1.0, 1.0, 1.0}, 1));
+  ds.Add(ts::TimeSeries({3.0, 3.0, 3.0, 3.0}, 2));
+  const ts::TimeSeries query({0.0, 0.0, 0.0, 0.0});
+  std::vector<std::vector<std::size_t>> orders;
+  for (const DistanceKind kind : {DistanceKind::kL1,
+                                  DistanceKind::kEuclidean}) {
+    KnnOptions opt;
+    opt.distance = kind;
+    KnnEngine engine(opt);
+    engine.Index(ds);
+    const auto hits = engine.Query(query, 3);
+    ASSERT_EQ(hits.size(), 3u);
+    std::vector<std::size_t> order;
+    for (const Hit& h : hits) order.push_back(h.index);
+    orders.push_back(std::move(order));
+  }
+  EXPECT_EQ(orders[0], (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(orders[1], orders[0]);
+}
+
 TEST(KnnEngineTest, EuclideanModeOnEqualLengths) {
   ts::Dataset ds;
   ds.Add(ts::TimeSeries({0.0, 0.0, 0.0}, 0));
@@ -164,6 +233,29 @@ TEST(KnnEngineTest, EuclideanModeOnEqualLengths) {
   const auto hits = engine.Query(ts::TimeSeries({0.9, 0.9, 0.9}), 1);
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0].index, 1u);
+}
+
+TEST(KnnEngineTest, LbKimDoesNotPruneUnderSquaredCostSdtw) {
+  // Regression: LB_Kim (absolute differences) is not a lower bound for
+  // squared-cost distances when diffs are < 1. Candidate 1 has the
+  // smaller squared-cost sDTW distance but the larger LB_Kim value; an
+  // unsound prune would return candidate 0.
+  // Candidate 0: diff 0.20 -> squared distance 4 * 0.04   = 0.16 (= bsf).
+  // Candidate 1: diff 0.18 -> squared distance 4 * 0.0324 = 0.1296, yet
+  // LB_Kim = 0.18 > 0.16 would (unsoundly) prune it.
+  ts::Dataset ds;
+  ds.Add(ts::TimeSeries(std::vector<double>(4, 0.20), 0));
+  ds.Add(ts::TimeSeries(std::vector<double>(4, 0.18), 1));
+  const ts::TimeSeries query(std::vector<double>(4, 0.0));
+  KnnOptions opt;
+  opt.distance = DistanceKind::kSdtw;
+  opt.sdtw.dtw.cost = dtw::CostKind::kSquared;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const auto hits = engine.Query(query, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].index, 1u);
+  EXPECT_NEAR(hits[0].distance, 4 * 0.18 * 0.18, 1e-9);
 }
 
 TEST(KnnEngineTest, KLargerThanIndexReturnsAll) {

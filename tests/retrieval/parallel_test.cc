@@ -43,6 +43,34 @@ TEST(ParallelMatrixTest, EveryPairComputedExactlyOnce) {
   }
 }
 
+TEST(ParallelMatrixTest, EveryPairComputedExactlyOnceUpToN1000) {
+  // Exercises the closed-form triangular-index inversion across sizes,
+  // including n = 1000 (499500 pairs) under real thread contention.
+  for (const std::size_t n : {2u, 3u, 5u, 17u, 100u, 1000u}) {
+    std::vector<std::atomic<int>> counts(n * n);
+    ParallelPairwiseMatrix(
+        n,
+        [&counts, n](std::size_t i, std::size_t j) {
+          EXPECT_LT(i, j);
+          EXPECT_LT(j, n);
+          counts[i * n + j].fetch_add(1);
+          return 0.0;
+        },
+        n >= 100 ? 8 : 2);
+    std::size_t computed = 0;
+    bool all_once = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const int expected = (i < j) ? 1 : 0;
+        if (counts[i * n + j].load() != expected) all_once = false;
+        computed += static_cast<std::size_t>(counts[i * n + j].load());
+      }
+    }
+    EXPECT_TRUE(all_once) << "n=" << n;
+    EXPECT_EQ(computed, n * (n - 1) / 2) << "n=" << n;
+  }
+}
+
 TEST(ParallelMatrixTest, SymmetricZeroDiagonal) {
   const std::size_t n = 9;
   const auto matrix = ParallelPairwiseMatrix(
