@@ -1,0 +1,168 @@
+// Batched multi-query retrieval throughput: N sequential KnnEngine::Query
+// calls versus one BatchKnnEngine::QueryBatch over the same index.
+//
+// The batch path wins on three axes: per-query derivatives (summary,
+// envelope, features) are computed once up front, every worker reuses one
+// pre-sized rolling DP scratch instead of allocating per call, and the
+// query×candidate grid is work-stolen across threads with a shared
+// per-query best-so-far, so the cascade tightens as workers race.
+//
+// Default scale pins the acceptance setup: a 64-query batch over 1 000
+// indexed series at 4 worker threads, exact-DTW and sDTW modes. Results
+// are checked identical between the two paths before timing is reported.
+//
+//   --queries=N --series=N --length=N --threads=N   override the scale
+//   --smoke                                         tiny CI scale
+//   --seed=S                                        generator seed
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/generators.h"
+#include "retrieval/batch.h"
+#include "retrieval/knn.h"
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Scale {
+  std::size_t num_series = 1000;
+  std::size_t num_queries = 64;
+  std::size_t length = 128;
+  std::size_t threads = 4;
+  std::size_t k = 5;
+};
+
+// One engine mode, measured both ways. Returns false when the batch and
+// sequential hit lists disagree (they must be identical).
+bool RunMode(const char* label, const sdtw::retrieval::KnnOptions& options,
+             const sdtw::ts::Dataset& index_set,
+             const std::vector<sdtw::ts::TimeSeries>& queries,
+             const Scale& scale) {
+  using namespace sdtw;
+
+  retrieval::KnnEngine engine(options);
+  const auto t_index = std::chrono::steady_clock::now();
+  engine.Index(index_set);
+  const double index_seconds = Seconds(t_index);
+
+  // Sequential baseline: one Query call per query, single-threaded.
+  const auto t_seq = std::chrono::steady_clock::now();
+  std::vector<std::vector<retrieval::Hit>> sequential;
+  sequential.reserve(queries.size());
+  for (const ts::TimeSeries& q : queries) {
+    sequential.push_back(engine.Query(q, scale.k));
+  }
+  const double seq_seconds = Seconds(t_seq);
+
+  // Batched path: one QueryBatch over the same index.
+  retrieval::BatchOptions batch_options;
+  batch_options.num_threads = scale.threads;
+  const retrieval::BatchKnnEngine batch(engine, batch_options);
+  const auto t_batch = std::chrono::steady_clock::now();
+  const std::vector<std::vector<retrieval::Hit>> batched =
+      batch.QueryBatch(queries, scale.k);
+  const double batch_seconds = Seconds(t_batch);
+
+  bool identical = batched.size() == sequential.size();
+  for (std::size_t q = 0; identical && q < batched.size(); ++q) {
+    identical = batched[q].size() == sequential[q].size();
+    for (std::size_t i = 0; identical && i < batched[q].size(); ++i) {
+      identical = batched[q][i].index == sequential[q][i].index &&
+                  batched[q][i].distance == sequential[q][i].distance;
+    }
+  }
+
+  const double seq_qps =
+      seq_seconds > 0.0 ? static_cast<double>(queries.size()) / seq_seconds
+                        : 0.0;
+  const double batch_qps =
+      batch_seconds > 0.0
+          ? static_cast<double>(queries.size()) / batch_seconds
+          : 0.0;
+  std::printf("%-10s %9.3f %12.3f %10.1f %12.3f %10.1f %9.2fx  %s\n", label,
+              index_seconds, seq_seconds, seq_qps, batch_seconds, batch_qps,
+              seq_seconds > 0.0 && batch_seconds > 0.0
+                  ? seq_seconds / batch_seconds
+                  : 0.0,
+              identical ? "ok" : "MISMATCH");
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sdtw;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+
+  Scale scale;
+  if (config.smoke) {
+    scale.num_series = 40;
+    scale.num_queries = 8;
+    scale.length = 48;
+    scale.threads = 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--queries=", 0) == 0) {
+      scale.num_queries = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--series=", 0) == 0) {
+      scale.num_series = std::strtoul(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--length=", 0) == 0) {
+      scale.length = std::strtoul(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      scale.threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    }
+  }
+
+  data::GeneratorOptions gopt;
+  gopt.seed = config.seed;
+  gopt.num_series = scale.num_series;
+  gopt.length = scale.length;
+  const ts::Dataset index_set = data::MakeTraceLike(gopt);
+
+  // Queries drawn from the same generator family with a different seed:
+  // realistic near-misses, not indexed duplicates.
+  data::GeneratorOptions qopt = gopt;
+  qopt.seed = config.seed + 1;
+  qopt.num_series = scale.num_queries;
+  const ts::Dataset query_set = data::MakeTraceLike(qopt);
+  const std::vector<ts::TimeSeries> queries(query_set.begin(),
+                                            query_set.end());
+
+  std::printf(
+      "batched retrieval: %zu indexed series (len %zu), %zu queries, "
+      "k=%zu, %zu worker threads\n\n",
+      index_set.size(), scale.length, queries.size(), scale.k,
+      scale.threads);
+  std::printf("%-10s %9s %12s %10s %12s %10s %9s\n", "mode", "index_s",
+              "seq_s", "seq_q/s", "batch_s", "batch_q/s", "speedup");
+
+  bool ok = true;
+
+  retrieval::KnnOptions exact;
+  exact.distance = retrieval::DistanceKind::kFullDtw;
+  ok &= RunMode("dtw", exact, index_set, queries, scale);
+
+  retrieval::KnnOptions sdtw_opts;
+  sdtw_opts.distance = retrieval::DistanceKind::kSdtw;
+  sdtw_opts.sdtw.constraint.type =
+      core::ConstraintType::kAdaptiveCoreAdaptiveWidth;
+  sdtw_opts.sdtw.constraint.width_average_radius = 1;
+  ok &= RunMode("sdtw", sdtw_opts, index_set, queries, scale);
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAILED: batch and sequential hit lists disagree\n");
+    return 1;
+  }
+  return 0;
+}

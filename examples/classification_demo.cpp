@@ -6,11 +6,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
+#include <vector>
 
 #include "core/sdtw.h"
 #include "data/generators.h"
 #include "dtw/dtw.h"
 #include "eval/confusion.h"
+#include "retrieval/batch.h"
+#include "retrieval/knn.h"
 
 namespace {
 
@@ -80,21 +84,23 @@ int main(int argc, char** argv) {
   });
   std::printf("1-NN accuracy, fc,fw 6%% : %.3f\n", acc_narrow);
 
-  // Confusion matrix of the sDTW classifier (leave-one-out 1-NN).
+  // Confusion matrix of the sDTW classifier (leave-one-out 1-NN), served
+  // by the batched retrieval engine: one indexed engine, the whole data
+  // set as one query batch with per-query self-exclusion, work-stolen
+  // across hardware threads.
+  retrieval::KnnOptions knn_opt;
+  knn_opt.distance = retrieval::DistanceKind::kSdtw;
+  knn_opt.sdtw = opt;
+  retrieval::KnnEngine knn(knn_opt);
+  knn.Index(ds);
+  const retrieval::BatchKnnEngine batch(knn);
+  const std::vector<ts::TimeSeries> queries(ds.begin(), ds.end());
+  std::vector<std::optional<std::size_t>> excludes(ds.size());
+  for (std::size_t q = 0; q < ds.size(); ++q) excludes[q] = q;
+  const std::vector<int> predicted = batch.ClassifyBatch(queries, 1, excludes);
   eval::ConfusionMatrix cm;
   for (std::size_t q = 0; q < ds.size(); ++q) {
-    double best = std::numeric_limits<double>::infinity();
-    int best_label = -1;
-    for (std::size_t j = 0; j < ds.size(); ++j) {
-      if (j == q) continue;
-      const double d =
-          engine.Compare(ds[q], features[q], ds[j], features[j]).distance;
-      if (d < best) {
-        best = d;
-        best_label = ds[j].label();
-      }
-    }
-    cm.Add(ds[q].label(), best_label);
+    cm.Add(ds[q].label(), predicted[q]);
   }
   std::printf("\nsDTW confusion matrix (rows=truth, cols=predicted):\n%s",
               cm.ToString().c_str());

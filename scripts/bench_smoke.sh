@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Smoke-runs every bench_fig* binary at --smoke scale to catch bench
-# bit-rot (benches are not covered by ctest). Usage: bench_smoke.sh [build_dir]
+# Smoke-runs every bench_fig* binary plus bench_batch_retrieval at --smoke
+# scale to catch bench bit-rot (benches are not covered by ctest).
+# Usage: bench_smoke.sh [build_dir]
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -11,7 +12,8 @@ fi
 
 status=0
 ran=0
-for bench in "${build_dir}"/bench/bench_fig*; do
+for bench in "${build_dir}"/bench/bench_fig* \
+             "${build_dir}"/bench/bench_batch_retrieval; do
   [ -x "${bench}" ] || continue
   echo "== smoke: ${bench}"
   if ! "${bench}" --smoke > /dev/null; then

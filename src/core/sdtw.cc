@@ -92,6 +92,21 @@ SdtwResult Sdtw::Compare(
     const ts::TimeSeries& x, const std::vector<sift::Keypoint>& features_x,
     const ts::TimeSeries& y,
     const std::vector<sift::Keypoint>& features_y) const {
+  return CompareImpl(x, features_x, y, features_y, /*abandon=*/false, 0.0);
+}
+
+SdtwResult Sdtw::CompareEarlyAbandon(
+    const ts::TimeSeries& x, const std::vector<sift::Keypoint>& features_x,
+    const ts::TimeSeries& y, const std::vector<sift::Keypoint>& features_y,
+    double abandon_above) const {
+  return CompareImpl(x, features_x, y, features_y, /*abandon=*/true,
+                     abandon_above);
+}
+
+SdtwResult Sdtw::CompareImpl(
+    const ts::TimeSeries& x, const std::vector<sift::Keypoint>& features_x,
+    const ts::TimeSeries& y, const std::vector<sift::Keypoint>& features_y,
+    bool abandon, double abandon_above) const {
   SdtwResult result;
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -111,7 +126,10 @@ SdtwResult Sdtw::Compare(
   // The banded DP uses band-compressed storage (rolling band-width rows
   // when want_path is off), so both time and memory follow the band area.
   const auto t1 = std::chrono::steady_clock::now();
-  dtw::DtwResult dp = dtw::DtwBanded(x, y, result.band, options_.dtw);
+  dtw::DtwResult dp =
+      abandon ? dtw::DtwBandedEarlyAbandon(x, y, result.band, abandon_above,
+                                           options_.dtw)
+              : dtw::DtwBanded(x, y, result.band, options_.dtw);
   result.timing.dp_seconds = SecondsSince(t1);
 
   result.distance = dp.distance;

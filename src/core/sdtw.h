@@ -96,6 +96,17 @@ class Sdtw {
   /// Convenience: extracts features on the fly and compares.
   SdtwResult Compare(const ts::TimeSeries& x, const ts::TimeSeries& y) const;
 
+  /// Full pipeline with best-so-far early abandoning: identical to
+  /// Compare() except the banded DP gives up as soon as every cell of a DP
+  /// row — or the final distance — exceeds `abandon_above` (the caller's
+  /// best-so-far), returning distance = +infinity with an empty path.
+  /// Works in both path and distance-only modes, so retrieval loops that
+  /// want alignments prune exactly like distance-only calls.
+  SdtwResult CompareEarlyAbandon(
+      const ts::TimeSeries& x, const std::vector<sift::Keypoint>& features_x,
+      const ts::TimeSeries& y, const std::vector<sift::Keypoint>& features_y,
+      double abandon_above) const;
+
   /// Distance-only convenience wrapper.
   double Distance(const ts::TimeSeries& x, const ts::TimeSeries& y) const;
 
@@ -108,6 +119,12 @@ class Sdtw {
                       const std::vector<sift::Keypoint>& features_y) const;
 
  private:
+  SdtwResult CompareImpl(const ts::TimeSeries& x,
+                         const std::vector<sift::Keypoint>& features_x,
+                         const ts::TimeSeries& y,
+                         const std::vector<sift::Keypoint>& features_y,
+                         bool abandon, double abandon_above) const;
+
   SdtwOptions options_;
 };
 

@@ -39,6 +39,20 @@ inline std::pair<std::size_t, std::size_t> DpWindow(const BandRow& r,
   return {r.lo + 1, std::min(r.hi + 1, m)};
 }
 
+/// The widest DP row window of `band` (in doubles), including the origin
+/// row 0 (width 1). This is the buffer extent a rolling two-row kernel
+/// needs for the band — callers that reuse one scratch buffer across many
+/// bands (batched retrieval) size it once to the maximum of this value
+/// over their candidate set.
+inline std::size_t MaxDpRowWidth(const Band& band) {
+  std::size_t max_width = 1;  // DP row 0 holds the origin cell
+  for (std::size_t i = 0; i < band.n(); ++i) {
+    const auto [lo, hi] = DpWindow(band.row(i), band.m());
+    if (lo <= hi) max_width = std::max(max_width, hi - lo + 1);
+  }
+  return max_width;
+}
+
 /// \brief Row-compressed (N+1)x(M+1) DTW accumulation matrix.
 ///
 /// Allocates offset_/lo_ index tables of size O(N) plus exactly

@@ -118,56 +118,88 @@ double FillBandRow(const double* prev, std::size_t plo, std::size_t phi,
   return row_min;
 }
 
-// Band-compressed distance-only kernel: two rolling buffers sized to the
-// widest band row. Memory is O(max band-row width) regardless of n and m,
-// and per-row work is O(row width) — no full-row infinity re-fill. With
-// `abandon`, returns +inf as soon as every filled cell of a row exceeds
-// `threshold`. Reports the number of cells filled (finite predecessors
-// only, the paper's work measure) and the doubles allocated.
-template <typename Cost>
-double BandedRollingKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
-                           const Band& band, bool abandon, double threshold,
-                           Cost cost, std::size_t* cells_filled,
-                           std::size_t* cells_allocated) {
+// Shared rolling two-row DP driver over per-row DP windows, using the
+// caller's scratch buffers (grown beforehand to the widest window). The
+// window callable maps series row r (0-based) to the inclusive DP column
+// window of DP row r + 1. Every cell the kernel reads is re-initialised
+// each call, so a reused scratch needs no clearing. With `abandon`,
+// returns +inf as soon as every filled cell of a row exceeds `threshold`.
+// Reports the number of cells filled (finite predecessors only, the
+// paper's work measure).
+template <typename Cost, typename WindowFn>
+double RollingWindowKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                           WindowFn window, bool abandon, double threshold,
+                           Cost cost, DtwScratch& scratch,
+                           std::size_t* cells_filled) {
   const std::size_t n = x.size();
   const std::size_t m = y.size();
-  std::size_t max_width = 1;  // DP row 0 holds the origin cell
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto [lo, hi] = DpWindow(band.row(i), m);
-    if (lo <= hi) max_width = std::max(max_width, hi - lo + 1);
-  }
-  std::vector<double> prev_buf(max_width, kInf);
-  std::vector<double> cur_buf(max_width, kInf);
-  if (cells_allocated != nullptr) *cells_allocated = 2 * max_width;
-  // DP window held by prev_buf; starts as the origin row {0}.
+  double* prev = scratch.prev.data();
+  double* cur = scratch.cur.data();
+  // DP window held by prev; starts as the origin row {0}.
   std::size_t plo = 0;
   std::size_t phi = 0;
-  prev_buf[0] = 0.0;
+  prev[0] = 0.0;
   std::size_t cells = 0;
   for (std::size_t i = 1; i <= n; ++i) {
-    const auto [clo, chi] = DpWindow(band.row(i - 1), m);
+    const auto [clo, chi] = window(i - 1);
     double row_min = kInf;
     if (clo <= chi) {
-      row_min = FillBandRow(prev_buf.data(), plo, phi, cur_buf.data(), clo,
-                            chi, x[i - 1], y, cost, &cells);
+      row_min =
+          FillBandRow(prev, plo, phi, cur, clo, chi, x[i - 1], y, cost,
+                      &cells);
     }
     if (abandon && row_min > threshold) {
       if (cells_filled != nullptr) *cells_filled = cells;
       return kInf;
     }
-    std::swap(prev_buf, cur_buf);
+    std::swap(prev, cur);
     plo = clo;
     phi = chi;
   }
   if (cells_filled != nullptr) *cells_filled = cells;
-  const double d = m >= plo && m <= phi ? prev_buf[m - plo] : kInf;
+  const double d = m >= plo && m <= phi ? prev[m - plo] : kInf;
   if (abandon) return d <= threshold ? d : kInf;
   return d;
 }
 
+// Band-compressed distance-only kernel: two rolling buffers sized to the
+// widest band row. Memory is O(max band-row width) regardless of n and m,
+// and per-row work is O(row width) — no full-row infinity re-fill.
+template <typename Cost>
+double BandedRollingKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                           const Band& band, bool abandon, double threshold,
+                           Cost cost, DtwScratch& scratch,
+                           std::size_t* cells_filled,
+                           std::size_t* cells_allocated) {
+  const std::size_t m = y.size();
+  const std::size_t max_width = MaxDpRowWidth(band);
+  scratch.EnsureWidth(max_width);
+  if (cells_allocated != nullptr) *cells_allocated = 2 * max_width;
+  return RollingWindowKernel(
+      x, y,
+      [&band, m](std::size_t r) { return DpWindow(band.row(r), m); },
+      abandon, threshold, cost, scratch, cells_filled);
+}
+
+// Full-grid distance-only kernel as the degenerate window [1, m] — the
+// same code path (and bit-identical results) as the historical dedicated
+// two-row implementation.
+template <typename Cost>
+double FullRollingKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                         bool abandon, double threshold, Cost cost,
+                         DtwScratch& scratch) {
+  const std::size_t m = y.size();
+  scratch.EnsureWidth(m + 1);
+  return RollingWindowKernel(
+      x, y,
+      [m](std::size_t) { return std::pair<std::size_t, std::size_t>{1, m}; },
+      abandon, threshold, cost, scratch, nullptr);
+}
+
 template <typename Cost>
 DtwResult DtwBandedImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
-                        const Band& band, bool want_path, Cost cost) {
+                        const Band& band, bool want_path, bool abandon,
+                        double threshold, Cost cost) {
   DtwResult result;
   const std::size_t n = x.size();
   const std::size_t m = y.size();
@@ -175,8 +207,9 @@ DtwResult DtwBandedImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
   if (!want_path) {
     // Distance-only: no cell needs to outlive its row, so the rolling
     // kernel's two band-width buffers suffice.
+    DtwScratch scratch;
     result.distance =
-        BandedRollingKernel(x, y, band, /*abandon=*/false, kInf, cost,
+        BandedRollingKernel(x, y, band, abandon, threshold, cost, scratch,
                             &result.cells_filled, &result.cells_allocated);
     return result;
   }
@@ -187,63 +220,32 @@ DtwResult DtwBandedImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
   for (std::size_t i = 1; i <= n; ++i) {
     const std::size_t clo = d.row_lo(i);
     const std::size_t chi = d.row_hi(i);
-    if (clo > chi) continue;
-    FillBandRow(d.row_data(i - 1), d.row_lo(i - 1), d.row_hi(i - 1),
-                d.row_data(i), clo, chi, x[i - 1], y, cost, &cells);
+    double row_min = kInf;
+    if (clo <= chi) {
+      row_min = FillBandRow(d.row_data(i - 1), d.row_lo(i - 1),
+                            d.row_hi(i - 1), d.row_data(i), clo, chi,
+                            x[i - 1], y, cost, &cells);
+    }
+    if (abandon && row_min > threshold) {
+      // Every continuation through this row already exceeds the best so
+      // far: distance stays +infinity, no backtrack.
+      result.cells_filled = cells;
+      result.cells_allocated = d.cells_allocated();
+      return result;
+    }
   }
   result.cells_filled = cells;
   result.cells_allocated = d.cells_allocated();
   result.distance = d.at(n, m);
+  if (abandon && result.distance > threshold) {
+    result.distance = kInf;
+    return result;
+  }
   if (std::isfinite(result.distance)) {
     result.path = BacktrackImpl(
         [&](std::size_t i, std::size_t j) { return d.at(i, j); }, n, m);
   }
   return result;
-}
-
-template <typename Cost>
-double DtwDistanceImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
-                       Cost cost) {
-  const std::size_t n = x.size();
-  const std::size_t m = y.size();
-  if (n == 0 || m == 0) return kInf;
-  std::vector<double> prev(m + 1, kInf);
-  std::vector<double> cur(m + 1, kInf);
-  prev[0] = 0.0;
-  for (std::size_t i = 1; i <= n; ++i) {
-    cur[0] = kInf;
-    const double xi = x[i - 1];
-    for (std::size_t j = 1; j <= m; ++j) {
-      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
-      cur[j] = best + cost(xi, y[j - 1]);
-    }
-    std::swap(prev, cur);
-  }
-  return prev[m];
-}
-
-template <typename Cost>
-double DtwEarlyAbandonImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
-                           double threshold, Cost cost) {
-  const std::size_t n = x.size();
-  const std::size_t m = y.size();
-  if (n == 0 || m == 0) return kInf;
-  std::vector<double> prev(m + 1, kInf);
-  std::vector<double> cur(m + 1, kInf);
-  prev[0] = 0.0;
-  for (std::size_t i = 1; i <= n; ++i) {
-    cur[0] = kInf;
-    const double xi = x[i - 1];
-    double row_min = kInf;
-    for (std::size_t j = 1; j <= m; ++j) {
-      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
-      cur[j] = best + cost(xi, y[j - 1]);
-      row_min = std::min(row_min, cur[j]);
-    }
-    if (row_min > threshold) return kInf;
-    std::swap(prev, cur);
-  }
-  return prev[m] <= threshold ? prev[m] : kInf;
 }
 
 }  // namespace
@@ -259,54 +261,104 @@ DtwResult Dtw(const ts::TimeSeries& x, const ts::TimeSeries& y,
 DtwResult DtwBanded(const ts::TimeSeries& x, const ts::TimeSeries& y,
                     const Band& band, const DtwOptions& options) {
   if (options.cost == CostKind::kAbsolute) {
-    return DtwBandedImpl(x, y, band, options.want_path, AbsCost{});
+    return DtwBandedImpl(x, y, band, options.want_path, /*abandon=*/false,
+                         kInf, AbsCost{});
   }
-  return DtwBandedImpl(x, y, band, options.want_path, SquaredCost{});
+  return DtwBandedImpl(x, y, band, options.want_path, /*abandon=*/false,
+                       kInf, SquaredCost{});
+}
+
+DtwResult DtwBandedEarlyAbandon(const ts::TimeSeries& x,
+                                const ts::TimeSeries& y, const Band& band,
+                                double threshold,
+                                const DtwOptions& options) {
+  if (options.cost == CostKind::kAbsolute) {
+    return DtwBandedImpl(x, y, band, options.want_path, /*abandon=*/true,
+                         threshold, AbsCost{});
+  }
+  return DtwBandedImpl(x, y, band, options.want_path, /*abandon=*/true,
+                       threshold, SquaredCost{});
 }
 
 double DtwDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
                    CostKind cost) {
-  if (cost == CostKind::kAbsolute) return DtwDistanceImpl(x, y, AbsCost{});
-  return DtwDistanceImpl(x, y, SquaredCost{});
+  DtwScratch scratch;
+  return DtwDistance(x, y, cost, scratch);
+}
+
+double DtwDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                   CostKind cost, DtwScratch& scratch) {
+  if (x.empty() || y.empty()) return kInf;
+  if (cost == CostKind::kAbsolute) {
+    return FullRollingKernel(x, y, /*abandon=*/false, kInf, AbsCost{},
+                             scratch);
+  }
+  return FullRollingKernel(x, y, /*abandon=*/false, kInf, SquaredCost{},
+                           scratch);
 }
 
 double DtwBandedDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
                          const Band& band, CostKind cost) {
+  DtwScratch scratch;
+  return DtwBandedDistance(x, y, band, cost, scratch);
+}
+
+double DtwBandedDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                         const Band& band, CostKind cost,
+                         DtwScratch& scratch) {
   if (x.empty() || y.empty() || band.n() != x.size() ||
       band.m() != y.size()) {
     return kInf;
   }
   if (cost == CostKind::kAbsolute) {
     return BandedRollingKernel(x, y, band, /*abandon=*/false, kInf,
-                               AbsCost{}, nullptr, nullptr);
+                               AbsCost{}, scratch, nullptr, nullptr);
   }
   return BandedRollingKernel(x, y, band, /*abandon=*/false, kInf,
-                             SquaredCost{}, nullptr, nullptr);
+                             SquaredCost{}, scratch, nullptr, nullptr);
 }
 
 double DtwDistanceEarlyAbandon(const ts::TimeSeries& x,
                                const ts::TimeSeries& y, double threshold,
                                CostKind cost) {
+  DtwScratch scratch;
+  return DtwDistanceEarlyAbandon(x, y, threshold, cost, scratch);
+}
+
+double DtwDistanceEarlyAbandon(const ts::TimeSeries& x,
+                               const ts::TimeSeries& y, double threshold,
+                               CostKind cost, DtwScratch& scratch) {
+  if (x.empty() || y.empty()) return kInf;
   if (cost == CostKind::kAbsolute) {
-    return DtwEarlyAbandonImpl(x, y, threshold, AbsCost{});
+    return FullRollingKernel(x, y, /*abandon=*/true, threshold, AbsCost{},
+                             scratch);
   }
-  return DtwEarlyAbandonImpl(x, y, threshold, SquaredCost{});
+  return FullRollingKernel(x, y, /*abandon=*/true, threshold, SquaredCost{},
+                           scratch);
 }
 
 double DtwBandedDistanceEarlyAbandon(const ts::TimeSeries& x,
                                      const ts::TimeSeries& y,
                                      const Band& band, double threshold,
                                      CostKind cost) {
+  DtwScratch scratch;
+  return DtwBandedDistanceEarlyAbandon(x, y, band, threshold, cost, scratch);
+}
+
+double DtwBandedDistanceEarlyAbandon(const ts::TimeSeries& x,
+                                     const ts::TimeSeries& y,
+                                     const Band& band, double threshold,
+                                     CostKind cost, DtwScratch& scratch) {
   if (x.empty() || y.empty() || band.n() != x.size() ||
       band.m() != y.size()) {
     return kInf;
   }
   if (cost == CostKind::kAbsolute) {
     return BandedRollingKernel(x, y, band, /*abandon=*/true, threshold,
-                               AbsCost{}, nullptr, nullptr);
+                               AbsCost{}, scratch, nullptr, nullptr);
   }
   return BandedRollingKernel(x, y, band, /*abandon=*/true, threshold,
-                             SquaredCost{}, nullptr, nullptr);
+                             SquaredCost{}, scratch, nullptr, nullptr);
 }
 
 bool IsValidWarpPath(const std::vector<PathPoint>& path, std::size_t n,

@@ -59,6 +59,29 @@ struct DtwOptions {
   bool want_path = true;
 };
 
+/// \brief Reusable rolling-row storage for the distance-only kernels.
+///
+/// The rolling kernels need two buffers sized to the widest DP row they
+/// will fill (dtw::MaxDpRowWidth for a band, m + 1 for a full grid).
+/// Retrieval loops that compare one query against thousands of candidates
+/// keep one DtwScratch per worker, sized once to the widest requirement
+/// across the whole candidate set, instead of allocating per call. The
+/// kernels re-initialise the cells they read, so a scratch can be reused
+/// across calls without clearing.
+struct DtwScratch {
+  std::vector<double> prev;
+  std::vector<double> cur;
+
+  /// Grows both buffers to at least `width` doubles (never shrinks).
+  void EnsureWidth(std::size_t width) {
+    if (prev.size() < width) {
+      prev.resize(width);
+      cur.resize(width);
+    }
+  }
+  std::size_t width() const { return prev.size(); }
+};
+
 /// Full O(NM) DTW between x and y (paper §2.1.3).
 DtwResult Dtw(const ts::TimeSeries& x, const ts::TimeSeries& y,
               const DtwOptions& options = {});
@@ -96,6 +119,36 @@ double DtwBandedDistanceEarlyAbandon(const ts::TimeSeries& x,
                                      const ts::TimeSeries& y,
                                      const Band& band, double threshold,
                                      CostKind cost = CostKind::kAbsolute);
+
+/// \name Scratch-buffer variants
+/// Identical results to the allocation-owning kernels above (bit for bit),
+/// but the rolling rows live in the caller-provided DtwScratch, which is
+/// grown on demand and reused across calls. These are the hot-loop entry
+/// points of the batched retrieval engine.
+/// @{
+double DtwDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                   CostKind cost, DtwScratch& scratch);
+double DtwDistanceEarlyAbandon(const ts::TimeSeries& x,
+                               const ts::TimeSeries& y, double threshold,
+                               CostKind cost, DtwScratch& scratch);
+double DtwBandedDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                         const Band& band, CostKind cost,
+                         DtwScratch& scratch);
+double DtwBandedDistanceEarlyAbandon(const ts::TimeSeries& x,
+                                     const ts::TimeSeries& y,
+                                     const Band& band, double threshold,
+                                     CostKind cost, DtwScratch& scratch);
+/// @}
+
+/// Path-preserving banded DTW with best-so-far early abandoning: as soon as
+/// every filled cell of a band row exceeds `threshold` (or the final
+/// distance does), returns distance = +infinity with an empty path and the
+/// cells filled so far. Otherwise identical to DtwBanded(). Lets retrieval
+/// loops that want alignments prune as aggressively as distance-only calls.
+DtwResult DtwBandedEarlyAbandon(const ts::TimeSeries& x,
+                                const ts::TimeSeries& y, const Band& band,
+                                double threshold,
+                                const DtwOptions& options = {});
 
 /// Validates warp-path structure per §2.1.1: starts at (0,0), ends at
 /// (N-1,M-1), steps ∈ {(1,0),(0,1),(1,1)}, and max(N,M) <= K <= N+M.

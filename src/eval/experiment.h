@@ -68,7 +68,20 @@ struct AlgorithmMetrics {
   double matching_seconds = 0.0;
   double dp_seconds = 0.0;
   double cell_fraction = 0.0;             ///< filled cells / full-grid cells.
+  /// Leave-one-out 1-NN label accuracy, computed through the batched
+  /// retrieval engine (retrieval::BatchKnnEngine) with its full pruning
+  /// cascade — the served-workload counterpart of the matrix metrics
+  /// above. Deterministic regardless of worker count.
+  double loo_accuracy_1nn = 0.0;
 };
+
+/// Leave-one-out 1-NN accuracy of one roster entry on a data set, served
+/// by the batched engine (`num_threads` workers, 0 = hardware
+/// concurrency). Exposed for benches that want the retrieval-engine view
+/// without a full experiment run.
+double BatchLooAccuracy(const ts::Dataset& dataset,
+                        const core::NamedConfig& config,
+                        std::size_t num_threads = 0);
 
 /// Derives the metrics of `candidate` against `reference` on `dataset`.
 AlgorithmMetrics ComputeMetrics(const std::string& label,

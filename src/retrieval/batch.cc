@@ -1,0 +1,350 @@
+#include "retrieval/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace sdtw {
+namespace retrieval {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Pointwise L1 distance on equal-length series; +inf otherwise.
+double L1Distance(const ts::TimeSeries& a, const ts::TimeSeries& b) {
+  if (a.size() != b.size()) return kInf;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+// True Euclidean distance (sqrt of summed squared differences) on
+// equal-length series; +inf otherwise.
+double EuclideanDistance(const ts::TimeSeries& a, const ts::TimeSeries& b) {
+  if (a.size() != b.size()) return kInf;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+// Strict weak order making the top-k selection deterministic under any
+// worker completion order: primary ascending distance, ties by ascending
+// index (what a sequential in-order scan keeps).
+bool HitLess(const Hit& a, const Hit& b) {
+  return a.distance < b.distance ||
+         (a.distance == b.distance && a.index < b.index);
+}
+
+void MergeStats(QueryStats& into, const QueryStats& delta) {
+  into.candidates += delta.candidates;
+  into.pruned_by_kim += delta.pruned_by_kim;
+  into.pruned_by_keogh += delta.pruned_by_keogh;
+  into.pruned_by_early_abandon += delta.pruned_by_early_abandon;
+  into.dp_evaluations += delta.dp_evaluations;
+}
+
+// Shared mutable state of one query while the batch is in flight. The
+// heap and stats are guarded by mu; best is additionally published as an
+// atomic so the hot loop can read the current k-th best without locking
+// (a stale read is always >= the true value, i.e. merely prunes less).
+struct PerQueryState {
+  QueryContext context;
+  std::mutex mu;
+  std::vector<Hit> heap;  // max-heap under HitLess, size <= k
+  std::atomic<double> best{kInf};
+  QueryStats stats;
+};
+
+// Runs fn on `threads` workers and waits for all of them; threads == 1
+// runs inline on the calling thread.
+template <typename Fn>
+void RunOnWorkers(std::size_t threads, const Fn& fn) {
+  if (threads <= 1) {
+    fn();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(fn);
+  for (std::thread& t : pool) t.join();
+}
+
+std::size_t ResolveThreads(std::size_t requested, std::size_t work_items) {
+  std::size_t threads = requested != 0
+                            ? requested
+                            : std::max(1u, std::thread::hardware_concurrency());
+  return std::max<std::size_t>(1, std::min(threads, work_items));
+}
+
+}  // namespace
+
+BatchKnnEngine::BatchKnnEngine(const KnnEngine& index, BatchOptions options)
+    : index_(index), options_(options) {}
+
+std::size_t BatchKnnEngine::size() const { return index_.size(); }
+
+QueryContext BatchKnnEngine::MakeContext(const ts::TimeSeries& query) const {
+  const KnnOptions& opt = index_.options_;
+  QueryContext context;
+  context.stats = dtw::MakeSeriesStats(query);
+  if (opt.distance == DistanceKind::kSdtw) {
+    context.features = index_.engine_.ExtractFeatures(query);
+  }
+  if (opt.use_lb_keogh && opt.distance == DistanceKind::kFullDtw) {
+    // Full-span envelope: the only radius sound for unconstrained DTW
+    // (see KnnOptions::use_lb_keogh).
+    context.envelope = dtw::MakeEnvelope(query, query.size());
+  }
+  return context;
+}
+
+double BatchKnnEngine::CascadeDistance(const ts::TimeSeries& query,
+                                       const QueryContext& context,
+                                       std::size_t candidate,
+                                       double best_so_far,
+                                       ScratchArena& scratch,
+                                       QueryStats* stats) const {
+  const KnnOptions& opt = index_.options_;
+  const core::Sdtw& engine = index_.engine_;
+  const ts::TimeSeries& target = index_.series_[candidate];
+
+  // Cascade stage 1: LB_Kim over cached summaries — genuinely O(1) per
+  // candidate (the query summary is computed once per batch, the candidate
+  // summary once at Index() time). LB_Kim is a max of absolute pointwise
+  // differences: a valid lower bound for absolute-cost DTW (the kFullDtw
+  // mode always uses it), the L1 norm, and the Euclidean norm — but NOT
+  // for squared-cost distances (|d| > d^2 when |d| < 1), so it must stay
+  // off when the sDTW engine ranks by squared cost.
+  const bool lb_kim_sound =
+      opt.distance != DistanceKind::kSdtw ||
+      engine.options().dtw.cost == dtw::CostKind::kAbsolute;
+  if (opt.use_lb_kim && lb_kim_sound && std::isfinite(best_so_far)) {
+    if (dtw::LbKim(context.stats, index_.stats_[candidate]) > best_so_far) {
+      if (stats != nullptr) ++stats->pruned_by_kim;
+      return kInf;
+    }
+  }
+  // Cascade stage 2: LB_Keogh in both directions — the query against the
+  // candidate envelope cached at Index() time, and the candidate against
+  // the query envelope computed once per batch. The envelopes span the
+  // whole series (global min/max), the only radius that lower-bounds
+  // *unconstrained* DTW: every warp path visits each row i, aligning x_i
+  // to some value inside [min(y), max(y)], so Σ_i dist(x_i, envelope) is
+  // a valid bound. Radius-limited envelopes would only bound
+  // window-constrained DTW, and sDTW bands may be narrower still — hence
+  // exact-DTW mode only.
+  if (opt.use_lb_keogh && opt.distance == DistanceKind::kFullDtw &&
+      std::isfinite(best_so_far)) {
+    const dtw::Envelope& target_envelope = index_.envelopes_[candidate];
+    if (query.size() == target_envelope.upper.size() &&
+        dtw::LbKeogh(query, target_envelope) > best_so_far) {
+      if (stats != nullptr) ++stats->pruned_by_keogh;
+      return kInf;
+    }
+    if (target.size() == context.envelope.upper.size() &&
+        dtw::LbKeogh(target, context.envelope) > best_so_far) {
+      if (stats != nullptr) ++stats->pruned_by_keogh;
+      return kInf;
+    }
+  }
+
+  if (stats != nullptr) ++stats->dp_evaluations;
+  switch (opt.distance) {
+    case DistanceKind::kEuclidean:
+      return EuclideanDistance(query, target);
+    case DistanceKind::kL1:
+      return L1Distance(query, target);
+    case DistanceKind::kFullDtw:
+      if (opt.use_early_abandon && std::isfinite(best_so_far)) {
+        const double d = dtw::DtwDistanceEarlyAbandon(
+            query, target, best_so_far, dtw::CostKind::kAbsolute,
+            scratch.dp());
+        if (!std::isfinite(d) && stats != nullptr) {
+          ++stats->pruned_by_early_abandon;
+          --stats->dp_evaluations;
+        }
+        return d;
+      }
+      return dtw::DtwDistance(query, target, dtw::CostKind::kAbsolute,
+                              scratch.dp());
+    case DistanceKind::kSdtw: {
+      // Band pruning and best-so-far pruning compose: build the locally
+      // relevant band, then run the banded DP in the worker's rolling
+      // buffers, abandoning once a whole row exceeds the current k-th
+      // best distance.
+      const dtw::Band band = engine.BuildBand(query, context.features,
+                                              target,
+                                              index_.features_[candidate]);
+      if (opt.use_early_abandon && std::isfinite(best_so_far)) {
+        const double d = dtw::DtwBandedDistanceEarlyAbandon(
+            query, target, band, best_so_far, engine.options().dtw.cost,
+            scratch.dp());
+        if (!std::isfinite(d) && stats != nullptr) {
+          ++stats->pruned_by_early_abandon;
+          --stats->dp_evaluations;
+        }
+        return d;
+      }
+      return dtw::DtwBandedDistance(query, target, band,
+                                    engine.options().dtw.cost, scratch.dp());
+    }
+  }
+  return kInf;
+}
+
+std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatch(
+    std::span<const ts::TimeSeries> queries, std::size_t k,
+    std::vector<QueryStats>* stats) const {
+  return QueryBatch(queries, k, {}, stats);
+}
+
+std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatch(
+    std::span<const ts::TimeSeries> queries, std::size_t k,
+    std::span<const std::optional<std::size_t>> excludes,
+    std::vector<QueryStats>* stats) const {
+  const std::size_t num_queries = queries.size();
+  std::vector<std::vector<Hit>> results(num_queries);
+  if (stats != nullptr) stats->assign(num_queries, QueryStats{});
+  const std::size_t num_candidates = index_.size();
+  if (num_queries == 0 || num_candidates == 0 || k == 0) return results;
+  // The documented contract is excludes empty or batch-sized; a shorter
+  // span keeps query→exclusion alignment for its prefix (excludes[q]
+  // stays query q's exclusion) rather than silently changing meaning.
+  assert(excludes.empty() || excludes.size() == num_queries);
+
+  // Per-query shared state; deque keeps the mutexes/atomics in place.
+  std::deque<PerQueryState> states(num_queries);
+
+  const std::size_t threads =
+      ResolveThreads(options_.num_threads, num_queries * num_candidates);
+
+  // Phase 1: per-query contexts, each computed exactly once, spread over
+  // the workers.
+  {
+    std::atomic<std::size_t> next{0};
+    RunOnWorkers(std::min(threads, num_queries), [&]() {
+      for (;;) {
+        const std::size_t q = next.fetch_add(1, std::memory_order_relaxed);
+        if (q >= num_queries) return;
+        states[q].context = MakeContext(queries[q]);
+      }
+    });
+  }
+
+  // Phase 2: the query×candidate grid, flattened into chunks of
+  // candidates and drained through one atomic work counter. Units are
+  // ordered query-major so workers gang up on the same query first and
+  // its shared best-so-far tightens as early as possible.
+  std::size_t chunks_per_query;
+  if (options_.chunk_size != 0) {
+    chunks_per_query =
+        (num_candidates + options_.chunk_size - 1) / options_.chunk_size;
+  } else {
+    const std::size_t units_wanted = threads * 4;
+    chunks_per_query =
+        num_queries >= units_wanted
+            ? 1
+            : (units_wanted + num_queries - 1) / num_queries;
+    chunks_per_query = std::min(chunks_per_query, num_candidates);
+  }
+  const std::size_t chunk =
+      (num_candidates + chunks_per_query - 1) / chunks_per_query;
+  const std::size_t total_units = num_queries * chunks_per_query;
+
+  std::atomic<std::size_t> next{0};
+  RunOnWorkers(threads, [&]() {
+    ScratchArena scratch;
+    scratch.SizeForTargets(index_.max_length());
+    for (;;) {
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= total_units) return;
+      const std::size_t q = t / chunks_per_query;
+      const std::size_t begin = (t % chunks_per_query) * chunk;
+      const std::size_t end = std::min(num_candidates, begin + chunk);
+      PerQueryState& state = states[q];
+      const bool has_exclude =
+          q < excludes.size() && excludes[q].has_value();
+      const std::size_t exclude = has_exclude ? *excludes[q] : 0;
+      QueryStats local;  // merged under the query lock once per chunk
+      for (std::size_t i = begin; i < end; ++i) {
+        if (has_exclude && exclude == i) continue;
+        ++local.candidates;
+        const double best_so_far =
+            state.best.load(std::memory_order_relaxed);
+        const double d = CascadeDistance(queries[q], state.context, i,
+                                         best_so_far, scratch, &local);
+        if (!std::isfinite(d)) continue;
+        const Hit hit{i, d, index_.series_[i].label()};
+        // A hit can only displace the incumbent k-th best if it is
+        // strictly smaller under (distance, index); best_so_far is an
+        // upper bound of that threshold, so this lock-free reject is
+        // conservative and exact results are preserved.
+        if (d > best_so_far) continue;
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (state.heap.size() < k) {
+          state.heap.push_back(hit);
+          std::push_heap(state.heap.begin(), state.heap.end(), HitLess);
+        } else if (HitLess(hit, state.heap.front())) {
+          std::pop_heap(state.heap.begin(), state.heap.end(), HitLess);
+          state.heap.back() = hit;
+          std::push_heap(state.heap.begin(), state.heap.end(), HitLess);
+        }
+        if (state.heap.size() == k) {
+          state.best.store(state.heap.front().distance,
+                           std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lock(state.mu);
+      MergeStats(state.stats, local);
+    }
+  });
+
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    std::sort_heap(states[q].heap.begin(), states[q].heap.end(), HitLess);
+    results[q] = std::move(states[q].heap);
+    if (stats != nullptr) (*stats)[q] = states[q].stats;
+  }
+  return results;
+}
+
+std::vector<int> BatchKnnEngine::ClassifyBatch(
+    std::span<const ts::TimeSeries> queries, std::size_t k) const {
+  return ClassifyBatch(queries, k, {});
+}
+
+std::vector<int> BatchKnnEngine::ClassifyBatch(
+    std::span<const ts::TimeSeries> queries, std::size_t k,
+    std::span<const std::optional<std::size_t>> excludes) const {
+  const std::vector<std::vector<Hit>> hits = QueryBatch(queries, k, excludes);
+  std::vector<int> labels(hits.size(), -1);
+  for (std::size_t q = 0; q < hits.size(); ++q) {
+    labels[q] = VoteLabel(hits[q]);
+  }
+  return labels;
+}
+
+double BatchKnnEngine::LeaveOneOutAccuracy(std::size_t k) const {
+  const std::size_t n = index_.size();
+  if (n == 0) return 0.0;
+  std::vector<std::optional<std::size_t>> excludes(n);
+  for (std::size_t i = 0; i < n; ++i) excludes[i] = i;
+  const std::vector<int> predicted =
+      ClassifyBatch(index_.series_, k, excludes);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (predicted[i] == index_.series_[i].label()) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace retrieval
+}  // namespace sdtw

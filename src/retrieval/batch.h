@@ -1,0 +1,113 @@
+#ifndef SDTW_RETRIEVAL_BATCH_H_
+#define SDTW_RETRIEVAL_BATCH_H_
+
+/// \file batch.h
+/// \brief Batched multi-query kNN retrieval over a KnnEngine index.
+///
+/// The single-query engine answers one query at a time and pays the
+/// cascade set-up (query summary, envelope, feature extraction) plus DP
+/// scratch allocation per call. BatchKnnEngine executes a whole batch of
+/// queries against one index in a single pass:
+///
+///  * per-query derivatives (SeriesStats, Keogh envelope, salient
+///    features) are computed exactly once up front (QueryContext);
+///  * each worker thread owns one ScratchArena whose rolling DTW rows are
+///    sized once to the widest requirement across the index — the hot
+///    query×candidate loop performs no DP allocation;
+///  * the query×candidate grid is chunked and distributed over workers by
+///    an atomic work counter (the same work-stealing scheme as
+///    ParallelPairwiseMatrix), and every query's best-so-far is a shared
+///    atomic that tightens as workers race, so the LB_Kim → LB_Keogh →
+///    early-abandoning-DP cascade prunes across threads.
+///
+/// Results are deterministic regardless of thread count and completion
+/// order: hits are the k smallest (distance, index) pairs, exactly what
+/// the sequential scan produces. The single-query KnnEngine::Query is a
+/// batch-of-one wrapper over this engine, so the cascade logic lives here
+/// and only here.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "retrieval/knn.h"
+#include "retrieval/scratch.h"
+
+namespace sdtw {
+namespace retrieval {
+
+/// \brief Execution knobs of the batch engine.
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency. 1 runs inline on the
+  /// calling thread (no thread is spawned).
+  std::size_t num_threads = 0;
+  /// Candidates per work unit; 0 derives a chunking that yields at least
+  /// ~4 units per worker while never splitting a query that does not need
+  /// splitting for load balance.
+  std::size_t chunk_size = 0;
+};
+
+/// \brief A batch executor over an indexed KnnEngine.
+///
+/// Holds a non-owning view of the engine: the engine must outlive the
+/// executor, and re-indexing the engine invalidates it. Construction is
+/// O(1); all state lives per call.
+class BatchKnnEngine {
+ public:
+  explicit BatchKnnEngine(const KnnEngine& index, BatchOptions options = {});
+
+  const BatchOptions& options() const { return options_; }
+  /// Number of indexed candidate series.
+  std::size_t size() const;
+
+  /// Returns, for every query, its k nearest indexed series in ascending
+  /// (distance, index) order. `stats` (when non-null) receives one
+  /// QueryStats per query with the cascade counters summing exactly to
+  /// the candidates scanned for that query.
+  std::vector<std::vector<Hit>> QueryBatch(
+      std::span<const ts::TimeSeries> queries, std::size_t k,
+      std::vector<QueryStats>* stats = nullptr) const;
+
+  /// As above with a per-query exclusion (leave-one-out evaluation):
+  /// excludes[q], when set, is an index never reported for query q.
+  /// `excludes` must be empty or match the batch size.
+  std::vector<std::vector<Hit>> QueryBatch(
+      std::span<const ts::TimeSeries> queries, std::size_t k,
+      std::span<const std::optional<std::size_t>> excludes,
+      std::vector<QueryStats>* stats = nullptr) const;
+
+  /// Majority-vote kNN classification of every query (VoteLabel over the
+  /// QueryBatch hits); -1 for a query with no hits. Deterministic: ties
+  /// resolve by the smaller summed distance, then the smaller label,
+  /// regardless of worker completion order.
+  std::vector<int> ClassifyBatch(std::span<const ts::TimeSeries> queries,
+                                 std::size_t k) const;
+  std::vector<int> ClassifyBatch(
+      std::span<const ts::TimeSeries> queries, std::size_t k,
+      std::span<const std::optional<std::size_t>> excludes) const;
+
+  /// Leave-one-out classification accuracy over the indexed set — the
+  /// whole index is one batch, each series excluding itself.
+  double LeaveOneOutAccuracy(std::size_t k) const;
+
+ private:
+  QueryContext MakeContext(const ts::TimeSeries& query) const;
+
+  /// The shared lower-bound cascade: LB_Kim → LB_Keogh (both directions)
+  /// → (early-abandoning) DP, against candidate `candidate` with the
+  /// caller's best-so-far. Returns +infinity when pruned. The one copy of
+  /// the cascade logic; single-query Query routes through it too.
+  double CascadeDistance(const ts::TimeSeries& query,
+                         const QueryContext& context, std::size_t candidate,
+                         double best_so_far, ScratchArena& scratch,
+                         QueryStats* stats) const;
+
+  const KnnEngine& index_;
+  BatchOptions options_;
+};
+
+}  // namespace retrieval
+}  // namespace sdtw
+
+#endif  // SDTW_RETRIEVAL_BATCH_H_

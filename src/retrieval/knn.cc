@@ -5,6 +5,8 @@
 #include <limits>
 #include <map>
 
+#include "retrieval/batch.h"
+
 namespace sdtw {
 namespace retrieval {
 
@@ -12,179 +14,12 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Pointwise L1 distance on equal-length series; +inf otherwise.
-double L1Distance(const ts::TimeSeries& a, const ts::TimeSeries& b) {
-  if (a.size() != b.size()) return kInf;
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
-  return sum;
-}
-
-// True Euclidean distance (sqrt of summed squared differences) on
-// equal-length series; +inf otherwise.
-double EuclideanDistance(const ts::TimeSeries& a, const ts::TimeSeries& b) {
-  if (a.size() != b.size()) return kInf;
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
-}
-
 }  // namespace
 
-KnnEngine::KnnEngine(KnnOptions options) : options_(std::move(options)) {
-  core::SdtwOptions opts = options_.sdtw;
-  opts.dtw.want_path = false;
-  engine_ = core::Sdtw(opts);
-}
-
-void KnnEngine::Index(const ts::Dataset& dataset) {
-  series_.clear();
-  features_.clear();
-  envelopes_.clear();
-  stats_.clear();
-  series_.reserve(dataset.size());
-  features_.reserve(dataset.size());
-  envelopes_.reserve(dataset.size());
-  stats_.reserve(dataset.size());
-
-  keogh_radius_ = static_cast<std::size_t>(std::ceil(
-      options_.keogh_radius_fraction *
-      static_cast<double>(dataset.MaxLength())));
-  for (const ts::TimeSeries& s : dataset) {
-    series_.push_back(s);
-    // One-time per-series extraction (paper §3.4).
-    if (options_.distance == DistanceKind::kSdtw) {
-      features_.push_back(engine_.ExtractFeatures(s));
-    } else {
-      features_.emplace_back();
-    }
-    envelopes_.push_back(options_.use_lb_keogh
-                             ? dtw::MakeEnvelope(s, keogh_radius_)
-                             : dtw::Envelope{});
-    stats_.push_back(dtw::MakeSeriesStats(s));
-  }
-}
-
-double KnnEngine::Distance(const ts::TimeSeries& query,
-                           const dtw::SeriesStats& query_stats,
-                           const std::vector<sift::Keypoint>& query_features,
-                           std::size_t candidate, double best_so_far,
-                           QueryStats* stats) const {
-  const ts::TimeSeries& target = series_[candidate];
-
-  // Cascade stage 1: LB_Kim over cached summaries — genuinely O(1) per
-  // candidate (the query summary is computed once per query, the candidate
-  // summary once at Index() time). LB_Kim is a max of absolute pointwise
-  // differences: a valid lower bound for absolute-cost DTW (the kFullDtw
-  // mode always uses it), the L1 norm, and the Euclidean norm — but NOT
-  // for squared-cost distances (|d| > d^2 when |d| < 1), so it must stay
-  // off when the sDTW engine ranks by squared cost.
-  const bool lb_kim_sound =
-      options_.distance != DistanceKind::kSdtw ||
-      engine_.options().dtw.cost == dtw::CostKind::kAbsolute;
-  if (options_.use_lb_kim && lb_kim_sound && std::isfinite(best_so_far)) {
-    if (dtw::LbKim(query_stats, stats_[candidate]) > best_so_far) {
-      if (stats != nullptr) ++stats->pruned_by_kim;
-      return kInf;
-    }
-  }
-  // Cascade stage 2: LB_Keogh against the cached envelope (valid lower
-  // bound for the full DTW; for sDTW distances it is only a heuristic since
-  // the sDTW band may be narrower than the Keogh window, so it is applied
-  // to the exact-DTW mode only).
-  if (options_.use_lb_keogh && options_.distance == DistanceKind::kFullDtw &&
-      std::isfinite(best_so_far) &&
-      query.size() == envelopes_[candidate].upper.size()) {
-    if (dtw::LbKeogh(query, envelopes_[candidate]) > best_so_far) {
-      if (stats != nullptr) ++stats->pruned_by_keogh;
-      return kInf;
-    }
-  }
-
-  if (stats != nullptr) ++stats->dp_evaluations;
-  switch (options_.distance) {
-    case DistanceKind::kEuclidean:
-      return EuclideanDistance(query, target);
-    case DistanceKind::kL1:
-      return L1Distance(query, target);
-    case DistanceKind::kFullDtw:
-      if (options_.use_early_abandon && std::isfinite(best_so_far)) {
-        const double d =
-            dtw::DtwDistanceEarlyAbandon(query, target, best_so_far);
-        if (!std::isfinite(d) && stats != nullptr) {
-          ++stats->pruned_by_early_abandon;
-          --stats->dp_evaluations;
-        }
-        return d;
-      }
-      return dtw::DtwDistance(query, target);
-    case DistanceKind::kSdtw: {
-      if (options_.use_early_abandon && std::isfinite(best_so_far)) {
-        // Band pruning and best-so-far pruning compose: build the locally
-        // relevant band, then abandon the banded DP once a whole row
-        // exceeds the current k-th best distance.
-        const dtw::Band band = engine_.BuildBand(
-            query, query_features, target, features_[candidate]);
-        const double d = dtw::DtwBandedDistanceEarlyAbandon(
-            query, target, band, best_so_far, engine_.options().dtw.cost);
-        if (!std::isfinite(d) && stats != nullptr) {
-          ++stats->pruned_by_early_abandon;
-          --stats->dp_evaluations;
-        }
-        return d;
-      }
-      return engine_
-          .Compare(query, query_features, target, features_[candidate])
-          .distance;
-    }
-  }
-  return kInf;
-}
-
-std::vector<Hit> KnnEngine::Query(const ts::TimeSeries& query, std::size_t k,
-                                  std::optional<std::size_t> exclude,
-                                  QueryStats* stats) const {
-  std::vector<Hit> heap;  // max-heap on distance, size <= k
-  auto cmp = [](const Hit& a, const Hit& b) { return a.distance < b.distance; };
-  const std::vector<sift::Keypoint> query_features =
-      options_.distance == DistanceKind::kSdtw
-          ? engine_.ExtractFeatures(query)
-          : std::vector<sift::Keypoint>{};
-  const dtw::SeriesStats query_stats = dtw::MakeSeriesStats(query);
-
-  if (stats != nullptr) *stats = QueryStats{};
-  for (std::size_t i = 0; i < series_.size(); ++i) {
-    if (exclude.has_value() && *exclude == i) continue;
-    if (stats != nullptr) ++stats->candidates;
-    const double best_so_far =
-        heap.size() == k && k > 0 ? heap.front().distance : kInf;
-    const double d =
-        Distance(query, query_stats, query_features, i, best_so_far, stats);
-    if (!std::isfinite(d) || (heap.size() == k && d >= best_so_far)) {
-      continue;
-    }
-    Hit hit{i, d, series_[i].label()};
-    if (heap.size() < k) {
-      heap.push_back(hit);
-      std::push_heap(heap.begin(), heap.end(), cmp);
-    } else {
-      std::pop_heap(heap.begin(), heap.end(), cmp);
-      heap.back() = hit;
-      std::push_heap(heap.begin(), heap.end(), cmp);
-    }
-  }
-  std::sort_heap(heap.begin(), heap.end(), cmp);
-  return heap;
-}
-
-int KnnEngine::Classify(const ts::TimeSeries& query, std::size_t k,
-                        std::optional<std::size_t> exclude) const {
-  const std::vector<Hit> hits = Query(query, k, exclude);
+int VoteLabel(const std::vector<Hit>& hits) {
   if (hits.empty()) return -1;
-  // Count votes; resolve count ties by the smaller summed distance.
+  // Count votes; resolve count ties by the smaller summed distance (the
+  // ordered map makes the final smaller-label tie-break deterministic).
   std::map<int, std::pair<std::size_t, double>> votes;  // label -> (n, sum)
   for (const Hit& h : hits) {
     auto& v = votes[h.label];
@@ -205,13 +40,69 @@ int KnnEngine::Classify(const ts::TimeSeries& query, std::size_t k,
   return best_label;
 }
 
-double KnnEngine::LeaveOneOutAccuracy(std::size_t k) const {
-  if (series_.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < series_.size(); ++i) {
-    if (Classify(series_[i], k, i) == series_[i].label()) ++correct;
+KnnEngine::KnnEngine(KnnOptions options) : options_(std::move(options)) {
+  core::SdtwOptions opts = options_.sdtw;
+  opts.dtw.want_path = false;
+  engine_ = core::Sdtw(opts);
+}
+
+void KnnEngine::Index(const ts::Dataset& dataset) {
+  series_.clear();
+  features_.clear();
+  envelopes_.clear();
+  stats_.clear();
+  series_.reserve(dataset.size());
+  features_.reserve(dataset.size());
+  envelopes_.reserve(dataset.size());
+  stats_.reserve(dataset.size());
+
+  max_length_ = dataset.MaxLength();
+  // LB_Keogh envelopes are only consumed by the exact-DTW cascade, and
+  // only the full-span (global min/max) envelope is a sound bound for
+  // unconstrained DTW — see KnnOptions::use_lb_keogh.
+  const bool want_envelopes =
+      options_.use_lb_keogh && options_.distance == DistanceKind::kFullDtw;
+  for (const ts::TimeSeries& s : dataset) {
+    series_.push_back(s);
+    // One-time per-series extraction (paper §3.4).
+    if (options_.distance == DistanceKind::kSdtw) {
+      features_.push_back(engine_.ExtractFeatures(s));
+    } else {
+      features_.emplace_back();
+    }
+    envelopes_.push_back(want_envelopes ? dtw::MakeEnvelope(s, s.size())
+                                        : dtw::Envelope{});
+    stats_.push_back(dtw::MakeSeriesStats(s));
   }
-  return static_cast<double>(correct) / static_cast<double>(series_.size());
+}
+
+std::vector<Hit> KnnEngine::Query(const ts::TimeSeries& query, std::size_t k,
+                                  std::optional<std::size_t> exclude,
+                                  QueryStats* stats) const {
+  // Batch of one, inline on the calling thread — the cascade itself lives
+  // in BatchKnnEngine::CascadeDistance.
+  BatchOptions batch_options;
+  batch_options.num_threads = 1;
+  const BatchKnnEngine batch(*this, batch_options);
+  std::vector<QueryStats> batch_stats;
+  std::vector<std::vector<Hit>> hits = batch.QueryBatch(
+      std::span<const ts::TimeSeries>(&query, 1), k,
+      std::span<const std::optional<std::size_t>>(&exclude, 1),
+      stats != nullptr ? &batch_stats : nullptr);
+  if (stats != nullptr) *stats = batch_stats[0];
+  return std::move(hits[0]);
+}
+
+int KnnEngine::Classify(const ts::TimeSeries& query, std::size_t k,
+                        std::optional<std::size_t> exclude) const {
+  return VoteLabel(Query(query, k, exclude));
+}
+
+double KnnEngine::LeaveOneOutAccuracy(std::size_t k,
+                                      std::size_t num_threads) const {
+  BatchOptions batch_options;
+  batch_options.num_threads = num_threads;
+  return BatchKnnEngine(*this, batch_options).LeaveOneOutAccuracy(k);
 }
 
 }  // namespace retrieval

@@ -42,13 +42,16 @@ struct KnnOptions {
   core::SdtwOptions sdtw;
   /// Enable the LB_Kim constant-time prefilter.
   bool use_lb_kim = true;
-  /// Enable the LB_Keogh envelope prefilter (equal-length series only).
+  /// Enable the LB_Keogh envelope prefilter (exact-DTW mode, equal-length
+  /// series only). Envelopes span the whole series (global min/max): a
+  /// radius-r envelope only lower-bounds r-window-constrained DTW, and the
+  /// kFullDtw mode ranks by *unconstrained* DTW, for which the full span
+  /// is the only sound radius (an optimal warp may displace arbitrarily
+  /// far, but every x_i still aligns to some value in [min(y), max(y)]).
   bool use_lb_keogh = true;
-  /// Envelope radius for LB_Keogh as a fraction of the series length.
-  double keogh_radius_fraction = 0.1;
-  /// Enable early-abandoning DP against the best-so-far distance (only
-  /// applies to the kFullDtw distance; the banded sDTW DP is already
-  /// heavily pruned).
+  /// Enable early-abandoning DP against the best-so-far distance. Applies
+  /// to both DTW modes: the kFullDtw rolling kernel, and the kSdtw banded
+  /// kernel (band pruning and best-so-far pruning compose).
   bool use_early_abandon = true;
 };
 
@@ -68,11 +71,20 @@ struct QueryStats {
   std::size_t dp_evaluations = 0;
 };
 
+/// Majority vote over a hit list (ascending by distance): the label with
+/// the most votes; vote-count ties resolve to the smaller summed distance,
+/// then to the smaller label. Returns -1 on an empty hit list. Shared by
+/// the single-query and batched classifiers so tie-breaking is identical
+/// everywhere.
+int VoteLabel(const std::vector<Hit>& hits);
+
 /// \brief A kNN engine over an indexed data set.
 ///
 /// Index construction extracts and caches per-series salient features and
 /// LB_Keogh envelopes; queries reuse them (the paper's one-time extraction
-/// cost model).
+/// cost model). The query-time cascade itself lives in BatchKnnEngine
+/// (batch.h): Query() is a batch-of-one wrapper, so single-query and
+/// batched retrieval share one implementation.
 class KnnEngine {
  public:
   explicit KnnEngine(KnnOptions options = {});
@@ -82,6 +94,9 @@ class KnnEngine {
 
   std::size_t size() const { return series_.size(); }
   const KnnOptions& options() const { return options_; }
+  /// Length of the longest indexed series (0 on an empty index) — the
+  /// sizing bound for per-worker DP scratch.
+  std::size_t max_length() const { return max_length_; }
 
   /// Returns the k nearest indexed series to the query, ascending distance.
   /// `exclude` (optional index) supports leave-one-out evaluation over the
@@ -90,21 +105,19 @@ class KnnEngine {
                          std::optional<std::size_t> exclude = std::nullopt,
                          QueryStats* stats = nullptr) const;
 
-  /// Majority-vote kNN classification; ties resolved toward the nearer
-  /// neighbour set (smallest summed distance). Returns -1 on an empty
-  /// index.
+  /// Majority-vote kNN classification (VoteLabel over the Query hits).
+  /// Returns -1 on an empty index.
   int Classify(const ts::TimeSeries& query, std::size_t k,
                std::optional<std::size_t> exclude = std::nullopt) const;
 
-  /// Leave-one-out classification accuracy over the indexed set.
-  double LeaveOneOutAccuracy(std::size_t k) const;
+  /// Leave-one-out classification accuracy over the indexed set, executed
+  /// as one batch over `num_threads` workers (0 = hardware concurrency).
+  /// The result is deterministic regardless of the thread count.
+  double LeaveOneOutAccuracy(std::size_t k,
+                             std::size_t num_threads = 0) const;
 
  private:
-  double Distance(const ts::TimeSeries& query,
-                  const dtw::SeriesStats& query_stats,
-                  const std::vector<sift::Keypoint>& query_features,
-                  std::size_t candidate, double best_so_far,
-                  QueryStats* stats) const;
+  friend class BatchKnnEngine;
 
   KnnOptions options_;
   core::Sdtw engine_;
@@ -114,7 +127,7 @@ class KnnEngine {
   /// Cached per-series min/max/first/last so the LB_Kim cascade stage is
   /// O(1) per candidate (no rescan of the candidate series per query).
   std::vector<dtw::SeriesStats> stats_;
-  std::size_t keogh_radius_ = 0;
+  std::size_t max_length_ = 0;
 };
 
 }  // namespace retrieval

@@ -1,0 +1,11 @@
+#include "retrieval/scratch.h"
+
+namespace sdtw {
+namespace retrieval {
+
+void ScratchArena::SizeForTargets(std::size_t max_target_length) {
+  dp_.EnsureWidth(max_target_length + 1);
+}
+
+}  // namespace retrieval
+}  // namespace sdtw

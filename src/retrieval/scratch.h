@@ -1,0 +1,67 @@
+#ifndef SDTW_RETRIEVAL_SCRATCH_H_
+#define SDTW_RETRIEVAL_SCRATCH_H_
+
+/// \file scratch.h
+/// \brief Per-query context and per-worker scratch for batched retrieval.
+///
+/// The batch engine separates the two kinds of state a multi-query cascade
+/// needs:
+///  * QueryContext — immutable per-query derivatives (LB_Kim summary,
+///    Keogh envelope, salient features), computed exactly once per query
+///    up front and shared read-only by every worker (paper §3.4: extract
+///    once, reuse for every comparison);
+///  * ScratchArena — mutable per-worker buffers, above all the rolling DTW
+///    rows, sized once to the widest requirement across the whole index
+///    (via dtw::MaxDpRowWidth / the maximum candidate length) so the hot
+///    query×candidate loop never allocates.
+
+#include <cstddef>
+#include <vector>
+
+#include "dtw/band.h"
+#include "dtw/dtw.h"
+#include "dtw/lower_bounds.h"
+#include "sift/keypoint.h"
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace retrieval {
+
+/// \brief Read-only per-query state, computed once per query per batch.
+struct QueryContext {
+  /// LB_Kim summary (first/last/min/max) of the query.
+  dtw::SeriesStats stats;
+  /// Keogh envelope of the query itself, for the reverse LB_Keogh test
+  /// (candidate against the query envelope). Empty when LB_Keogh is off or
+  /// not applicable to the configured distance.
+  dtw::Envelope envelope;
+  /// Salient features of the query (sDTW distance only).
+  std::vector<sift::Keypoint> features;
+};
+
+/// \brief Mutable per-worker scratch reused across every candidate a
+/// worker touches. Not thread-safe; create one per worker thread.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+
+  /// Sizes the rolling DP buffers for an index whose longest series has
+  /// `max_target_length` samples: any full-grid or banded rolling kernel
+  /// against such a candidate needs at most max_target_length + 1 doubles
+  /// per row. Call once before the hot loop; idempotent, never shrinks.
+  /// (The dtw scratch kernels also self-size on demand, so skipping this
+  /// is safe — pre-sizing just keeps reallocation out of the hot loop.)
+  void SizeForTargets(std::size_t max_target_length);
+
+  /// The rolling-row DP buffers, handed to the dtw scratch kernels.
+  dtw::DtwScratch& dp() { return dp_; }
+  std::size_t dp_width() const { return dp_.width(); }
+
+ private:
+  dtw::DtwScratch dp_;
+};
+
+}  // namespace retrieval
+}  // namespace sdtw
+
+#endif  // SDTW_RETRIEVAL_SCRATCH_H_

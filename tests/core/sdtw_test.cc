@@ -74,6 +74,42 @@ TEST(SdtwTest, BandFeasibleForAllConstraintTypes) {
   }
 }
 
+TEST(SdtwTest, CompareEarlyAbandonUnderThresholdMatchesCompare) {
+  SdtwOptions opt;
+  opt.dtw.want_path = true;
+  Sdtw engine(opt);
+  const ts::TimeSeries x = Smooth(100, 11);
+  const ts::TimeSeries y = Smooth(110, 12);
+  const auto fx = engine.ExtractFeatures(x);
+  const auto fy = engine.ExtractFeatures(y);
+  const SdtwResult full = engine.Compare(x, fx, y, fy);
+  // An inclusive threshold (the exact distance) must change nothing:
+  // same distance, same alignment path, same band.
+  const SdtwResult ea =
+      engine.CompareEarlyAbandon(x, fx, y, fy, full.distance);
+  EXPECT_EQ(ea.distance, full.distance);
+  EXPECT_EQ(ea.path, full.path);
+  EXPECT_EQ(ea.band, full.band);
+  EXPECT_EQ(ea.cells_filled, full.cells_filled);
+}
+
+TEST(SdtwTest, CompareEarlyAbandonAbandonsBelowThreshold) {
+  SdtwOptions opt;
+  opt.dtw.want_path = true;
+  Sdtw engine(opt);
+  const ts::TimeSeries x = Smooth(100, 13);
+  const ts::TimeSeries y = Smooth(110, 14);
+  const auto fx = engine.ExtractFeatures(x);
+  const auto fy = engine.ExtractFeatures(y);
+  const SdtwResult full = engine.Compare(x, fx, y, fy);
+  ASSERT_GT(full.distance, 0.0);
+  const SdtwResult ea =
+      engine.CompareEarlyAbandon(x, fx, y, fy, full.distance / 2.0);
+  EXPECT_TRUE(std::isinf(ea.distance));
+  EXPECT_TRUE(ea.path.empty());
+  EXPECT_LE(ea.cells_filled, full.cells_filled);
+}
+
 TEST(SdtwTest, PrunesWorkOnStructuredSeries) {
   // ac,aw on feature-rich series should fill fewer cells than full DTW.
   SdtwOptions opt;

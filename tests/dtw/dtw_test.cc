@@ -4,6 +4,8 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include "dtw/band_matrix.h"
+
 namespace sdtw {
 namespace dtw {
 namespace {
@@ -273,6 +275,115 @@ TEST(BandedEarlyAbandonTest, ShapeMismatchGivesInfinity) {
   const ts::TimeSeries y({1.0, 2.0});
   EXPECT_TRUE(std::isinf(
       DtwBandedDistanceEarlyAbandon(x, y, Band::Full(2, 2), 100.0)));
+}
+
+TEST(DtwScratchTest, ReusedScratchMatchesFreshAllocationsBitwise) {
+  // One scratch driven through every rolling kernel, against differently
+  // sized inputs, in interleaved order — each result must equal the
+  // allocation-owning kernel bit for bit (stale buffer contents must
+  // never leak into a later call).
+  const ts::TimeSeries a({0.3, 1.2, -0.5, 0.8, 0.0, 2.0, -1.1});
+  const ts::TimeSeries b({0.1, 1.0, -0.2, 0.6, 0.4});
+  const ts::TimeSeries c({2.0, -2.0, 2.0});
+  const Band band_ab = SakoeChibaBand(a.size(), b.size(), 0.5);
+  const Band band_ac = SakoeChibaBand(a.size(), c.size(), 0.8);
+  DtwScratch scratch;
+  EXPECT_EQ(DtwDistance(a, b, CostKind::kAbsolute, scratch),
+            DtwDistance(a, b));
+  EXPECT_EQ(DtwBandedDistance(a, c, band_ac, CostKind::kAbsolute, scratch),
+            DtwBandedDistance(a, c, band_ac));
+  EXPECT_EQ(DtwBandedDistance(a, b, band_ab, CostKind::kAbsolute, scratch),
+            DtwBandedDistance(a, b, band_ab));
+  EXPECT_EQ(DtwDistance(a, c, CostKind::kSquared, scratch),
+            DtwDistance(a, c, CostKind::kSquared));
+  const double d_ab = DtwDistance(a, b);
+  EXPECT_EQ(
+      DtwDistanceEarlyAbandon(a, b, d_ab, CostKind::kAbsolute, scratch),
+      d_ab);
+  EXPECT_TRUE(std::isinf(DtwDistanceEarlyAbandon(
+      a, b, d_ab - 0.125, CostKind::kAbsolute, scratch)));
+  const double banded_ab = DtwBandedDistance(a, b, band_ab);
+  EXPECT_EQ(DtwBandedDistanceEarlyAbandon(a, b, band_ab, banded_ab,
+                                          CostKind::kAbsolute, scratch),
+            banded_ab);
+}
+
+TEST(DtwScratchTest, GrowsOnDemandAndNeverShrinks) {
+  DtwScratch scratch;
+  EXPECT_EQ(scratch.width(), 0u);
+  scratch.EnsureWidth(8);
+  EXPECT_EQ(scratch.width(), 8u);
+  scratch.EnsureWidth(4);
+  EXPECT_EQ(scratch.width(), 8u);
+  const ts::TimeSeries x({1.0, 2.0, 3.0});
+  EXPECT_EQ(DtwDistance(x, x, CostKind::kAbsolute, scratch), 0.0);
+}
+
+TEST(MaxDpRowWidthTest, MatchesBandShape) {
+  EXPECT_EQ(MaxDpRowWidth(Band::Full(4, 6)), 6u);
+  // An empty band still needs the origin cell.
+  std::vector<BandRow> rows(3, BandRow{2, 1});  // inverted = empty rows
+  EXPECT_EQ(MaxDpRowWidth(Band::FromRows(rows, 5)), 1u);
+  const Band sakoe = SakoeChibaBand(10, 10, 0.3);
+  std::size_t expected = 1;
+  for (std::size_t i = 0; i < sakoe.n(); ++i) {
+    expected = std::max(expected, sakoe.row(i).width());
+  }
+  EXPECT_EQ(MaxDpRowWidth(sakoe), expected);
+}
+
+TEST(BandedPathEarlyAbandonTest, UnderThresholdIdenticalToDtwBanded) {
+  const ts::TimeSeries x({0.3, 1.2, -0.5, 0.8, 0.0, 0.4, 1.3});
+  const ts::TimeSeries y({0.1, 1.0, -0.2, 0.6, 0.2, 0.9});
+  const Band band = SakoeChibaBand(x.size(), y.size(), 0.5);
+  const DtwResult full = DtwBanded(x, y, band);
+  const DtwResult ea =
+      DtwBandedEarlyAbandon(x, y, band, full.distance + 1.0);
+  EXPECT_EQ(ea.distance, full.distance);
+  EXPECT_EQ(ea.path, full.path);
+  EXPECT_EQ(ea.cells_filled, full.cells_filled);
+  // Inclusive threshold: exactly the distance still returns it.
+  const DtwResult at = DtwBandedEarlyAbandon(x, y, band, full.distance);
+  EXPECT_EQ(at.distance, full.distance);
+  EXPECT_EQ(at.path, full.path);
+}
+
+TEST(BandedPathEarlyAbandonTest, AbandonsWithEmptyPathAndFewerCells) {
+  const ts::TimeSeries x({0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  const ts::TimeSeries y({5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0});
+  const Band band = Band::Full(x.size(), y.size());
+  const DtwResult full = DtwBanded(x, y, band);
+  // Threshold below the first row's minimum (5.0): gives up immediately.
+  const DtwResult ea = DtwBandedEarlyAbandon(x, y, band, 1.0);
+  EXPECT_TRUE(std::isinf(ea.distance));
+  EXPECT_TRUE(ea.path.empty());
+  EXPECT_LT(ea.cells_filled, full.cells_filled);
+}
+
+TEST(BandedPathEarlyAbandonTest, FinalDistanceOverThresholdIsAbandoned) {
+  // No single row exceeds the threshold early, but the final distance
+  // does: the result must still be +infinity with no path.
+  const ts::TimeSeries x({0.0, 1.0, 2.0, 3.0});
+  const ts::TimeSeries y({0.0, 1.0, 2.0, 4.0});
+  const Band band = Band::Full(4, 4);
+  const double d = DtwBanded(x, y, band).distance;  // = 1.0
+  const DtwResult ea = DtwBandedEarlyAbandon(x, y, band, d * 0.5);
+  EXPECT_TRUE(std::isinf(ea.distance));
+  EXPECT_TRUE(ea.path.empty());
+}
+
+TEST(BandedPathEarlyAbandonTest, DistanceOnlyModeMatchesRollingKernel) {
+  DtwOptions opt;
+  opt.want_path = false;
+  const ts::TimeSeries x({0.3, 1.2, -0.5, 0.8});
+  const ts::TimeSeries y({0.1, 1.0, -0.2, 0.6});
+  const Band band = Band::Full(4, 4);
+  const double d = DtwBandedDistance(x, y, band);
+  const DtwResult under = DtwBandedEarlyAbandon(x, y, band, d, opt);
+  EXPECT_EQ(under.distance, d);
+  EXPECT_TRUE(under.path.empty());
+  EXPECT_TRUE(std::isinf(
+      DtwBandedEarlyAbandon(x, y, band, d - 0.25, opt).distance));
 }
 
 }  // namespace

@@ -100,7 +100,12 @@ TEST(RunExperimentTest, FullRosterProducesMetrics) {
     EXPECT_GE(a.retrieval_accuracy_top5, 0.0);
     EXPECT_LE(a.retrieval_accuracy_top5, 1.0);
     EXPECT_GE(a.distance_error, -1e-9);
+    EXPECT_GE(a.loo_accuracy_1nn, 0.0);
+    EXPECT_LE(a.loo_accuracy_1nn, 1.0);
   }
+  // The served metric equals the batch-engine run it is defined as.
+  EXPECT_DOUBLE_EQ(result.algorithms[0].loo_accuracy_1nn,
+                   BatchLooAccuracy(ds, roster[0]));
 }
 
 TEST(RunExperimentTest, WiderSakoeBandIsMoreAccurate) {

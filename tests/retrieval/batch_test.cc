@@ -1,0 +1,348 @@
+#include "retrieval/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+#include <optional>
+#include <vector>
+
+#include "data/generators.h"
+#include "dtw/dtw.h"
+
+namespace sdtw {
+namespace retrieval {
+namespace {
+
+ts::Dataset SmallGun(std::size_t n = 16, std::size_t len = 100) {
+  data::GeneratorOptions opt;
+  opt.num_series = n;
+  opt.length = len;
+  return data::MakeGunLike(opt);
+}
+
+std::vector<ts::TimeSeries> QueriesFrom(const ts::Dataset& ds,
+                                        std::size_t count) {
+  return std::vector<ts::TimeSeries>(ds.begin(), ds.begin() + count);
+}
+
+// The k smallest (distance, index) pairs of a brute-force scan — what a
+// sequential in-order Query produces.
+std::vector<Hit> BruteForceTopK(const ts::Dataset& ds,
+                                const ts::TimeSeries& query, std::size_t k,
+                                std::optional<std::size_t> exclude) {
+  std::vector<Hit> all;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (exclude.has_value() && *exclude == i) continue;
+    const double d = dtw::DtwDistance(query, ds[i]);
+    if (std::isfinite(d)) all.push_back(Hit{i, d, ds[i].label()});
+  }
+  std::sort(all.begin(), all.end(), [](const Hit& a, const Hit& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.index < b.index);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(BatchKnnEngineTest, EmptyBatchAndEmptyIndex) {
+  KnnEngine empty_engine;
+  const BatchKnnEngine empty(empty_engine);
+  EXPECT_TRUE(empty.QueryBatch({}, 3).empty());
+
+  const ts::Dataset ds = SmallGun(4);
+  KnnEngine engine;
+  engine.Index(ds);
+  const BatchKnnEngine batch(engine);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 2);
+  // Indexed engine, k == 0: empty hit lists, one per query.
+  const auto hits = batch.QueryBatch(queries, 0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(hits[0].empty());
+  EXPECT_TRUE(hits[1].empty());
+}
+
+TEST(BatchKnnEngineTest, BatchOfOneBitwiseIdenticalToQuery) {
+  const ts::Dataset ds = SmallGun(14);
+  for (const DistanceKind kind :
+       {DistanceKind::kFullDtw, DistanceKind::kSdtw,
+        DistanceKind::kEuclidean}) {
+    KnnOptions opt;
+    opt.distance = kind;
+    KnnEngine engine(opt);
+    engine.Index(ds);
+    const BatchKnnEngine batch(engine);
+    for (std::size_t q = 0; q < 4; ++q) {
+      const auto single = engine.Query(ds[q], 3, q);
+      const std::vector<ts::TimeSeries> one{ds[q]};
+      const std::vector<std::optional<std::size_t>> excludes{q};
+      const auto batched = batch.QueryBatch(one, 3, excludes);
+      ASSERT_EQ(batched.size(), 1u);
+      ASSERT_EQ(batched[0].size(), single.size()) << q;
+      for (std::size_t i = 0; i < single.size(); ++i) {
+        EXPECT_EQ(batched[0][i].index, single[i].index) << q;
+        // Bitwise equality, not approximate: both paths must run the
+        // exact same kernels in the same order.
+        EXPECT_EQ(batched[0][i].distance, single[i].distance) << q;
+        EXPECT_EQ(batched[0][i].label, single[i].label) << q;
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, MultiThreadBitwiseIdenticalToBruteForce) {
+  // Exact-DTW hits from the racing cascade must equal a brute-force scan
+  // bit for bit, whatever the worker count and completion order.
+  const ts::Dataset ds = SmallGun(20);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kFullDtw;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 6);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    BatchOptions bopt;
+    bopt.num_threads = threads;
+    bopt.chunk_size = 3;  // many chunks -> real work stealing
+    const BatchKnnEngine batch(engine, bopt);
+    const auto hits = batch.QueryBatch(queries, 4);
+    ASSERT_EQ(hits.size(), queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto expected = BruteForceTopK(ds, queries[q], 4, std::nullopt);
+      ASSERT_EQ(hits[q].size(), expected.size()) << threads << " " << q;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(hits[q][i].index, expected[i].index)
+            << threads << " " << q;
+        EXPECT_EQ(hits[q][i].distance, expected[i].distance)
+            << threads << " " << q;
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, DuplicateCandidatesTieBreakByIndex) {
+  // Several identical candidates produce exactly equal distances; the
+  // reported neighbours must be the smallest indices, independent of
+  // which worker finishes first.
+  ts::Dataset ds;
+  const std::vector<double> base{0.0, 1.0, 0.0, -1.0};
+  for (int i = 0; i < 8; ++i) ds.Add(ts::TimeSeries(base, i % 2));
+  ds.Add(ts::TimeSeries({5.0, 5.0, 5.0, 5.0}, 0));
+  KnnOptions opt;
+  opt.distance = DistanceKind::kFullDtw;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const ts::TimeSeries query({0.1, 1.1, 0.1, -0.9});
+  const std::vector<ts::TimeSeries> queries{query};
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    BatchOptions bopt;
+    bopt.num_threads = threads;
+    bopt.chunk_size = 1;
+    const BatchKnnEngine batch(engine, bopt);
+    const auto hits = batch.QueryBatch(queries, 3);
+    ASSERT_EQ(hits[0].size(), 3u);
+    EXPECT_EQ(hits[0][0].index, 0u) << threads;
+    EXPECT_EQ(hits[0][1].index, 1u) << threads;
+    EXPECT_EQ(hits[0][2].index, 2u) << threads;
+  }
+}
+
+TEST(BatchKnnEngineTest, SdtwBatchMatchesSequentialQueries) {
+  const ts::Dataset ds = SmallGun(16, 80);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kSdtw;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  BatchOptions bopt;
+  bopt.num_threads = 4;
+  bopt.chunk_size = 2;
+  const BatchKnnEngine batch(engine, bopt);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 5);
+  const auto batched = batch.QueryBatch(queries, 3);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto single = engine.Query(queries[q], 3);
+    ASSERT_EQ(batched[q].size(), single.size()) << q;
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batched[q][i].index, single[i].index) << q;
+      EXPECT_EQ(batched[q][i].distance, single[i].distance) << q;
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, ExcludesHonoredPerQuery) {
+  const ts::Dataset ds = SmallGun(10);
+  KnnEngine engine;
+  engine.Index(ds);
+  BatchOptions bopt;
+  bopt.num_threads = 4;
+  const BatchKnnEngine batch(engine, bopt);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 3);
+  std::vector<std::optional<std::size_t>> excludes{0u, 1u, std::nullopt};
+  const auto hits = batch.QueryBatch(queries, 9, excludes);
+  ASSERT_EQ(hits.size(), 3u);
+  for (const Hit& h : hits[0]) EXPECT_NE(h.index, 0u);
+  for (const Hit& h : hits[1]) EXPECT_NE(h.index, 1u);
+  EXPECT_EQ(hits[0].size(), 9u);
+  EXPECT_EQ(hits[1].size(), 9u);
+  EXPECT_EQ(hits[2].size(), 9u);  // k == 9 < 10 candidates, none excluded
+}
+
+TEST(BatchKnnEngineTest, StatsCountersSumExactlyToCandidates) {
+  // Every candidate must be accounted for by exactly one cascade outcome:
+  // pruned by LB_Kim, pruned by LB_Keogh, early-abandoned, or fully
+  // evaluated — across all modes and worker counts.
+  const ts::Dataset ds = SmallGun(24);
+  for (const DistanceKind kind : {DistanceKind::kFullDtw,
+                                  DistanceKind::kSdtw}) {
+    KnnOptions opt;
+    opt.distance = kind;
+    KnnEngine engine(opt);
+    engine.Index(ds);
+    const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 6);
+    std::vector<std::optional<std::size_t>> excludes;
+    for (std::size_t q = 0; q < queries.size(); ++q) excludes.push_back(q);
+    for (const std::size_t threads : {1u, 4u}) {
+      BatchOptions bopt;
+      bopt.num_threads = threads;
+      bopt.chunk_size = 5;
+      const BatchKnnEngine batch(engine, bopt);
+      std::vector<QueryStats> stats;
+      batch.QueryBatch(queries, 3, excludes, &stats);
+      ASSERT_EQ(stats.size(), queries.size());
+      for (std::size_t q = 0; q < stats.size(); ++q) {
+        EXPECT_EQ(stats[q].candidates, ds.size() - 1) << q;
+        EXPECT_EQ(stats[q].pruned_by_kim + stats[q].pruned_by_keogh +
+                      stats[q].pruned_by_early_abandon +
+                      stats[q].dp_evaluations,
+                  stats[q].candidates)
+            << "mode " << static_cast<int>(kind) << " threads " << threads
+            << " query " << q;
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, CascadeActuallyPrunesInBatch) {
+  const ts::Dataset ds = SmallGun(24);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kFullDtw;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  BatchOptions bopt;
+  bopt.num_threads = 4;
+  const BatchKnnEngine batch(engine, bopt);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 4);
+  std::vector<QueryStats> stats;
+  batch.QueryBatch(queries, 1, &stats);
+  for (const QueryStats& s : stats) {
+    EXPECT_LT(s.dp_evaluations, s.candidates);
+  }
+}
+
+TEST(BatchKnnEngineTest, ClassifyBatchMatchesSequentialClassify) {
+  const ts::Dataset ds = SmallGun(20);
+  KnnEngine engine;
+  engine.Index(ds);
+  BatchOptions bopt;
+  bopt.num_threads = 4;
+  const BatchKnnEngine batch(engine, bopt);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 8);
+  const std::vector<int> labels = batch.ClassifyBatch(queries, 3);
+  ASSERT_EQ(labels.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(labels[q], engine.Classify(queries[q], 3)) << q;
+  }
+}
+
+TEST(BatchKnnEngineTest, ClassifyTieBreaksBySummedDistanceDeterministically) {
+  // Two classes with equal votes at k = 4. Class 1's two hits sum to the
+  // smaller total distance, so it must win under every worker count and
+  // completion order. Constant series under Euclidean give exact control:
+  // distance = 2 * |offset| at length 4.
+  ts::Dataset ds;
+  ds.Add(ts::TimeSeries(std::vector<double>(4, 0.5), 0));   // d = 1.0
+  ds.Add(ts::TimeSeries(std::vector<double>(4, 2.0), 0));   // d = 4.0
+  ds.Add(ts::TimeSeries(std::vector<double>(4, 1.0), 1));   // d = 2.0
+  ds.Add(ts::TimeSeries(std::vector<double>(4, 1.25), 1));  // d = 2.5
+  ds.Add(ts::TimeSeries(std::vector<double>(4, 9.0), 2));   // never in top-4
+  KnnOptions opt;
+  opt.distance = DistanceKind::kEuclidean;
+  opt.use_lb_kim = false;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const std::vector<ts::TimeSeries> queries{
+      ts::TimeSeries(std::vector<double>(4, 0.0))};
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    BatchOptions bopt;
+    bopt.num_threads = threads;
+    bopt.chunk_size = 1;
+    const BatchKnnEngine batch(engine, bopt);
+    for (int rep = 0; rep < 10; ++rep) {
+      // Class 0 sums to 5.0, class 1 to 4.5: class 1 wins the vote tie.
+      EXPECT_EQ(batch.ClassifyBatch(queries, 4)[0], 1)
+          << threads << " rep " << rep;
+    }
+  }
+  EXPECT_EQ(engine.Classify(queries[0], 4), 1);
+}
+
+TEST(BatchKnnEngineTest, LeaveOneOutAccuracyMatchesSequentialLoop) {
+  const ts::Dataset ds = SmallGun(20);
+  KnnEngine engine;
+  engine.Index(ds);
+  // Reference: the classic serial loop.
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (engine.Classify(ds[i], 1, i) == ds[i].label()) ++correct;
+  }
+  const double expected =
+      static_cast<double>(correct) / static_cast<double>(ds.size());
+  for (const std::size_t threads : {1u, 4u}) {
+    BatchOptions bopt;
+    bopt.num_threads = threads;
+    const BatchKnnEngine batch(engine, bopt);
+    EXPECT_DOUBLE_EQ(batch.LeaveOneOutAccuracy(1), expected) << threads;
+    EXPECT_DOUBLE_EQ(engine.LeaveOneOutAccuracy(1, threads), expected)
+        << threads;
+  }
+}
+
+TEST(BatchKnnEngineTest, KLargerThanIndexReturnsAllSorted) {
+  const ts::Dataset ds = SmallGun(5);
+  KnnEngine engine;
+  engine.Index(ds);
+  BatchOptions bopt;
+  bopt.num_threads = 4;
+  const BatchKnnEngine batch(engine, bopt);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 2);
+  const auto hits = batch.QueryBatch(queries, 100);
+  for (const auto& h : hits) {
+    ASSERT_EQ(h.size(), 5u);
+    for (std::size_t i = 1; i < h.size(); ++i) {
+      EXPECT_GE(h[i].distance, h[i - 1].distance);
+    }
+  }
+}
+
+TEST(ScratchArenaTest, SizingIsMonotone) {
+  ScratchArena arena;
+  EXPECT_EQ(arena.dp_width(), 0u);
+  arena.SizeForTargets(10);
+  EXPECT_EQ(arena.dp_width(), 11u);
+  arena.SizeForTargets(5);  // never shrinks
+  EXPECT_EQ(arena.dp_width(), 11u);
+}
+
+TEST(VoteLabelTest, EmptyAndMajorityAndTies) {
+  EXPECT_EQ(VoteLabel({}), -1);
+  EXPECT_EQ(VoteLabel({{0, 1.0, 7}}), 7);
+  // Clear majority.
+  EXPECT_EQ(VoteLabel({{0, 1.0, 2}, {1, 2.0, 2}, {2, 0.5, 3}}), 2);
+  // Vote tie -> smaller summed distance.
+  EXPECT_EQ(VoteLabel({{0, 1.0, 5}, {1, 4.0, 5}, {2, 2.0, 6}, {3, 2.5, 6}}),
+            6);
+  // Full tie (votes and sums) -> smaller label.
+  EXPECT_EQ(VoteLabel({{0, 2.0, 9}, {1, 2.0, 4}}), 4);
+}
+
+}  // namespace
+}  // namespace retrieval
+}  // namespace sdtw

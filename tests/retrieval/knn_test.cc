@@ -258,6 +258,35 @@ TEST(KnnEngineTest, LbKimDoesNotPruneUnderSquaredCostSdtw) {
   EXPECT_NEAR(hits[0].distance, 4 * 0.18 * 0.18, 1e-9);
 }
 
+TEST(KnnEngineTest, KeoghStagePreservesExactnessUnderLargeShifts) {
+  // Regression: LB_Keogh used to be evaluated against 10%-radius
+  // envelopes, which only lower-bound *window-constrained* DTW — on a
+  // large time shift the bound exceeded the true unconstrained distance
+  // and the nearest neighbour was wrongly pruned. With full-span
+  // envelopes the stage is sound. Ramps shifted by 35 (index 0, DTW
+  // 35*36 = 1260) and by 30 (index 1, DTW 30*31 = 930): index 0 is
+  // scanned first and sets best-so-far; index 1 must still win.
+  const std::size_t n = 100;
+  std::vector<double> q(n), far(n), near(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = static_cast<double>(i);
+    far[i] = static_cast<double>(i) - 35.0;
+    near[i] = static_cast<double>(i) - 30.0;
+  }
+  ts::Dataset ds;
+  ds.Add(ts::TimeSeries(far, 0));
+  ds.Add(ts::TimeSeries(near, 1));
+  const ts::TimeSeries query(q);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kFullDtw;  // full cascade on
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const auto hits = engine.Query(query, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].index, 1u);
+  EXPECT_EQ(hits[0].distance, dtw::DtwDistance(query, ds[1]));
+}
+
 TEST(KnnEngineTest, KLargerThanIndexReturnsAll) {
   const ts::Dataset ds = SmallGun(5);
   KnnEngine engine;
