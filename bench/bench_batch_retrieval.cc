@@ -1,15 +1,23 @@
 // Batched multi-query retrieval throughput: N sequential KnnEngine::Query
-// calls versus one BatchKnnEngine::QueryBatch over the same index.
+// calls versus one BatchKnnEngine::QueryBatch over the same index, with
+// the candidate visit order measured both ways (index order vs ascending
+// cached LB_Kim).
 //
 // The batch path wins on three axes: per-query derivatives (summary,
 // envelope, features) are computed once up front, every worker reuses one
 // pre-sized rolling DP scratch instead of allocating per call, and the
 // query×candidate grid is work-stolen across threads with a shared
 // per-query best-so-far, so the cascade tightens as workers race.
+// LB-ordered visiting then multiplies the cascade's prune rate: cheap
+// near neighbours run first, the best-so-far tightens early, and most of
+// the expensive tail never reaches the DP. The bench prints DPs run and
+// prune rate for both orders and FAILS (exit 1) if the LB-ordered hit
+// lists diverge from the index-ordered or sequential ones — they are
+// bitwise identical by construction.
 //
 // Default scale pins the acceptance setup: a 64-query batch over 1 000
 // indexed series at 4 worker threads, exact-DTW and sDTW modes. Results
-// are checked identical between the two paths before timing is reported.
+// are checked identical across all paths before timing is reported.
 //
 //   --queries=N --series=N --length=N --threads=N   override the scale
 //   --smoke                                         tiny CI scale
@@ -41,18 +49,48 @@ struct Scale {
   std::size_t k = 5;
 };
 
-// One engine mode, measured both ways. Returns false when the batch and
-// sequential hit lists disagree (they must be identical).
+bool SameHits(const std::vector<std::vector<sdtw::retrieval::Hit>>& a,
+              const std::vector<std::vector<sdtw::retrieval::Hit>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    if (a[q].size() != b[q].size()) return false;
+    for (std::size_t i = 0; i < a[q].size(); ++i) {
+      if (a[q][i].index != b[q][i].index ||
+          a[q][i].distance != b[q][i].distance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+sdtw::retrieval::QueryStats Totals(
+    const std::vector<sdtw::retrieval::QueryStats>& stats) {
+  sdtw::retrieval::QueryStats t;
+  for (const sdtw::retrieval::QueryStats& s : stats) t.Merge(s);
+  return t;
+}
+
+// One engine mode, measured sequentially and batched under both visit
+// orders. Returns false when any pair of hit lists disagrees (sequential,
+// index-ordered, and LB-ordered must all be bitwise identical).
 bool RunMode(const char* label, const sdtw::retrieval::KnnOptions& options,
              const sdtw::ts::Dataset& index_set,
              const std::vector<sdtw::ts::TimeSeries>& queries,
              const Scale& scale) {
   using namespace sdtw;
 
-  retrieval::KnnEngine engine(options);
+  retrieval::KnnOptions lb_options = options;
+  lb_options.visit_order = retrieval::VisitOrder::kLowerBound;
+  retrieval::KnnOptions index_options = options;
+  index_options.visit_order = retrieval::VisitOrder::kIndexOrder;
+
+  retrieval::KnnEngine engine(lb_options);
   const auto t_index = std::chrono::steady_clock::now();
   engine.Index(index_set);
   const double index_seconds = Seconds(t_index);
+  retrieval::KnnEngine index_order_engine(index_options);
+  index_order_engine.Index(index_set);
 
   // Sequential baseline: one Query call per query, single-threaded.
   const auto t_seq = std::chrono::steady_clock::now();
@@ -63,23 +101,29 @@ bool RunMode(const char* label, const sdtw::retrieval::KnnOptions& options,
   }
   const double seq_seconds = Seconds(t_seq);
 
-  // Batched path: one QueryBatch over the same index.
+  // Batched, LB-ordered visiting (the default).
   retrieval::BatchOptions batch_options;
   batch_options.num_threads = scale.threads;
   const retrieval::BatchKnnEngine batch(engine, batch_options);
+  std::vector<retrieval::QueryStats> lb_stats;
   const auto t_batch = std::chrono::steady_clock::now();
   const std::vector<std::vector<retrieval::Hit>> batched =
-      batch.QueryBatch(queries, scale.k);
+      batch.QueryBatch(queries, scale.k, &lb_stats);
   const double batch_seconds = Seconds(t_batch);
 
-  bool identical = batched.size() == sequential.size();
-  for (std::size_t q = 0; identical && q < batched.size(); ++q) {
-    identical = batched[q].size() == sequential[q].size();
-    for (std::size_t i = 0; identical && i < batched[q].size(); ++i) {
-      identical = batched[q][i].index == sequential[q][i].index &&
-                  batched[q][i].distance == sequential[q][i].distance;
-    }
-  }
+  // Batched, index-ordered visiting (the PR-3 baseline schedule).
+  const retrieval::BatchKnnEngine index_order_batch(index_order_engine,
+                                                    batch_options);
+  std::vector<retrieval::QueryStats> index_stats;
+  const auto t_index_batch = std::chrono::steady_clock::now();
+  const std::vector<std::vector<retrieval::Hit>> index_batched =
+      index_order_batch.QueryBatch(queries, scale.k, &index_stats);
+  const double index_batch_seconds = Seconds(t_index_batch);
+
+  const bool identical =
+      SameHits(batched, sequential) && SameHits(batched, index_batched);
+  const retrieval::QueryStats lb = Totals(lb_stats);
+  const retrieval::QueryStats idx = Totals(index_stats);
 
   const double seq_qps =
       seq_seconds > 0.0 ? static_cast<double>(queries.size()) / seq_seconds
@@ -94,6 +138,17 @@ bool RunMode(const char* label, const sdtw::retrieval::KnnOptions& options,
                   ? seq_seconds / batch_seconds
                   : 0.0,
               identical ? "ok" : "MISMATCH");
+  std::printf(
+      "  visit order: index %8zu of %8zu DPs (prune %5.1f%%, %8.3f s)  "
+      "lb %8zu DPs (prune %5.1f%%, %8.3f s)  dp_saved %.1f%%%s\n",
+      idx.dp_evaluations, idx.candidates, 100.0 * idx.prune_rate(),
+      index_batch_seconds, lb.dp_evaluations, 100.0 * lb.prune_rate(),
+      batch_seconds,
+      idx.dp_evaluations > 0
+          ? 100.0 * (1.0 - static_cast<double>(lb.dp_evaluations) /
+                               static_cast<double>(idx.dp_evaluations))
+          : 0.0,
+      lb.dp_evaluations <= idx.dp_evaluations ? "" : "  (LB ran MORE DPs)");
   return identical;
 }
 
@@ -161,7 +216,8 @@ int main(int argc, char** argv) {
 
   if (!ok) {
     std::fprintf(stderr,
-                 "FAILED: batch and sequential hit lists disagree\n");
+                 "FAILED: sequential, index-ordered, and LB-ordered hit "
+                 "lists disagree\n");
     return 1;
   }
   return 0;

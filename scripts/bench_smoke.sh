@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Smoke-runs every bench_fig* binary plus bench_batch_retrieval at --smoke
 # scale to catch bench bit-rot (benches are not covered by ctest).
+# bench_batch_retrieval additionally verifies that sequential,
+# index-ordered, and LB-ordered retrieval all return bitwise-identical hit
+# lists and prints DPs-run / prune-rate for both visit orders; any
+# divergence makes it exit non-zero, which fails this script.
 # Usage: bench_smoke.sh [build_dir]
 set -euo pipefail
 

@@ -11,9 +11,21 @@ namespace dtw {
 Envelope MakeEnvelope(const ts::TimeSeries& s, std::size_t r) {
   Envelope env;
   const std::size_t n = s.size();
+  if (n == 0) return env;
+  if (r >= n - 1) {
+    // Full-span window: [i-r, i+r] covers the whole series at every i, so
+    // every element of the envelope is the global extremum — one
+    // minmax_element pass and two constant fills instead of running the
+    // deque machinery over 2n push/pop events for a constant answer.
+    // This is the radius the unconstrained-DTW retrieval cascade uses for
+    // every envelope.
+    const auto minmax = std::minmax_element(s.begin(), s.end());
+    env.upper.assign(n, *minmax.second);
+    env.lower.assign(n, *minmax.first);
+    return env;
+  }
   env.upper.assign(n, 0.0);
   env.lower.assign(n, 0.0);
-  if (n == 0) return env;
   // Monotonic deques over the sliding window [i-r, i+r].
   std::deque<std::size_t> maxq, minq;
   auto push = [&](std::size_t idx) {

@@ -27,7 +27,10 @@ struct Envelope {
 
 /// Builds the Keogh envelope of `s` for a symmetric warping radius `r`
 /// (in samples): upper[i] = max(s[i-r..i+r]), lower[i] = min(s[i-r..i+r]).
-/// Uses a monotonic-deque sliding window (O(n)).
+/// Uses a monotonic-deque sliding window (O(n)); when the window spans the
+/// whole series (r >= n-1, the full-span envelopes of the
+/// unconstrained-DTW retrieval cascade) the envelope is two constant fills
+/// of the global extrema instead.
 Envelope MakeEnvelope(const ts::TimeSeries& s, std::size_t r);
 
 /// \brief O(1)-combinable summary of a series for LB_Kim: the first/last

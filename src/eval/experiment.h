@@ -19,6 +19,7 @@
 
 #include "core/sdtw.h"
 #include "eval/metrics.h"
+#include "retrieval/knn.h"
 #include "ts/time_series.h"
 
 namespace sdtw {
@@ -73,15 +74,21 @@ struct AlgorithmMetrics {
   /// cascade — the served-workload counterpart of the matrix metrics
   /// above. Deterministic regardless of worker count.
   double loo_accuracy_1nn = 0.0;
+  /// Fraction of that LOO run's candidates the cascade resolved without
+  /// running a DP (pruned by LB_Kim, LB_Keogh, or early abandon):
+  /// 1 − dp_evaluations / candidates.
+  double prune_rate = 0.0;
 };
 
 /// Leave-one-out 1-NN accuracy of one roster entry on a data set, served
 /// by the batched engine (`num_threads` workers, 0 = hardware
 /// concurrency). Exposed for benches that want the retrieval-engine view
-/// without a full experiment run.
+/// without a full experiment run. `aggregate` (when non-null) receives
+/// the cascade counters summed over all queries of the run.
 double BatchLooAccuracy(const ts::Dataset& dataset,
                         const core::NamedConfig& config,
-                        std::size_t num_threads = 0);
+                        std::size_t num_threads = 0,
+                        retrieval::QueryStats* aggregate = nullptr);
 
 /// Derives the metrics of `candidate` against `reference` on `dataset`.
 AlgorithmMetrics ComputeMetrics(const std::string& label,

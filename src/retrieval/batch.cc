@@ -7,7 +7,9 @@
 #include <deque>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 
 namespace sdtw {
 namespace retrieval {
@@ -36,20 +38,22 @@ double EuclideanDistance(const ts::TimeSeries& a, const ts::TimeSeries& b) {
   return std::sqrt(sum);
 }
 
+// LB_Kim is a max of absolute pointwise differences: a valid lower bound
+// for absolute-cost DTW (the kFullDtw mode always uses it), the L1 norm,
+// and the Euclidean norm — but NOT for squared-cost distances (|d| > d^2
+// when |d| < 1), so it must stay off when the sDTW engine ranks by
+// squared cost.
+bool LbKimSound(const KnnOptions& opt, const core::Sdtw& engine) {
+  return opt.distance != DistanceKind::kSdtw ||
+         engine.options().dtw.cost == dtw::CostKind::kAbsolute;
+}
+
 // Strict weak order making the top-k selection deterministic under any
 // worker completion order: primary ascending distance, ties by ascending
 // index (what a sequential in-order scan keeps).
 bool HitLess(const Hit& a, const Hit& b) {
   return a.distance < b.distance ||
          (a.distance == b.distance && a.index < b.index);
-}
-
-void MergeStats(QueryStats& into, const QueryStats& delta) {
-  into.candidates += delta.candidates;
-  into.pruned_by_kim += delta.pruned_by_kim;
-  into.pruned_by_keogh += delta.pruned_by_keogh;
-  into.pruned_by_early_abandon += delta.pruned_by_early_abandon;
-  into.dp_evaluations += delta.dp_evaluations;
 }
 
 // Shared mutable state of one query while the batch is in flight. The
@@ -99,9 +103,12 @@ QueryContext BatchKnnEngine::MakeContext(const ts::TimeSeries& query) const {
   if (opt.distance == DistanceKind::kSdtw) {
     context.features = index_.engine_.ExtractFeatures(query);
   }
-  if (opt.use_lb_keogh && opt.distance == DistanceKind::kFullDtw) {
+  if (opt.use_lb_keogh && opt.distance == DistanceKind::kFullDtw &&
+      index_.lengths_.count(query.size()) > 0) {
     // Full-span envelope: the only radius sound for unconstrained DTW
-    // (see KnnOptions::use_lb_keogh).
+    // (see KnnOptions::use_lb_keogh). Skipped when no indexed series
+    // shares the query's length — LB_Keogh is undefined across lengths,
+    // so the envelope could never be consumed.
     context.envelope = dtw::MakeEnvelope(query, query.size());
   }
   return context;
@@ -109,7 +116,7 @@ QueryContext BatchKnnEngine::MakeContext(const ts::TimeSeries& query) const {
 
 double BatchKnnEngine::CascadeDistance(const ts::TimeSeries& query,
                                        const QueryContext& context,
-                                       std::size_t candidate,
+                                       std::size_t candidate, double kim_lb,
                                        double best_so_far,
                                        ScratchArena& scratch,
                                        QueryStats* stats) const {
@@ -119,16 +126,12 @@ double BatchKnnEngine::CascadeDistance(const ts::TimeSeries& query,
 
   // Cascade stage 1: LB_Kim over cached summaries — genuinely O(1) per
   // candidate (the query summary is computed once per batch, the candidate
-  // summary once at Index() time). LB_Kim is a max of absolute pointwise
-  // differences: a valid lower bound for absolute-cost DTW (the kFullDtw
-  // mode always uses it), the L1 norm, and the Euclidean norm — but NOT
-  // for squared-cost distances (|d| > d^2 when |d| < 1), so it must stay
-  // off when the sDTW engine ranks by squared cost.
-  const bool lb_kim_sound =
-      opt.distance != DistanceKind::kSdtw ||
-      engine.options().dtw.cost == dtw::CostKind::kAbsolute;
-  if (opt.use_lb_kim && lb_kim_sound && std::isfinite(best_so_far)) {
-    if (dtw::LbKim(context.stats, index_.stats_[candidate]) > best_so_far) {
+  // summary once at Index() time; the chunk scheduler evaluates the bound
+  // once per candidate and hands it in, shared between visit ordering and
+  // this prune). Soundness per distance kind: see LbKimSound.
+  if (opt.use_lb_kim && LbKimSound(opt, engine) &&
+      std::isfinite(best_so_far)) {
+    if (kim_lb > best_so_far) {
       if (stats != nullptr) ++stats->pruned_by_kim;
       return kInf;
     }
@@ -142,18 +145,21 @@ double BatchKnnEngine::CascadeDistance(const ts::TimeSeries& query,
   // a valid bound. Radius-limited envelopes would only bound
   // window-constrained DTW, and sDTW bands may be narrower still — hence
   // exact-DTW mode only.
-  if (opt.use_lb_keogh && opt.distance == DistanceKind::kFullDtw &&
-      std::isfinite(best_so_far)) {
-    const dtw::Envelope& target_envelope = index_.envelopes_[candidate];
-    if (query.size() == target_envelope.upper.size() &&
-        dtw::LbKeogh(query, target_envelope) > best_so_far) {
-      if (stats != nullptr) ++stats->pruned_by_keogh;
-      return kInf;
-    }
-    if (target.size() == context.envelope.upper.size() &&
-        dtw::LbKeogh(target, context.envelope) > best_so_far) {
-      if (stats != nullptr) ++stats->pruned_by_keogh;
-      return kInf;
+  if (opt.use_lb_keogh && opt.distance == DistanceKind::kFullDtw) {
+    if (target.size() != query.size()) {
+      // LB_Keogh is only defined on equal lengths (LbKeogh would return
+      // the trivial bound 0): skip the stage for this candidate and say
+      // so, instead of counting it as Keogh-checked.
+      if (stats != nullptr) ++stats->lb_keogh_skipped;
+    } else if (std::isfinite(best_so_far)) {
+      if (dtw::LbKeogh(query, index_.envelopes_[candidate]) > best_so_far) {
+        if (stats != nullptr) ++stats->pruned_by_keogh;
+        return kInf;
+      }
+      if (dtw::LbKeogh(target, context.envelope) > best_so_far) {
+        if (stats != nullptr) ++stats->pruned_by_keogh;
+        return kInf;
+      }
     }
   }
 
@@ -204,13 +210,22 @@ double BatchKnnEngine::CascadeDistance(const ts::TimeSeries& query,
 std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatch(
     std::span<const ts::TimeSeries> queries, std::size_t k,
     std::vector<QueryStats>* stats) const {
-  return QueryBatch(queries, k, {}, stats);
+  return QueryBatchImpl(queries, k, {}, stats, nullptr);
 }
 
 std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatch(
     std::span<const ts::TimeSeries> queries, std::size_t k,
     std::span<const std::optional<std::size_t>> excludes,
     std::vector<QueryStats>* stats) const {
+  return QueryBatchImpl(queries, k, excludes, stats, nullptr);
+}
+
+std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
+    std::span<const ts::TimeSeries> queries, std::size_t k,
+    std::span<const std::optional<std::size_t>> excludes,
+    std::vector<QueryStats>* stats,
+    std::vector<QueryContext>* contexts_out) const {
+  if (contexts_out != nullptr) contexts_out->clear();
   const std::size_t num_queries = queries.size();
   std::vector<std::vector<Hit>> results(num_queries);
   if (stats != nullptr) stats->assign(num_queries, QueryStats{});
@@ -260,6 +275,15 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatch(
       (num_candidates + chunks_per_query - 1) / chunks_per_query;
   const std::size_t total_units = num_queries * chunks_per_query;
 
+  // Whether the chunk scheduler needs LB_Kim at all: for the visit order,
+  // or for the stage-1 prune (which CascadeDistance re-gates on the same
+  // conditions). When neither consumes it, the schedule pass skips the
+  // bound and the loop degenerates to the plain index-order scan.
+  const bool need_kim =
+      index_.options_.visit_order == VisitOrder::kLowerBound ||
+      (index_.options_.use_lb_kim &&
+       LbKimSound(index_.options_, index_.engine_));
+
   std::atomic<std::size_t> next{0};
   RunOnWorkers(threads, [&]() {
     ScratchArena scratch;
@@ -275,13 +299,32 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatch(
           q < excludes.size() && excludes[q].has_value();
       const std::size_t exclude = has_exclude ? *excludes[q] : 0;
       QueryStats local;  // merged under the query lock once per chunk
+      // Schedule phase: the O(1) cached-stats LB_Kim of every candidate
+      // in the chunk, then (by default) the chunk sorted ascending by
+      // (bound, index) so likely-near candidates tighten the shared
+      // best-so-far before the expensive tail runs. Pure scheduling: the
+      // hit lists are identical under any order (see file comment), only
+      // the prune counters move.
+      auto& order = scratch.visit_order();
+      order.clear();
       for (std::size_t i = begin; i < end; ++i) {
         if (has_exclude && exclude == i) continue;
+        order.emplace_back(
+            need_kim ? dtw::LbKim(state.context.stats, index_.stats_[i])
+                     : 0.0,
+            i);
+      }
+      if (index_.options_.visit_order == VisitOrder::kLowerBound) {
+        std::sort(order.begin(), order.end());
+      }
+      // Cascade phase, in schedule order.
+      for (const auto& [kim_lb, i] : order) {
         ++local.candidates;
         const double best_so_far =
             state.best.load(std::memory_order_relaxed);
         const double d = CascadeDistance(queries[q], state.context, i,
-                                         best_so_far, scratch, &local);
+                                         kim_lb, best_so_far, scratch,
+                                         &local);
         if (!std::isfinite(d)) continue;
         const Hit hit{i, d, index_.series_[i].label()};
         // A hit can only displace the incumbent k-th best if it is
@@ -304,15 +347,104 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatch(
         }
       }
       std::lock_guard<std::mutex> lock(state.mu);
-      MergeStats(state.stats, local);
+      state.stats.Merge(local);
     }
   });
 
+  if (contexts_out != nullptr) contexts_out->resize(num_queries);
   for (std::size_t q = 0; q < num_queries; ++q) {
     std::sort_heap(states[q].heap.begin(), states[q].heap.end(), HitLess);
     results[q] = std::move(states[q].heap);
     if (stats != nullptr) (*stats)[q] = states[q].stats;
+    if (contexts_out != nullptr) {
+      (*contexts_out)[q] = std::move(states[q].context);
+    }
   }
+  return results;
+}
+
+std::vector<std::vector<AlignedHit>> BatchKnnEngine::QueryBatchWithAlignments(
+    std::span<const ts::TimeSeries> queries, std::size_t k,
+    std::vector<QueryStats>* stats) const {
+  return QueryBatchWithAlignments(queries, k, {}, stats);
+}
+
+std::vector<std::vector<AlignedHit>> BatchKnnEngine::QueryBatchWithAlignments(
+    std::span<const ts::TimeSeries> queries, std::size_t k,
+    std::span<const std::optional<std::size_t>> excludes,
+    std::vector<QueryStats>* stats) const {
+  // Distance-only scan first, with the cascade pruning at full strength;
+  // alignments are then recovered for the final k winners only.
+  std::vector<QueryContext> contexts;
+  const std::vector<std::vector<Hit>> hits =
+      QueryBatchImpl(queries, k, excludes, stats, &contexts);
+
+  std::vector<std::vector<AlignedHit>> results(hits.size());
+  std::vector<std::pair<std::size_t, std::size_t>> work;  // (query, rank)
+  for (std::size_t q = 0; q < hits.size(); ++q) {
+    results[q].resize(hits[q].size());
+    for (std::size_t r = 0; r < hits[q].size(); ++r) {
+      results[q][r].hit = hits[q][r];
+      work.emplace_back(q, r);
+    }
+  }
+  if (work.empty()) return results;
+
+  const KnnOptions& opt = index_.options_;
+  // The indexed engine is distance-only (want_path stripped at
+  // construction); path recovery needs its own path-mode twin. Identical
+  // pipeline options mean identical features, bands, and DP values — only
+  // the backtrack is added.
+  std::optional<core::Sdtw> path_engine;
+  if (opt.distance == DistanceKind::kSdtw) {
+    core::SdtwOptions sdtw_options = opt.sdtw;
+    sdtw_options.dtw.want_path = true;
+    path_engine.emplace(sdtw_options);
+  }
+
+  const std::size_t threads =
+      ResolveThreads(options_.num_threads, work.size());
+  std::atomic<std::size_t> next{0};
+  RunOnWorkers(threads, [&]() {
+    for (;;) {
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= work.size()) return;
+      const auto [q, r] = work[t];
+      AlignedHit& aligned = results[q][r];
+      const std::size_t candidate = aligned.hit.index;
+      const ts::TimeSeries& target = index_.series_[candidate];
+      switch (opt.distance) {
+        case DistanceKind::kEuclidean:
+        case DistanceKind::kL1: {
+          // Pointwise distances align i to i; a finite hit implies equal
+          // lengths.
+          aligned.path.reserve(queries[q].size());
+          for (std::size_t i = 0; i < queries[q].size(); ++i) {
+            aligned.path.emplace_back(i, i);
+          }
+          break;
+        }
+        case DistanceKind::kFullDtw: {
+          dtw::DtwOptions dtw_options;
+          dtw_options.cost = dtw::CostKind::kAbsolute;
+          dtw_options.want_path = true;
+          aligned.path = dtw::Dtw(queries[q], target, dtw_options).path;
+          break;
+        }
+        case DistanceKind::kSdtw: {
+          // Abandon threshold pinned to the known distance: the DP fills
+          // the same band with the same values, every row minimum is <=
+          // the final distance, so the re-run can never abandon — it just
+          // adds the backtrack.
+          core::SdtwResult res = path_engine->CompareEarlyAbandon(
+              queries[q], contexts[q].features, target,
+              index_.features_[candidate], aligned.hit.distance);
+          aligned.path = std::move(res.path);
+          break;
+        }
+      }
+    }
+  });
   return results;
 }
 
@@ -323,8 +455,10 @@ std::vector<int> BatchKnnEngine::ClassifyBatch(
 
 std::vector<int> BatchKnnEngine::ClassifyBatch(
     std::span<const ts::TimeSeries> queries, std::size_t k,
-    std::span<const std::optional<std::size_t>> excludes) const {
-  const std::vector<std::vector<Hit>> hits = QueryBatch(queries, k, excludes);
+    std::span<const std::optional<std::size_t>> excludes,
+    std::vector<QueryStats>* stats) const {
+  const std::vector<std::vector<Hit>> hits =
+      QueryBatch(queries, k, excludes, stats);
   std::vector<int> labels(hits.size(), -1);
   for (std::size_t q = 0; q < hits.size(); ++q) {
     labels[q] = VoteLabel(hits[q]);
@@ -332,16 +466,20 @@ std::vector<int> BatchKnnEngine::ClassifyBatch(
   return labels;
 }
 
-double BatchKnnEngine::LeaveOneOutAccuracy(std::size_t k) const {
+double BatchKnnEngine::LeaveOneOutAccuracy(std::size_t k,
+                                           QueryStats* aggregate) const {
+  if (aggregate != nullptr) *aggregate = QueryStats{};
   const std::size_t n = index_.size();
   if (n == 0) return 0.0;
   std::vector<std::optional<std::size_t>> excludes(n);
   for (std::size_t i = 0; i < n; ++i) excludes[i] = i;
-  const std::vector<int> predicted =
-      ClassifyBatch(index_.series_, k, excludes);
+  std::vector<QueryStats> stats;
+  const std::vector<int> predicted = ClassifyBatch(
+      index_.series_, k, excludes, aggregate != nullptr ? &stats : nullptr);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (predicted[i] == index_.series_[i].label()) ++correct;
+    if (aggregate != nullptr) aggregate->Merge(stats[i]);
   }
   return static_cast<double>(correct) / static_cast<double>(n);
 }

@@ -18,13 +18,23 @@
 ///    an atomic work counter (the same work-stealing scheme as
 ///    ParallelPairwiseMatrix), and every query's best-so-far is a shared
 ///    atomic that tightens as workers race, so the LB_Kim → LB_Keogh →
-///    early-abandoning-DP cascade prunes across threads.
+///    early-abandoning-DP cascade prunes across threads;
+///  * within each chunk, candidates are visited in ascending cached LB_Kim
+///    order by default (KnnOptions::visit_order): the O(1) bound for every
+///    candidate of the chunk is computed first, the chunk is sorted, and
+///    the Keogh→DP cascade then runs cheapest-first, so near neighbours
+///    tighten the shared best-so-far before the expensive tail is visited
+///    and most DPs are pruned before they start.
 ///
-/// Results are deterministic regardless of thread count and completion
-/// order: hits are the k smallest (distance, index) pairs, exactly what
-/// the sequential scan produces. The single-query KnnEngine::Query is a
-/// batch-of-one wrapper over this engine, so the cascade logic lives here
-/// and only here.
+/// Results are deterministic regardless of thread count, completion order,
+/// and visit order: hits are the k smallest (distance, index) pairs,
+/// exactly what the sequential in-index-order scan produces — every prune
+/// is conservative (a candidate is only discarded when a sound lower bound
+/// of its distance, or its exact distance, already exceeds the racing
+/// best-so-far, which is itself an upper bound of the final k-th best), so
+/// reordering changes only *how many* DPs run, never the hit lists. The
+/// single-query KnnEngine::Query is a batch-of-one wrapper over this
+/// engine, so the cascade logic lives here and only here.
 
 #include <cstddef>
 #include <optional>
@@ -46,6 +56,20 @@ struct BatchOptions {
   /// ~4 units per worker while never splitting a query that does not need
   /// splitting for load balance.
   std::size_t chunk_size = 0;
+};
+
+/// \brief One retrieval hit with its recovered warp path.
+///
+/// Produced by QueryBatchWithAlignments: the batch runs distance-only (so
+/// the cascade prunes at full strength), then only the final k winners per
+/// query are re-aligned — full DTW with backtracking for kFullDtw,
+/// core::Sdtw::CompareEarlyAbandon in path mode for kSdtw (same band, same
+/// DP values, abandon threshold pinned to the already-known distance so the
+/// re-run can never abandon), and the pointwise diagonal for the
+/// equal-length kEuclidean / kL1 baselines.
+struct AlignedHit {
+  Hit hit;
+  std::vector<dtw::PathPoint> path;
 };
 
 /// \brief A batch executor over an indexed KnnEngine.
@@ -77,6 +101,21 @@ class BatchKnnEngine {
       std::span<const std::optional<std::size_t>> excludes,
       std::vector<QueryStats>* stats = nullptr) const;
 
+  /// QueryBatch plus alignment recovery: identical hits (same distances,
+  /// same cascade, same pruning — the batch itself runs distance-only),
+  /// each carrying the optimal warp path of the query against that
+  /// candidate. Paths are recomputed for the final k winners only, so the
+  /// extra cost is at most num_queries × k path-mode comparisons — nearly
+  /// free next to the pruned scan. `stats` counters cover the distance
+  /// scan; the recovery re-runs are not counted as extra DP evaluations.
+  std::vector<std::vector<AlignedHit>> QueryBatchWithAlignments(
+      std::span<const ts::TimeSeries> queries, std::size_t k,
+      std::vector<QueryStats>* stats = nullptr) const;
+  std::vector<std::vector<AlignedHit>> QueryBatchWithAlignments(
+      std::span<const ts::TimeSeries> queries, std::size_t k,
+      std::span<const std::optional<std::size_t>> excludes,
+      std::vector<QueryStats>* stats = nullptr) const;
+
   /// Majority-vote kNN classification of every query (VoteLabel over the
   /// QueryBatch hits); -1 for a query with no hits. Deterministic: ties
   /// resolve by the smaller summed distance, then the smaller label,
@@ -85,23 +124,37 @@ class BatchKnnEngine {
                                  std::size_t k) const;
   std::vector<int> ClassifyBatch(
       std::span<const ts::TimeSeries> queries, std::size_t k,
-      std::span<const std::optional<std::size_t>> excludes) const;
+      std::span<const std::optional<std::size_t>> excludes,
+      std::vector<QueryStats>* stats = nullptr) const;
 
   /// Leave-one-out classification accuracy over the indexed set — the
-  /// whole index is one batch, each series excluding itself.
-  double LeaveOneOutAccuracy(std::size_t k) const;
+  /// whole index is one batch, each series excluding itself. `aggregate`
+  /// (when non-null) receives the cascade counters summed over all
+  /// queries, e.g. for prune-rate reporting.
+  double LeaveOneOutAccuracy(std::size_t k,
+                             QueryStats* aggregate = nullptr) const;
 
  private:
   QueryContext MakeContext(const ts::TimeSeries& query) const;
 
-  /// The shared lower-bound cascade: LB_Kim → LB_Keogh (both directions)
-  /// → (early-abandoning) DP, against candidate `candidate` with the
-  /// caller's best-so-far. Returns +infinity when pruned. The one copy of
-  /// the cascade logic; single-query Query routes through it too.
+  /// QueryBatch body; when `contexts_out` is non-null it receives the
+  /// per-query contexts (moved) so alignment recovery can reuse the cached
+  /// query features instead of re-extracting them.
+  std::vector<std::vector<Hit>> QueryBatchImpl(
+      std::span<const ts::TimeSeries> queries, std::size_t k,
+      std::span<const std::optional<std::size_t>> excludes,
+      std::vector<QueryStats>* stats,
+      std::vector<QueryContext>* contexts_out) const;
+
+  /// The shared lower-bound cascade: LB_Kim (precomputed by the chunk
+  /// scheduler) → LB_Keogh (both directions) → (early-abandoning) DP,
+  /// against candidate `candidate` with the caller's best-so-far. Returns
+  /// +infinity when pruned. The one copy of the cascade logic;
+  /// single-query Query routes through it too.
   double CascadeDistance(const ts::TimeSeries& query,
                          const QueryContext& context, std::size_t candidate,
-                         double best_so_far, ScratchArena& scratch,
-                         QueryStats* stats) const;
+                         double kim_lb, double best_so_far,
+                         ScratchArena& scratch, QueryStats* stats) const;
 
   const KnnEngine& index_;
   BatchOptions options_;

@@ -51,6 +51,7 @@ void KnnEngine::Index(const ts::Dataset& dataset) {
   features_.clear();
   envelopes_.clear();
   stats_.clear();
+  lengths_.clear();
   series_.reserve(dataset.size());
   features_.reserve(dataset.size());
   envelopes_.reserve(dataset.size());
@@ -73,6 +74,7 @@ void KnnEngine::Index(const ts::Dataset& dataset) {
     envelopes_.push_back(want_envelopes ? dtw::MakeEnvelope(s, s.size())
                                         : dtw::Envelope{});
     stats_.push_back(dtw::MakeSeriesStats(s));
+    lengths_.insert(s.size());
   }
 }
 

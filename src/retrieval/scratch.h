@@ -16,6 +16,7 @@
 ///    query×candidate loop never allocates.
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "dtw/band.h"
@@ -57,8 +58,16 @@ class ScratchArena {
   dtw::DtwScratch& dp() { return dp_; }
   std::size_t dp_width() const { return dp_.width(); }
 
+  /// Reusable (LB_Kim, candidate index) schedule of the chunk currently
+  /// being scanned — cleared per chunk, capacity retained across chunks so
+  /// LB-ordered visiting allocates only on the first chunk a worker sees.
+  std::vector<std::pair<double, std::size_t>>& visit_order() {
+    return visit_order_;
+  }
+
  private:
   dtw::DtwScratch dp_;
+  std::vector<std::pair<double, std::size_t>> visit_order_;
 };
 
 }  // namespace retrieval

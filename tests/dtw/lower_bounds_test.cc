@@ -61,6 +61,64 @@ TEST(EnvelopeTest, LargeRadiusGivesGlobalExtrema) {
   }
 }
 
+// Brute-force reference envelope: per-element window scan, no deques and
+// no direct fill — the oracle both MakeEnvelope code paths must match.
+Envelope BruteForceEnvelope(const ts::TimeSeries& s, std::size_t r) {
+  Envelope env;
+  env.upper.assign(s.size(), 0.0);
+  env.lower.assign(s.size(), 0.0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    double mx = s[i], mn = s[i];
+    const std::size_t lo = i >= r ? i - r : 0;
+    const std::size_t hi = std::min(s.size() - 1, i + r);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      mx = std::max(mx, s[j]);
+      mn = std::min(mn, s[j]);
+    }
+    env.upper[i] = mx;
+    env.lower[i] = mn;
+  }
+  return env;
+}
+
+TEST(EnvelopeTest, FullSpanDirectFillMatchesSlidingWindow) {
+  // r >= n-1 takes the constant-fill fast path; it must be
+  // indistinguishable from the windowed computation, both element-wise
+  // and through LB_Keogh.
+  const std::size_t n = 60;
+  const ts::TimeSeries s = RandomSeries(n, 11);
+  const ts::TimeSeries x = RandomSeries(n, 12);
+  for (const std::size_t r : {n - 1, n, 2 * n, std::size_t{100000}}) {
+    const Envelope fast = MakeEnvelope(s, r);
+    const Envelope reference = BruteForceEnvelope(s, r);
+    ASSERT_EQ(fast.upper.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(fast.upper[i], reference.upper[i]) << r << " " << i;
+      EXPECT_DOUBLE_EQ(fast.lower[i], reference.lower[i]) << r << " " << i;
+    }
+    EXPECT_DOUBLE_EQ(LbKeogh(x, fast), LbKeogh(x, reference)) << r;
+  }
+  // The widest radius still on the deque path agrees with the oracle too,
+  // pinning the boundary between the two implementations.
+  const Envelope boundary = MakeEnvelope(s, n - 2);
+  const Envelope boundary_ref = BruteForceEnvelope(s, n - 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(boundary.upper[i], boundary_ref.upper[i]) << i;
+    EXPECT_DOUBLE_EQ(boundary.lower[i], boundary_ref.lower[i]) << i;
+  }
+}
+
+TEST(EnvelopeTest, FullSpanSingleElementAndEmpty) {
+  const Envelope empty = MakeEnvelope(ts::TimeSeries{}, 5);
+  EXPECT_TRUE(empty.upper.empty());
+  EXPECT_TRUE(empty.lower.empty());
+  // n == 1: r >= n-1 == 0 always, so even r = 0 is full-span.
+  const Envelope one = MakeEnvelope(ts::TimeSeries({2.5}), 0);
+  ASSERT_EQ(one.upper.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.upper[0], 2.5);
+  EXPECT_DOUBLE_EQ(one.lower[0], 2.5);
+}
+
 TEST(LbKimTest, IsLowerBoundOnRandomPairs) {
   for (std::uint64_t seed = 0; seed < 20; ++seed) {
     const ts::TimeSeries x = RandomSeries(40, seed * 2 + 1);

@@ -7,6 +7,7 @@
 #include "data/extra_families.h"
 #include "data/generators.h"
 #include "dtw/subsequence.h"
+#include "retrieval/batch.h"
 #include "retrieval/feature_store.h"
 #include "retrieval/knn.h"
 
@@ -80,6 +81,91 @@ TEST_P(RetrievalPropertyTest, TopOneIsGlobalMinimum) {
     ASSERT_EQ(fast.size(), 1u);
     ASSERT_EQ(ref.size(), 1u);
     EXPECT_NEAR(fast[0].distance, ref[0].distance, 1e-9) << q;
+  }
+}
+
+TEST_P(RetrievalPropertyTest, VisitOrdersBitwiseIdenticalAcrossThreads) {
+  // LB-ordered visiting is pure scheduling: over every engine config and
+  // data profile of the sweep, batch hit lists must equal the
+  // index-ordered ones bit for bit at 1/2/4/8 worker threads.
+  const EngineParam p = GetParam();
+  KnnOptions opt;
+  opt.distance = p.distance;
+  opt.use_lb_kim = p.lb_kim;
+  opt.use_lb_keogh = p.lb_keogh;
+  opt.use_early_abandon = p.early_abandon;
+  const ts::Dataset ds = MakeSet(p.dataset);
+  opt.visit_order = VisitOrder::kIndexOrder;
+  KnnEngine index_engine(opt);
+  index_engine.Index(ds);
+  opt.visit_order = VisitOrder::kLowerBound;
+  KnnEngine lb_engine(opt);
+  lb_engine.Index(ds);
+  const std::vector<ts::TimeSeries> queries(ds.begin(), ds.begin() + 5);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    BatchOptions bopt;
+    bopt.num_threads = threads;
+    bopt.chunk_size = 4;
+    const auto index_hits =
+        BatchKnnEngine(index_engine, bopt).QueryBatch(queries, 4);
+    const auto lb_hits =
+        BatchKnnEngine(lb_engine, bopt).QueryBatch(queries, 4);
+    ASSERT_EQ(index_hits.size(), lb_hits.size());
+    for (std::size_t q = 0; q < index_hits.size(); ++q) {
+      ASSERT_EQ(lb_hits[q].size(), index_hits[q].size())
+          << threads << " " << q;
+      for (std::size_t i = 0; i < index_hits[q].size(); ++i) {
+        EXPECT_EQ(lb_hits[q][i].index, index_hits[q][i].index)
+            << threads << " " << q << " " << i;
+        EXPECT_EQ(lb_hits[q][i].distance, index_hits[q][i].distance)
+            << threads << " " << q << " " << i;
+      }
+    }
+  }
+}
+
+TEST_P(RetrievalPropertyTest, AlignmentRecoveryEqualsDirectComparePaths) {
+  // The winners' recovered warp paths must equal what a direct path-mode
+  // comparison produces — the abandon-at-known-distance re-run adds no
+  // approximation.
+  const EngineParam p = GetParam();
+  KnnOptions opt;
+  opt.distance = p.distance;
+  opt.use_lb_kim = p.lb_kim;
+  opt.use_lb_keogh = p.lb_keogh;
+  opt.use_early_abandon = p.early_abandon;
+  KnnEngine engine(opt);
+  const ts::Dataset ds = MakeSet(p.dataset);
+  engine.Index(ds);
+  BatchOptions bopt;
+  bopt.num_threads = 4;
+  const BatchKnnEngine batch(engine, bopt);
+  const std::vector<ts::TimeSeries> queries(ds.begin(), ds.begin() + 3);
+  std::vector<std::optional<std::size_t>> excludes{0u, 1u, 2u};
+  const auto aligned = batch.QueryBatchWithAlignments(queries, 3, excludes);
+  core::SdtwOptions path_options = opt.sdtw;
+  path_options.dtw.want_path = true;
+  const core::Sdtw reference(path_options);
+  for (std::size_t q = 0; q < aligned.size(); ++q) {
+    for (const AlignedHit& a : aligned[q]) {
+      const ts::TimeSeries& target = ds[a.hit.index];
+      ASSERT_FALSE(a.path.empty()) << q;
+      EXPECT_TRUE(dtw::IsValidWarpPath(a.path, queries[q].size(),
+                                       target.size()))
+          << q;
+      if (p.distance == DistanceKind::kSdtw) {
+        const core::SdtwResult direct = reference.Compare(
+            queries[q], reference.ExtractFeatures(queries[q]), target,
+            reference.ExtractFeatures(target));
+        EXPECT_EQ(direct.distance, a.hit.distance) << q;
+        EXPECT_EQ(direct.path, a.path) << q;
+      } else if (p.distance == DistanceKind::kFullDtw) {
+        EXPECT_EQ(dtw::PathCost(queries[q], target, a.path,
+                                dtw::CostKind::kAbsolute),
+                  a.hit.distance)
+            << q;
+      }
+    }
   }
 }
 

@@ -188,33 +188,160 @@ TEST(BatchKnnEngineTest, ExcludesHonoredPerQuery) {
 TEST(BatchKnnEngineTest, StatsCountersSumExactlyToCandidates) {
   // Every candidate must be accounted for by exactly one cascade outcome:
   // pruned by LB_Kim, pruned by LB_Keogh, early-abandoned, or fully
-  // evaluated — across all modes and worker counts.
+  // evaluated — across all modes, worker counts, visit orders, and both
+  // the distance-only and alignment-recovering entry points. On this
+  // equal-length set the Keogh stage is never skipped.
+  const ts::Dataset ds = SmallGun(24);
+  for (const DistanceKind kind : {DistanceKind::kFullDtw,
+                                  DistanceKind::kSdtw}) {
+    for (const VisitOrder order :
+         {VisitOrder::kIndexOrder, VisitOrder::kLowerBound}) {
+      KnnOptions opt;
+      opt.distance = kind;
+      opt.visit_order = order;
+      KnnEngine engine(opt);
+      engine.Index(ds);
+      const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 6);
+      std::vector<std::optional<std::size_t>> excludes;
+      for (std::size_t q = 0; q < queries.size(); ++q) excludes.push_back(q);
+      for (const std::size_t threads : {1u, 4u}) {
+        BatchOptions bopt;
+        bopt.num_threads = threads;
+        bopt.chunk_size = 5;
+        const BatchKnnEngine batch(engine, bopt);
+        for (const bool with_alignments : {false, true}) {
+          std::vector<QueryStats> stats;
+          if (with_alignments) {
+            batch.QueryBatchWithAlignments(queries, 3, excludes, &stats);
+          } else {
+            batch.QueryBatch(queries, 3, excludes, &stats);
+          }
+          ASSERT_EQ(stats.size(), queries.size());
+          for (std::size_t q = 0; q < stats.size(); ++q) {
+            EXPECT_EQ(stats[q].candidates, ds.size() - 1) << q;
+            EXPECT_EQ(stats[q].pruned_by_kim + stats[q].pruned_by_keogh +
+                          stats[q].pruned_by_early_abandon +
+                          stats[q].dp_evaluations,
+                      stats[q].candidates)
+                << "mode " << static_cast<int>(kind) << " order "
+                << static_cast<int>(order) << " threads " << threads
+                << " alignments " << with_alignments << " query " << q;
+            EXPECT_EQ(stats[q].lb_keogh_skipped, 0u) << q;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, VisitOrdersReturnBitwiseIdenticalHits) {
+  // The LB_Kim schedule is pure ordering: hit lists must equal the
+  // index-order scan bit for bit under every thread count, while running
+  // no more DPs than it.
   const ts::Dataset ds = SmallGun(24);
   for (const DistanceKind kind : {DistanceKind::kFullDtw,
                                   DistanceKind::kSdtw}) {
     KnnOptions opt;
     opt.distance = kind;
+    opt.visit_order = VisitOrder::kIndexOrder;
+    KnnEngine index_engine(opt);
+    index_engine.Index(ds);
+    opt.visit_order = VisitOrder::kLowerBound;
+    KnnEngine lb_engine(opt);
+    lb_engine.Index(ds);
+    const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 6);
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      BatchOptions bopt;
+      bopt.num_threads = threads;
+      bopt.chunk_size = 5;  // several chunks -> per-chunk sorting matters
+      std::vector<QueryStats> index_stats, lb_stats;
+      const auto index_hits = BatchKnnEngine(index_engine, bopt)
+                                  .QueryBatch(queries, 4, &index_stats);
+      const auto lb_hits =
+          BatchKnnEngine(lb_engine, bopt).QueryBatch(queries, 4, &lb_stats);
+      ASSERT_EQ(index_hits.size(), lb_hits.size());
+      for (std::size_t q = 0; q < index_hits.size(); ++q) {
+        ASSERT_EQ(lb_hits[q].size(), index_hits[q].size())
+            << threads << " " << q;
+        for (std::size_t i = 0; i < index_hits[q].size(); ++i) {
+          EXPECT_EQ(lb_hits[q][i].index, index_hits[q][i].index)
+              << threads << " " << q;
+          EXPECT_EQ(lb_hits[q][i].distance, index_hits[q][i].distance)
+              << threads << " " << q;
+        }
+      }
+      // Reordering moves work between the cascade outcomes (the DP saving
+      // is workload-dependent and pinned by bench_batch_retrieval, not a
+      // per-dataset theorem), but the outcome partition itself must stay
+      // exact under both schedules.
+      for (const auto* stats : {&index_stats, &lb_stats}) {
+        for (const QueryStats& s : *stats) {
+          EXPECT_EQ(s.pruned_by_kim + s.pruned_by_keogh +
+                        s.pruned_by_early_abandon + s.dp_evaluations,
+                    s.candidates)
+              << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, MixedLengthIndexSkipsKeoghPerCandidate) {
+  // Regression: LB_Keogh is undefined across lengths (LbKeogh returns the
+  // trivial bound 0). Mismatched candidates must skip the stage, be
+  // counted as skipped, and still reach the DP — never be silently
+  // treated as Keogh-checked.
+  ts::Dataset ds;
+  const ts::Dataset long_set = SmallGun(8, 100);
+  for (const auto& s : long_set) ds.Add(s);
+  const ts::Dataset short_set = SmallGun(6, 60);
+  for (const auto& s : short_set) ds.Add(s);
+
+  for (const VisitOrder order :
+       {VisitOrder::kIndexOrder, VisitOrder::kLowerBound}) {
+    KnnOptions opt;
+    opt.distance = DistanceKind::kFullDtw;
+    opt.use_lb_kim = false;  // every candidate reaches the Keogh stage
+    opt.visit_order = order;
     KnnEngine engine(opt);
     engine.Index(ds);
-    const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 6);
-    std::vector<std::optional<std::size_t>> excludes;
-    for (std::size_t q = 0; q < queries.size(); ++q) excludes.push_back(q);
+    // Queries of length 100 (Keogh runs against the 8 long candidates,
+    // skips the 6 short ones) and of length 80 (matches nothing: the
+    // stage is skipped for all 14 candidates and no query envelope is
+    // ever consumed).
+    std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 2);
+    queries.push_back(SmallGun(1, 80)[0]);
     for (const std::size_t threads : {1u, 4u}) {
       BatchOptions bopt;
       bopt.num_threads = threads;
-      bopt.chunk_size = 5;
+      bopt.chunk_size = 3;
       const BatchKnnEngine batch(engine, bopt);
       std::vector<QueryStats> stats;
-      batch.QueryBatch(queries, 3, excludes, &stats);
+      const auto hits = batch.QueryBatch(queries, 4, &stats);
       ASSERT_EQ(stats.size(), queries.size());
+      EXPECT_EQ(stats[0].lb_keogh_skipped, 6u) << threads;
+      EXPECT_EQ(stats[1].lb_keogh_skipped, 6u) << threads;
+      EXPECT_EQ(stats[2].lb_keogh_skipped, ds.size()) << threads;
       for (std::size_t q = 0; q < stats.size(); ++q) {
-        EXPECT_EQ(stats[q].candidates, ds.size() - 1) << q;
+        EXPECT_EQ(stats[q].candidates, ds.size()) << q;
         EXPECT_EQ(stats[q].pruned_by_kim + stats[q].pruned_by_keogh +
                       stats[q].pruned_by_early_abandon +
                       stats[q].dp_evaluations,
                   stats[q].candidates)
-            << "mode " << static_cast<int>(kind) << " threads " << threads
-            << " query " << q;
+            << threads << " " << q;
+      }
+      // Hits stay exact: mismatched candidates went to the DP, not to a
+      // bogus prune.
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto expected =
+            BruteForceTopK(ds, queries[q], 4, std::nullopt);
+        ASSERT_EQ(hits[q].size(), expected.size()) << threads << " " << q;
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(hits[q][i].index, expected[i].index)
+              << threads << " " << q;
+          EXPECT_EQ(hits[q][i].distance, expected[i].distance)
+              << threads << " " << q;
+        }
       }
     }
   }
@@ -234,6 +361,100 @@ TEST(BatchKnnEngineTest, CascadeActuallyPrunesInBatch) {
   batch.QueryBatch(queries, 1, &stats);
   for (const QueryStats& s : stats) {
     EXPECT_LT(s.dp_evaluations, s.candidates);
+  }
+}
+
+TEST(BatchKnnEngineTest, AlignmentsCarryIdenticalHitsAndOptimalPaths) {
+  // QueryBatchWithAlignments must return the exact QueryBatch hits, each
+  // with the optimal warp path: for exact DTW, the path's cost re-summed
+  // in path order is bitwise the DP distance.
+  const ts::Dataset ds = SmallGun(16);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kFullDtw;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 4);
+  for (const std::size_t threads : {1u, 4u}) {
+    BatchOptions bopt;
+    bopt.num_threads = threads;
+    const BatchKnnEngine batch(engine, bopt);
+    const auto plain = batch.QueryBatch(queries, 3);
+    const auto aligned = batch.QueryBatchWithAlignments(queries, 3);
+    ASSERT_EQ(aligned.size(), plain.size());
+    for (std::size_t q = 0; q < plain.size(); ++q) {
+      ASSERT_EQ(aligned[q].size(), plain[q].size()) << q;
+      for (std::size_t i = 0; i < plain[q].size(); ++i) {
+        const AlignedHit& a = aligned[q][i];
+        EXPECT_EQ(a.hit.index, plain[q][i].index) << q;
+        EXPECT_EQ(a.hit.distance, plain[q][i].distance) << q;
+        EXPECT_EQ(a.hit.label, plain[q][i].label) << q;
+        const ts::TimeSeries& target = ds[a.hit.index];
+        EXPECT_TRUE(dtw::IsValidWarpPath(a.path, queries[q].size(),
+                                         target.size()))
+            << q << " " << i;
+        EXPECT_EQ(dtw::PathCost(queries[q], target, a.path,
+                                dtw::CostKind::kAbsolute),
+                  a.hit.distance)
+            << q << " " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, SdtwAlignmentsNeverAbandonAndMatchDistances) {
+  // The sDTW alignment re-run abandons at the already-known distance, so
+  // it can never actually abandon: every winner keeps a non-empty path
+  // whose banded DP distance equals the hit distance bitwise.
+  const ts::Dataset ds = SmallGun(14, 80);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kSdtw;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 4);
+  BatchOptions bopt;
+  bopt.num_threads = 4;
+  const BatchKnnEngine batch(engine, bopt);
+  std::vector<std::optional<std::size_t>> excludes{0u, 1u, 2u, 3u};
+  const auto aligned = batch.QueryBatchWithAlignments(queries, 3, excludes);
+  core::SdtwOptions path_options = opt.sdtw;
+  path_options.dtw.want_path = true;
+  const core::Sdtw reference(path_options);
+  for (std::size_t q = 0; q < aligned.size(); ++q) {
+    ASSERT_EQ(aligned[q].size(), 3u);
+    for (const AlignedHit& a : aligned[q]) {
+      EXPECT_NE(a.hit.index, q);
+      ASSERT_FALSE(a.path.empty()) << q;
+      const ts::TimeSeries& target = ds[a.hit.index];
+      EXPECT_TRUE(dtw::IsValidWarpPath(a.path, queries[q].size(),
+                                       target.size()))
+          << q;
+      // The full (non-abandoning) path-mode comparison agrees on both
+      // distance and path.
+      const core::SdtwResult direct = reference.Compare(
+          queries[q], reference.ExtractFeatures(queries[q]), target,
+          reference.ExtractFeatures(target));
+      EXPECT_EQ(direct.distance, a.hit.distance) << q;
+      EXPECT_EQ(direct.path, a.path) << q;
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, PointwiseAlignmentsAreDiagonal) {
+  const ts::Dataset ds = SmallGun(8, 20);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kEuclidean;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const BatchKnnEngine batch(engine);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 2);
+  const auto aligned = batch.QueryBatchWithAlignments(queries, 2);
+  for (const auto& per_query : aligned) {
+    for (const AlignedHit& a : per_query) {
+      ASSERT_EQ(a.path.size(), 20u);
+      for (std::size_t i = 0; i < a.path.size(); ++i) {
+        EXPECT_EQ(a.path[i], (dtw::PathPoint{i, i}));
+      }
+    }
   }
 }
 
@@ -329,6 +550,16 @@ TEST(ScratchArenaTest, SizingIsMonotone) {
   EXPECT_EQ(arena.dp_width(), 11u);
   arena.SizeForTargets(5);  // never shrinks
   EXPECT_EQ(arena.dp_width(), 11u);
+}
+
+TEST(ScratchArenaTest, VisitOrderBufferKeepsCapacityAcrossChunks) {
+  ScratchArena arena;
+  auto& order = arena.visit_order();
+  for (std::size_t i = 0; i < 64; ++i) order.emplace_back(0.0, i);
+  const std::size_t capacity = order.capacity();
+  order.clear();  // what the chunk loop does between chunks
+  EXPECT_EQ(arena.visit_order().capacity(), capacity);
+  EXPECT_TRUE(arena.visit_order().empty());
 }
 
 TEST(VoteLabelTest, EmptyAndMajorityAndTies) {
