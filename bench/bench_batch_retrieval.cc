@@ -1,7 +1,8 @@
 // Batched multi-query retrieval throughput: N sequential KnnEngine::Query
 // calls versus one BatchKnnEngine::QueryBatch over the same index, with
-// the candidate visit order measured both ways (index order vs ascending
-// cached LB_Kim).
+// the candidate visit order measured three ways (index order, per-chunk
+// ascending cached LB_Kim, and the whole-index LB_Kim presort of
+// VisitOrder::kGlobalLowerBound).
 //
 // The batch path wins on three axes: per-query derivatives (summary,
 // envelope, features) are computed once up front, every worker reuses one
@@ -11,9 +12,9 @@
 // LB-ordered visiting then multiplies the cascade's prune rate: cheap
 // near neighbours run first, the best-so-far tightens early, and most of
 // the expensive tail never reaches the DP. The bench prints DPs run and
-// prune rate for both orders and FAILS (exit 1) if the LB-ordered hit
-// lists diverge from the index-ordered or sequential ones — they are
-// bitwise identical by construction.
+// prune rate for all three orders and FAILS (exit 1) if any hit list
+// diverges from the sequential one — they are bitwise identical by
+// construction.
 //
 // Default scale pins the acceptance setup: a 64-query batch over 1 000
 // indexed series at 4 worker threads, exact-DTW and sDTW modes. Results
@@ -22,6 +23,12 @@
 //   --queries=N --series=N --length=N --threads=N   override the scale
 //   --smoke                                         tiny CI scale
 //   --seed=S                                        generator seed
+//   --json=FILE  write a machine-readable perf baseline (queries/s, DP
+//                counts, prune rates, Keogh abandons, and banded-kernel
+//                cells/s) for CI artifact tracking across perf PRs
+//
+// scripts/bench_smoke.sh passes --json so CI uploads BENCH_retrieval.json
+// as the perf-trajectory artifact.
 
 #include <chrono>
 #include <cstdio>
@@ -31,8 +38,11 @@
 
 #include "bench_common.h"
 #include "data/generators.h"
+#include "dtw/dtw.h"
 #include "retrieval/batch.h"
 #include "retrieval/knn.h"
+#include "ts/random.h"
+#include "ts/transforms.h"
 
 namespace {
 
@@ -47,6 +57,21 @@ struct Scale {
   std::size_t length = 128;
   std::size_t threads = 4;
   std::size_t k = 5;
+};
+
+// Per-visit-order measurements of one engine mode.
+struct OrderMetrics {
+  sdtw::retrieval::QueryStats stats;
+  double seconds = 0.0;
+};
+
+// One engine mode's full measurement set (for the table and the JSON).
+struct ModeMetrics {
+  double index_seconds = 0.0;
+  double seq_seconds = 0.0;
+  double batch_seconds = 0.0;  // default (LB-ordered) batch
+  OrderMetrics orders[3];      // indexed by VisitOrder
+  bool identical = false;
 };
 
 bool SameHits(const std::vector<std::vector<sdtw::retrieval::Hit>>& a,
@@ -71,85 +96,183 @@ sdtw::retrieval::QueryStats Totals(
   return t;
 }
 
-// One engine mode, measured sequentially and batched under both visit
-// orders. Returns false when any pair of hit lists disagrees (sequential,
-// index-ordered, and LB-ordered must all be bitwise identical).
+// One engine mode, measured sequentially and batched under all three
+// visit orders. Returns false when any hit list disagrees with the
+// sequential scan (all four must be bitwise identical).
 bool RunMode(const char* label, const sdtw::retrieval::KnnOptions& options,
              const sdtw::ts::Dataset& index_set,
              const std::vector<sdtw::ts::TimeSeries>& queries,
-             const Scale& scale) {
+             const Scale& scale, ModeMetrics* out) {
   using namespace sdtw;
+  using retrieval::VisitOrder;
 
-  retrieval::KnnOptions lb_options = options;
-  lb_options.visit_order = retrieval::VisitOrder::kLowerBound;
-  retrieval::KnnOptions index_options = options;
-  index_options.visit_order = retrieval::VisitOrder::kIndexOrder;
+  constexpr VisitOrder kOrders[3] = {VisitOrder::kIndexOrder,
+                                     VisitOrder::kLowerBound,
+                                     VisitOrder::kGlobalLowerBound};
 
-  retrieval::KnnEngine engine(lb_options);
-  const auto t_index = std::chrono::steady_clock::now();
-  engine.Index(index_set);
-  const double index_seconds = Seconds(t_index);
-  retrieval::KnnEngine index_order_engine(index_options);
-  index_order_engine.Index(index_set);
+  // One engine per visit order (the option is fixed at engine level);
+  // sequential baseline runs on the default (LB-ordered) engine.
+  std::vector<retrieval::KnnEngine> engines;
+  engines.reserve(3);
+  double index_seconds = 0.0;
+  for (const VisitOrder order : kOrders) {
+    retrieval::KnnOptions o = options;
+    o.visit_order = order;
+    engines.emplace_back(o);
+    const auto t0 = std::chrono::steady_clock::now();
+    engines.back().Index(index_set);
+    if (order == VisitOrder::kLowerBound) index_seconds = Seconds(t0);
+  }
+  retrieval::KnnEngine& lb_engine = engines[1];
 
   // Sequential baseline: one Query call per query, single-threaded.
   const auto t_seq = std::chrono::steady_clock::now();
   std::vector<std::vector<retrieval::Hit>> sequential;
   sequential.reserve(queries.size());
   for (const ts::TimeSeries& q : queries) {
-    sequential.push_back(engine.Query(q, scale.k));
+    sequential.push_back(lb_engine.Query(q, scale.k));
   }
   const double seq_seconds = Seconds(t_seq);
 
-  // Batched, LB-ordered visiting (the default).
   retrieval::BatchOptions batch_options;
   batch_options.num_threads = scale.threads;
-  const retrieval::BatchKnnEngine batch(engine, batch_options);
-  std::vector<retrieval::QueryStats> lb_stats;
-  const auto t_batch = std::chrono::steady_clock::now();
-  const std::vector<std::vector<retrieval::Hit>> batched =
-      batch.QueryBatch(queries, scale.k, &lb_stats);
-  const double batch_seconds = Seconds(t_batch);
 
-  // Batched, index-ordered visiting (the PR-3 baseline schedule).
-  const retrieval::BatchKnnEngine index_order_batch(index_order_engine,
-                                                    batch_options);
-  std::vector<retrieval::QueryStats> index_stats;
-  const auto t_index_batch = std::chrono::steady_clock::now();
-  const std::vector<std::vector<retrieval::Hit>> index_batched =
-      index_order_batch.QueryBatch(queries, scale.k, &index_stats);
-  const double index_batch_seconds = Seconds(t_index_batch);
-
-  const bool identical =
-      SameHits(batched, sequential) && SameHits(batched, index_batched);
-  const retrieval::QueryStats lb = Totals(lb_stats);
-  const retrieval::QueryStats idx = Totals(index_stats);
+  ModeMetrics metrics;
+  metrics.index_seconds = index_seconds;
+  metrics.seq_seconds = seq_seconds;
+  bool identical = true;
+  for (int oi = 0; oi < 3; ++oi) {
+    const retrieval::BatchKnnEngine batch(engines[oi], batch_options);
+    std::vector<retrieval::QueryStats> stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<std::vector<retrieval::Hit>> hits =
+        batch.QueryBatch(queries, scale.k, &stats);
+    metrics.orders[oi].seconds = Seconds(t0);
+    metrics.orders[oi].stats = Totals(stats);
+    identical = identical && SameHits(hits, sequential);
+  }
+  metrics.batch_seconds = metrics.orders[1].seconds;
+  metrics.identical = identical;
 
   const double seq_qps =
       seq_seconds > 0.0 ? static_cast<double>(queries.size()) / seq_seconds
                         : 0.0;
   const double batch_qps =
-      batch_seconds > 0.0
-          ? static_cast<double>(queries.size()) / batch_seconds
+      metrics.batch_seconds > 0.0
+          ? static_cast<double>(queries.size()) / metrics.batch_seconds
           : 0.0;
   std::printf("%-10s %9.3f %12.3f %10.1f %12.3f %10.1f %9.2fx  %s\n", label,
-              index_seconds, seq_seconds, seq_qps, batch_seconds, batch_qps,
-              seq_seconds > 0.0 && batch_seconds > 0.0
-                  ? seq_seconds / batch_seconds
+              index_seconds, seq_seconds, seq_qps, metrics.batch_seconds,
+              batch_qps,
+              seq_seconds > 0.0 && metrics.batch_seconds > 0.0
+                  ? seq_seconds / metrics.batch_seconds
                   : 0.0,
               identical ? "ok" : "MISMATCH");
+  const retrieval::QueryStats& idx = metrics.orders[0].stats;
+  const retrieval::QueryStats& lb = metrics.orders[1].stats;
+  const retrieval::QueryStats& glb = metrics.orders[2].stats;
   std::printf(
-      "  visit order: index %8zu of %8zu DPs (prune %5.1f%%, %8.3f s)  "
-      "lb %8zu DPs (prune %5.1f%%, %8.3f s)  dp_saved %.1f%%%s\n",
+      "  visit order: index %8zu of %8zu DPs (prune %5.1f%%)  "
+      "lb %8zu DPs (prune %5.1f%%, dp_saved %.1f%%)  "
+      "global_lb %8zu DPs (prune %5.1f%%, dp_saved %.1f%%)\n",
       idx.dp_evaluations, idx.candidates, 100.0 * idx.prune_rate(),
-      index_batch_seconds, lb.dp_evaluations, 100.0 * lb.prune_rate(),
-      batch_seconds,
+      lb.dp_evaluations, 100.0 * lb.prune_rate(),
       idx.dp_evaluations > 0
           ? 100.0 * (1.0 - static_cast<double>(lb.dp_evaluations) /
                                static_cast<double>(idx.dp_evaluations))
           : 0.0,
-      lb.dp_evaluations <= idx.dp_evaluations ? "" : "  (LB ran MORE DPs)");
+      glb.dp_evaluations, 100.0 * glb.prune_rate(),
+      idx.dp_evaluations > 0
+          ? 100.0 * (1.0 - static_cast<double>(glb.dp_evaluations) /
+                               static_cast<double>(idx.dp_evaluations))
+          : 0.0);
+  if (lb.pruned_by_keogh > 0 || lb.lb_keogh_abandoned > 0) {
+    std::printf("  lb_keogh: %zu pruned, %zu bound passes abandoned early\n",
+                lb.pruned_by_keogh, lb.lb_keogh_abandoned);
+  }
+  if (out != nullptr) *out = metrics;
   return identical;
+}
+
+// Throughput of the banded rolling DP kernel itself (the cascade's miss
+// path) on the BM_DtwBandedNarrowDistance band shape, in cells/s — the
+// number the two-pass kernel work moves and the JSON baseline tracks.
+double KernelCellsPerSecond(std::size_t n, sdtw::dtw::CostKind cost) {
+  using namespace sdtw;
+  ts::Rng rng1(1), rng2(2);
+  const ts::TimeSeries x =
+      ts::ZNormalize(data::patterns::RandomSmooth(n, 12, rng1));
+  const ts::TimeSeries y =
+      ts::ZNormalize(data::patterns::RandomSmooth(n, 12, rng2));
+  const dtw::Band band = bench::FixedWidthDiagonalBand(n, n, 16);
+  const double cells = static_cast<double>(band.CellCount());
+  dtw::DtwScratch scratch;
+  volatile double sink = 0.0;
+  // Warm-up, then measure for a fixed wall budget.
+  sink = sink + dtw::DtwBandedDistance(x, y, band, cost, scratch);
+  std::size_t reps = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    sink = sink + dtw::DtwBandedDistance(x, y, band, cost, scratch);
+    ++reps;
+    elapsed = Seconds(t0);
+  } while (elapsed < 0.2);
+  return static_cast<double>(reps) * cells / elapsed;
+}
+
+void WriteJson(const char* path, const Scale& scale, bool smoke,
+               double kernel_abs, double kernel_sq,
+               const ModeMetrics& dtw_metrics,
+               const ModeMetrics& sdtw_metrics) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  auto mode = [f](const char* name, const ModeMetrics& m, bool last) {
+    std::fprintf(f, "    \"%s\": {\n", name);
+    std::fprintf(f, "      \"seq_seconds\": %.6f,\n", m.seq_seconds);
+    std::fprintf(f, "      \"batch_seconds\": %.6f,\n", m.batch_seconds);
+    std::fprintf(f, "      \"index_seconds\": %.6f,\n", m.index_seconds);
+    std::fprintf(f, "      \"hits_identical\": %s,\n",
+                 m.identical ? "true" : "false");
+    static const char* kOrderNames[3] = {"index", "lb", "global_lb"};
+    std::fprintf(f, "      \"orders\": {\n");
+    for (int oi = 0; oi < 3; ++oi) {
+      const auto& s = m.orders[oi].stats;
+      std::fprintf(f,
+                   "        \"%s\": {\"seconds\": %.6f, \"candidates\": %zu, "
+                   "\"dp_evaluations\": %zu, \"prune_rate\": %.6f, "
+                   "\"pruned_by_kim\": %zu, \"pruned_by_keogh\": %zu, "
+                   "\"pruned_by_early_abandon\": %zu, "
+                   "\"lb_keogh_abandoned\": %zu}%s\n",
+                   kOrderNames[oi], m.orders[oi].seconds, s.candidates,
+                   s.dp_evaluations, s.prune_rate(), s.pruned_by_kim,
+                   s.pruned_by_keogh, s.pruned_by_early_abandon,
+                   s.lb_keogh_abandoned, oi < 2 ? "," : "");
+    }
+    std::fprintf(f, "      }\n");
+    std::fprintf(f, "    }%s\n", last ? "" : ",");
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"sdtw-bench-retrieval-v1\",\n");
+  std::fprintf(f,
+               "  \"scale\": {\"series\": %zu, \"queries\": %zu, \"length\": "
+               "%zu, \"threads\": %zu, \"k\": %zu, \"smoke\": %s},\n",
+               scale.num_series, scale.num_queries, scale.length,
+               scale.threads, scale.k, smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"kernel\": {\"band_half_width\": 16, "
+               "\"banded_cells_per_second_abs\": %.0f, "
+               "\"banded_cells_per_second_squared\": %.0f},\n",
+               kernel_abs, kernel_sq);
+  std::fprintf(f, "  \"modes\": {\n");
+  mode("dtw", dtw_metrics, false);
+  mode("sdtw", sdtw_metrics, true);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("perf baseline written to %s\n", path);
 }
 
 }  // namespace
@@ -165,6 +288,7 @@ int main(int argc, char** argv) {
     scale.length = 48;
     scale.threads = 2;
   }
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--queries=", 0) == 0) {
@@ -175,6 +299,8 @@ int main(int argc, char** argv) {
       scale.length = std::strtoul(arg.c_str() + 9, nullptr, 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
       scale.threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     }
   }
 
@@ -205,19 +331,35 @@ int main(int argc, char** argv) {
 
   retrieval::KnnOptions exact;
   exact.distance = retrieval::DistanceKind::kFullDtw;
-  ok &= RunMode("dtw", exact, index_set, queries, scale);
+  ModeMetrics dtw_metrics;
+  ok &= RunMode("dtw", exact, index_set, queries, scale, &dtw_metrics);
 
   retrieval::KnnOptions sdtw_opts;
   sdtw_opts.distance = retrieval::DistanceKind::kSdtw;
   sdtw_opts.sdtw.constraint.type =
       core::ConstraintType::kAdaptiveCoreAdaptiveWidth;
   sdtw_opts.sdtw.constraint.width_average_radius = 1;
-  ok &= RunMode("sdtw", sdtw_opts, index_set, queries, scale);
+  ModeMetrics sdtw_metrics;
+  ok &= RunMode("sdtw", sdtw_opts, index_set, queries, scale, &sdtw_metrics);
+
+  if (!json_path.empty()) {
+    const std::size_t kernel_n = config.smoke ? 256 : 2048;
+    const double kernel_abs =
+        KernelCellsPerSecond(kernel_n, dtw::CostKind::kAbsolute);
+    const double kernel_sq =
+        KernelCellsPerSecond(kernel_n, dtw::CostKind::kSquared);
+    std::printf(
+        "banded kernel (half-width 16, n=%zu): %.1f M cells/s abs, "
+        "%.1f M cells/s squared\n",
+        kernel_n, kernel_abs / 1e6, kernel_sq / 1e6);
+    WriteJson(json_path.c_str(), scale, config.smoke, kernel_abs, kernel_sq,
+              dtw_metrics, sdtw_metrics);
+  }
 
   if (!ok) {
     std::fprintf(stderr,
-                 "FAILED: sequential, index-ordered, and LB-ordered hit "
-                 "lists disagree\n");
+                 "FAILED: sequential, index-ordered, LB-ordered, and "
+                 "globally-LB-ordered hit lists disagree\n");
     return 1;
   }
   return 0;

@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -91,6 +92,25 @@ void PrintDatasetTable(const std::vector<ts::Dataset>& datasets) {
                 ds.MaxLength(), ds.size(), ds.NumClasses());
   }
   std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace sdtw
+
+namespace sdtw {
+namespace bench {
+
+dtw::Band FixedWidthDiagonalBand(std::size_t n, std::size_t m,
+                                 std::size_t half_width) {
+  std::vector<dtw::BandRow> rows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t diag = n > 1 ? i * (m - 1) / (n - 1) : 0;
+    rows[i].lo = diag > half_width ? diag - half_width : 0;
+    rows[i].hi = std::min(diag + half_width, m - 1);
+  }
+  dtw::Band band = dtw::Band::FromRows(std::move(rows), m);
+  band.MakeFeasible();
+  return band;
 }
 
 }  // namespace bench

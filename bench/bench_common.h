@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "dtw/band.h"
 #include "ts/time_series.h"
 
 namespace sdtw {
@@ -44,6 +45,14 @@ std::vector<ts::Dataset> LoadDatasets(const BenchConfig& config);
 
 /// Prints the Table 1 style overview of the loaded data sets.
 void PrintDatasetTable(const std::vector<ts::Dataset>& datasets);
+
+/// A diagonal band of fixed absolute half-width, independent of n — the
+/// regime where band-compressed storage matters (band area grows linearly
+/// in n while the grid grows quadratically). One definition shared by
+/// bench_kernels' BM_DtwBandedNarrow* and bench_batch_retrieval's kernel
+/// cells/s probe so both measure the same band shape.
+dtw::Band FixedWidthDiagonalBand(std::size_t n, std::size_t m,
+                                 std::size_t half_width);
 
 }  // namespace bench
 }  // namespace sdtw

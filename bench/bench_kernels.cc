@@ -6,11 +6,14 @@
 
 #include "align/consistency.h"
 #include "align/matching.h"
+#include "bench_common.h"
 #include "core/sdtw.h"
 #include "data/generators.h"
+#include "dtw/band_matrix.h"
 #include "dtw/dtw.h"
 #include "dtw/lower_bounds.h"
 #include "dtw/multiscale.h"
+#include "dtw/row_kernel.h"
 #include "sift/extractor.h"
 #include "ts/random.h"
 #include "ts/transforms.h"
@@ -64,22 +67,10 @@ BENCHMARK(BM_DtwSakoeChiba)
     ->Args({256, 20})
     ->Args({512, 10});
 
-// A diagonal band of fixed absolute half-width, independent of n — the
-// regime where band-compressed storage matters: the band area grows
+// The fixed-half-width diagonal band (bench::FixedWidthDiagonalBand) is
+// the regime where band-compressed storage matters: the band area grows
 // linearly in n while the grid grows quadratically.
-dtw::Band FixedWidthDiagonalBand(std::size_t n, std::size_t m,
-                                 std::size_t half_width) {
-  std::vector<dtw::BandRow> rows(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t diag =
-        n > 1 ? i * (m - 1) / (n - 1) : 0;
-    rows[i].lo = diag > half_width ? diag - half_width : 0;
-    rows[i].hi = std::min(diag + half_width, m - 1);
-  }
-  dtw::Band band = dtw::Band::FromRows(std::move(rows), m);
-  band.MakeFeasible();
-  return band;
-}
+using bench::FixedWidthDiagonalBand;
 
 // Distance-only banded DP over a narrow fixed-width band at growing n.
 // With band-compressed rolling rows, time per item (= per band cell)
@@ -101,6 +92,46 @@ BENCHMARK(BM_DtwBandedNarrowDistance)
     ->Arg(1024)
     ->Arg(4096)
     ->Arg(16384);
+
+// The retained scalar row kernel driven over the same narrow bands — the
+// pre-vectorisation baseline, kept measurable so the two-pass speedup
+// (README "two-pass DP row kernel" table) can be re-derived on any
+// machine. Distances are bitwise identical to BM_DtwBandedNarrowDistance
+// by the row_kernel property suite.
+void BM_DtwBandedNarrowDistanceScalarRef(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 1);
+  const ts::TimeSeries y = MakeSeries(n, 2);
+  const dtw::Band band = FixedWidthDiagonalBand(n, n, 16);
+  const std::size_t m = y.size();
+  const std::size_t width = dtw::MaxDpRowWidth(band);
+  std::vector<double> prev_buf(width + 1), cur_buf(width + 1);
+  for (auto _ : state) {
+    double* prev = prev_buf.data();
+    double* cur = cur_buf.data();
+    std::size_t plo = 0;
+    std::size_t phi = 0;
+    prev[0] = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      const auto [clo, chi] = dtw::DpWindow(band.row(i - 1), m);
+      if (clo <= chi) {
+        // cells = nullptr exactly like the two-pass comparison target
+        // (DtwBandedDistance skips counting), so neither side pays
+        // per-cell counting the other does not.
+        dtw::internal::FillBandRowScalar(prev, plo, phi, cur, clo, chi,
+                                         x[i - 1], y.values().data(),
+                                         dtw::AbsCost{}, nullptr);
+      }
+      std::swap(prev, cur);
+      plo = clo;
+      phi = chi;
+    }
+    benchmark::DoNotOptimize(prev[m - plo]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(band.CellCount()));
+}
+BENCHMARK(BM_DtwBandedNarrowDistanceScalarRef)->Arg(1024)->Arg(4096);
 
 // Path-preserving banded DP on the same narrow bands: storage is
 // Σ band-row widths (~33 n doubles), so n = 16384 stays in the ~4 MB

@@ -2,9 +2,13 @@
 # Smoke-runs every bench_fig* binary plus bench_batch_retrieval at --smoke
 # scale to catch bench bit-rot (benches are not covered by ctest).
 # bench_batch_retrieval additionally verifies that sequential,
-# index-ordered, and LB-ordered retrieval all return bitwise-identical hit
-# lists and prints DPs-run / prune-rate for both visit orders; any
-# divergence makes it exit non-zero, which fails this script.
+# index-ordered, LB-ordered, and globally-LB-ordered retrieval all return
+# bitwise-identical hit lists, prints DPs-run / prune-rate for each visit
+# order, and writes the machine-readable perf baseline
+# ${build_dir}/BENCH_retrieval.json (queries/s, DP counts, prune rates,
+# banded-kernel cells/s) that CI uploads as an artifact, so future perf
+# PRs have a number to diff against. Any hit divergence makes it exit
+# non-zero, which fails this script.
 # Usage: bench_smoke.sh [build_dir]
 set -euo pipefail
 
@@ -16,8 +20,7 @@ fi
 
 status=0
 ran=0
-for bench in "${build_dir}"/bench/bench_fig* \
-             "${build_dir}"/bench/bench_batch_retrieval; do
+for bench in "${build_dir}"/bench/bench_fig*; do
   [ -x "${bench}" ] || continue
   echo "== smoke: ${bench}"
   if ! "${bench}" --smoke > /dev/null; then
@@ -26,6 +29,15 @@ for bench in "${build_dir}"/bench/bench_fig* \
   fi
   ran=$((ran + 1))
 done
+if [ -x "${build_dir}/bench/bench_batch_retrieval" ]; then
+  echo "== smoke: ${build_dir}/bench/bench_batch_retrieval"
+  if ! "${build_dir}/bench/bench_batch_retrieval" --smoke \
+       "--json=${build_dir}/BENCH_retrieval.json" > /dev/null; then
+    echo "FAILED: ${build_dir}/bench/bench_batch_retrieval" >&2
+    status=1
+  fi
+  ran=$((ran + 1))
+fi
 if [ "${ran}" -eq 0 ]; then
   echo "error: no bench_fig* executables found in ${build_dir}/bench" >&2
   exit 1

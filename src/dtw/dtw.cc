@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "dtw/band_matrix.h"
+#include "dtw/row_kernel.h"
 
 namespace sdtw {
 namespace dtw {
@@ -57,96 +60,45 @@ std::vector<PathPoint> BacktrackImpl(const MatrixAt& at, std::size_t n,
   return path;
 }
 
-template <typename Cost>
-DtwResult DtwFullImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
-                      bool want_path, Cost cost) {
-  DtwResult result;
-  const std::size_t n = x.size();
-  const std::size_t m = y.size();
-  if (n == 0 || m == 0) return result;
-  const std::size_t stride = m + 1;
-  std::vector<double> d((n + 1) * stride, kInf);
-  d[0] = 0.0;
-  for (std::size_t i = 1; i <= n; ++i) {
-    const double xi = x[i - 1];
-    double* row = d.data() + i * stride;
-    const double* prev = d.data() + (i - 1) * stride;
-    for (std::size_t j = 1; j <= m; ++j) {
-      const double best =
-          std::min({prev[j], row[j - 1], prev[j - 1]});
-      row[j] = best + cost(xi, y[j - 1]);
-    }
-  }
-  result.cells_filled = n * m;
-  result.cells_allocated = (n + 1) * stride;
-  result.distance = d[n * stride + m];
-  if (want_path) {
-    result.path = BacktrackImpl(
-        [&](std::size_t i, std::size_t j) { return d[i * stride + j]; }, n,
-        m);
-  }
-  return result;
-}
-
-// Fills one DP row window: cur[0..chi-clo] receives DP columns [clo, chi]
-// of row i, reading DP row i-1 from prev whose window is [plo, phi]
-// (reads outside it are +inf, exactly like the out-of-band cells of a
-// full matrix). Cells with no finite predecessor stay +inf and are not
-// counted. Returns the minimum filled value (for early abandoning).
-// Shared by the rolling and the path-preserving banded kernels — this is
-// the one copy of the banded recurrence.
-template <typename Cost>
-double FillBandRow(const double* prev, std::size_t plo, std::size_t phi,
-                   double* cur, std::size_t clo, std::size_t chi, double xi,
-                   const ts::TimeSeries& y, Cost cost, std::size_t* cells) {
-  double row_min = kInf;
-  double left = kInf;  // value at (i, j-1); out-of-band at j == clo
-  for (std::size_t j = clo; j <= chi; ++j) {
-    const double up = j >= plo && j <= phi ? prev[j - plo] : kInf;
-    const double diag =
-        j - 1 >= plo && j - 1 <= phi ? prev[j - 1 - plo] : kInf;
-    const double best = std::min({up, left, diag});
-    double v = kInf;
-    if (std::isfinite(best)) {
-      v = best + cost(xi, y[j - 1]);
-      row_min = std::min(row_min, v);
-      ++*cells;
-    }
-    cur[j - clo] = v;
-    left = v;
-  }
-  return row_min;
-}
-
 // Shared rolling two-row DP driver over per-row DP windows, using the
 // caller's scratch buffers (grown beforehand to the widest window). The
 // window callable maps series row r (0-based) to the inclusive DP column
-// window of DP row r + 1. Every cell the kernel reads is re-initialised
-// each call, so a reused scratch needs no clearing. With `abandon`,
-// returns +inf as soon as every filled cell of a row exceeds `threshold`.
-// Reports the number of cells filled (finite predecessors only, the
-// paper's work measure).
-template <typename Cost, typename WindowFn>
+// window of DP row r + 1. Every row fill runs the two-pass kernel of
+// row_kernel.h over the scratch's padded rows; the kernel re-initialises
+// every cell and pad it reads, so a reused scratch needs no clearing.
+// With `abandon`, returns +inf as soon as every filled cell of a row
+// exceeds `threshold`. Reports the number of cells filled (finite
+// predecessors only, the paper's work measure) when `cells_filled` is
+// non-null; counting is skipped entirely otherwise. When `sink` is
+// non-null it is called as sink(i, row, w) after each non-empty DP row i
+// is filled (the path-preserving kernels copy rows into their band
+// matrices through it).
+template <typename Cost, typename WindowFn, typename RowSink>
 double RollingWindowKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
                            WindowFn window, bool abandon, double threshold,
                            Cost cost, DtwScratch& scratch,
-                           std::size_t* cells_filled) {
+                           std::size_t* cells_filled, RowSink sink) {
   const std::size_t n = x.size();
   const std::size_t m = y.size();
-  double* prev = scratch.prev.data();
-  double* cur = scratch.cur.data();
+  double* prev = scratch.prev_row();
+  double* cur = scratch.cur_row();
+  double* cost_row = scratch.cost_row();
+  unsigned char* flag_row = scratch.flag_row();
   // DP window held by prev; starts as the origin row {0}.
+  internal::ArmOriginRow(prev);
   std::size_t plo = 0;
   std::size_t phi = 0;
-  prev[0] = 0.0;
   std::size_t cells = 0;
+  std::size_t* cells_ptr = cells_filled != nullptr ? &cells : nullptr;
   for (std::size_t i = 1; i <= n; ++i) {
     const auto [clo, chi] = window(i - 1);
     double row_min = kInf;
     if (clo <= chi) {
-      row_min =
-          FillBandRow(prev, plo, phi, cur, clo, chi, x[i - 1], y, cost,
-                      &cells);
+      row_min = internal::FillBandRowTwoPass(prev, plo, phi, cur, clo, chi,
+                                             x[i - 1], y.values().data(),
+                                             cost,
+                                             cost_row, flag_row, cells_ptr);
+      sink(i, cur, chi - clo + 1);
     }
     if (abandon && row_min > threshold) {
       if (cells_filled != nullptr) *cells_filled = cells;
@@ -161,6 +113,12 @@ double RollingWindowKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
   if (abandon) return d <= threshold ? d : kInf;
   return d;
 }
+
+// Row sink for distance-only kernels: rows do not outlive the rolling
+// buffers.
+struct DiscardRows {
+  void operator()(std::size_t, const double*, std::size_t) const {}
+};
 
 // Band-compressed distance-only kernel: two rolling buffers sized to the
 // widest band row. Memory is O(max band-row width) regardless of n and m,
@@ -178,7 +136,7 @@ double BandedRollingKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
   return RollingWindowKernel(
       x, y,
       [&band, m](std::size_t r) { return DpWindow(band.row(r), m); },
-      abandon, threshold, cost, scratch, cells_filled);
+      abandon, threshold, cost, scratch, cells_filled, DiscardRows{});
 }
 
 // Full-grid distance-only kernel as the degenerate window [1, m] — the
@@ -193,7 +151,50 @@ double FullRollingKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
   return RollingWindowKernel(
       x, y,
       [m](std::size_t) { return std::pair<std::size_t, std::size_t>{1, m}; },
-      abandon, threshold, cost, scratch, nullptr);
+      abandon, threshold, cost, scratch, nullptr, DiscardRows{});
+}
+
+template <typename Cost>
+DtwResult DtwFullImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
+                      bool want_path, Cost cost) {
+  DtwResult result;
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  if (n == 0 || m == 0) return result;
+  const std::size_t stride = m + 1;
+  if (!want_path) {
+    // Distance-only: the rolling kernel needs no (n+1)x(m+1) matrix.
+    DtwScratch scratch;
+    result.distance = FullRollingKernel(x, y, /*abandon=*/false, kInf, cost,
+                                        scratch);
+    result.cells_filled = n * m;
+    result.cells_allocated = 2 * stride;
+    return result;
+  }
+  // Path-preserving: materialise the full matrix for the backtrack. The
+  // rows themselves are computed by the shared two-pass kernel in rolling
+  // scratch buffers and copied out, so the fill is as fast as the
+  // distance-only path.
+  std::vector<double> d((n + 1) * stride, kInf);
+  d[0] = 0.0;
+  DtwScratch scratch;
+  scratch.EnsureWidth(m + 1);
+  RollingWindowKernel(
+      x, y,
+      [m](std::size_t) { return std::pair<std::size_t, std::size_t>{1, m}; },
+      /*abandon=*/false, kInf, cost, scratch, nullptr,
+      [&d, stride](std::size_t i, const double* row, std::size_t w) {
+        std::memcpy(d.data() + i * stride + 1, row, w * sizeof(double));
+      });
+  result.cells_filled = n * m;
+  result.cells_allocated = (n + 1) * stride;
+  result.distance = d[n * stride + m];
+  if (std::isfinite(result.distance)) {
+    result.path = BacktrackImpl(
+        [&](std::size_t i, std::size_t j) { return d[i * stride + j]; }, n,
+        m);
+  }
+  return result;
 }
 
 template <typename Cost>
@@ -214,41 +215,52 @@ DtwResult DtwBandedImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
     return result;
   }
   // Path-preserving: keep every in-band cell (and nothing else) so the
-  // backtrack can walk the matrix.
+  // backtrack can walk the matrix. Rows are computed in the rolling
+  // scratch (the two-pass kernel needs its padded rows) and copied into
+  // the band-compressed matrix as they complete.
   BandMatrix d(band);
+  DtwScratch scratch;
+  scratch.EnsureWidth(MaxDpRowWidth(band));
   std::size_t cells = 0;
-  for (std::size_t i = 1; i <= n; ++i) {
-    const std::size_t clo = d.row_lo(i);
-    const std::size_t chi = d.row_hi(i);
-    double row_min = kInf;
-    if (clo <= chi) {
-      row_min = FillBandRow(d.row_data(i - 1), d.row_lo(i - 1),
-                            d.row_hi(i - 1), d.row_data(i), clo, chi,
-                            x[i - 1], y, cost, &cells);
-    }
-    if (abandon && row_min > threshold) {
-      // Every continuation through this row already exceeds the best so
-      // far: distance stays +infinity, no backtrack.
-      result.cells_filled = cells;
-      result.cells_allocated = d.cells_allocated();
-      return result;
-    }
-  }
+  const double distance = RollingWindowKernel(
+      x, y,
+      [&band, m](std::size_t r) { return DpWindow(band.row(r), m); },
+      abandon, threshold, cost, scratch, &cells,
+      [&d](std::size_t i, const double* row, std::size_t w) {
+        std::memcpy(d.row_data(i), row, w * sizeof(double));
+      });
   result.cells_filled = cells;
   result.cells_allocated = d.cells_allocated();
-  result.distance = d.at(n, m);
-  if (abandon && result.distance > threshold) {
-    result.distance = kInf;
+  if (!std::isfinite(distance)) {
+    // Abandoned (every continuation already exceeds the threshold) or no
+    // feasible path: distance stays +infinity, no backtrack.
     return result;
   }
-  if (std::isfinite(result.distance)) {
-    result.path = BacktrackImpl(
-        [&](std::size_t i, std::size_t j) { return d.at(i, j); }, n, m);
-  }
+  result.distance = distance;
+  result.path = BacktrackImpl(
+      [&](std::size_t i, std::size_t j) { return d.at(i, j); }, n, m);
   return result;
 }
 
 }  // namespace
+
+void DtwScratch::EnsureWidth(std::size_t width) {
+  if (width <= width_ && !cells_.empty()) return;
+  width_ = std::max(width_, width);
+  // Three double rows (prev, cur, cost), each with kRowPad guard cells on
+  // both sides, strides rounded to 64 bytes, base 64-byte aligned.
+  const std::size_t stride =
+      (2 * internal::kRowPad + width_ + 7) & ~std::size_t{7};
+  cells_.assign(3 * stride + 8, internal::kRowInf);
+  flag_store_.assign(stride, 0);
+  const std::size_t misalign =
+      reinterpret_cast<std::uintptr_t>(cells_.data()) % 64;
+  const std::size_t align_off =
+      misalign != 0 ? (64 - misalign) / sizeof(double) : 0;
+  prev_off_ = align_off + internal::kRowPad;
+  cur_off_ = prev_off_ + stride;
+  cost_off_ = cur_off_ + stride;
+}
 
 DtwResult Dtw(const ts::TimeSeries& x, const ts::TimeSeries& y,
               const DtwOptions& options) {

@@ -9,6 +9,13 @@
 /// backtracking, plus banded variants that fill only the cells inside a
 /// Band.
 ///
+/// Every row of every kernel — full grid, banded, early-abandon, and the
+/// path-preserving fills — runs through the two-pass row kernel of
+/// dtw/row_kernel.h: a vectorisable pass over staged cost rows plus a
+/// carry-resolving serial scan, bit-identical to the historical scalar
+/// loop (see that header for the contract and the property suite that
+/// pins it).
+///
 /// The banded kernels use band-compressed storage in two modes so that
 /// memory follows the band, not the grid:
 ///  * distance-only: two rolling buffers sized to the widest band row
@@ -45,10 +52,14 @@ struct DtwResult {
   /// Number of grid cells actually filled by the DP (the paper's measure of
   /// work saved by pruning).
   std::size_t cells_filled = 0;
-  /// Number of doubles allocated for DP cell storage — (N+1)*(M+1) for the
-  /// full kernel, Σ band-row widths (+1 origin) for the path-preserving
-  /// banded kernel, 2 * max band-row width for the rolling distance-only
-  /// kernels. The storage footprint band compression shrinks.
+  /// Number of *logical DP cells* allocated — (N+1)*(M+1) for the
+  /// path-preserving full kernel, Σ band-row widths (+1 origin) for the
+  /// path-preserving banded kernel, 2 * max band-row width (two rolling
+  /// rows) for the distance-only kernels. This is the storage footprint
+  /// band compression shrinks, and the measure that scales with the
+  /// input; the constant-factor scratch overhead of the two-pass kernel
+  /// (guard pads, staged cost row, flag bytes — see DtwScratch) is not
+  /// included.
   std::size_t cells_allocated = 0;
 };
 
@@ -59,27 +70,51 @@ struct DtwOptions {
   bool want_path = true;
 };
 
-/// \brief Reusable rolling-row storage for the distance-only kernels.
+/// \brief Reusable row storage for the rolling DP kernels.
 ///
-/// The rolling kernels need two buffers sized to the widest DP row they
-/// will fill (dtw::MaxDpRowWidth for a band, m + 1 for a full grid).
+/// The two-pass banded kernel (see dtw/row_kernel.h) works on four
+/// same-stride rows: the two rolling DP rows (`prev`/`cur`), a staged cost
+/// row, and a row of carry-entry flag bytes. Each DP row carries
+/// `internal::kRowPad` guard cells of +infinity on both sides, maintained
+/// by the kernels, so the vectorised pass 1 can read the up/diagonal
+/// predecessors of any in-band cell as plain shifted loads — the band
+/// window guards become reads of the +inf pads instead of per-cell
+/// branches. Rows are 64-byte aligned.
+///
 /// Retrieval loops that compare one query against thousands of candidates
 /// keep one DtwScratch per worker, sized once to the widest requirement
-/// across the whole candidate set, instead of allocating per call. The
-/// kernels re-initialise the cells they read, so a scratch can be reused
+/// across the whole candidate set (dtw::MaxDpRowWidth for a band, m + 1
+/// for a full grid), instead of allocating per call. The kernels
+/// re-initialise every cell and pad they read, so a scratch can be reused
 /// across calls without clearing.
-struct DtwScratch {
-  std::vector<double> prev;
-  std::vector<double> cur;
+class DtwScratch {
+ public:
+  /// Grows all rows to hold at least `width` usable doubles each (never
+  /// shrinks).
+  void EnsureWidth(std::size_t width);
 
-  /// Grows both buffers to at least `width` doubles (never shrinks).
-  void EnsureWidth(std::size_t width) {
-    if (prev.size() < width) {
-      prev.resize(width);
-      cur.resize(width);
-    }
-  }
-  std::size_t width() const { return prev.size(); }
+  /// The usable row width (max `width` passed to EnsureWidth so far).
+  std::size_t width() const { return width_; }
+
+  /// \name Kernel row accessors
+  /// Pointers to cell 0 of each row; cells [-kRowPad, width + kRowPad)
+  /// are addressable. Valid until the next EnsureWidth growth. Rows are
+  /// addressed as offsets into the owned buffers, so copied or moved
+  /// scratches stay self-contained (each alias its own storage).
+  /// @{
+  double* prev_row() { return cells_.data() + prev_off_; }
+  double* cur_row() { return cells_.data() + cur_off_; }
+  double* cost_row() { return cells_.data() + cost_off_; }
+  unsigned char* flag_row() { return flag_store_.data(); }
+  /// @}
+
+ private:
+  std::vector<double> cells_;        ///< Backing store of the three rows.
+  std::vector<unsigned char> flag_store_;
+  std::size_t prev_off_ = 0;
+  std::size_t cur_off_ = 0;
+  std::size_t cost_off_ = 0;
+  std::size_t width_ = 0;
 };
 
 /// Full O(NM) DTW between x and y (paper §2.1.3).

@@ -90,6 +90,27 @@ double LbKeogh(const ts::TimeSeries& x, const Envelope& y_envelope) {
   return sum;
 }
 
+double LbKeoghAbandoning(const ts::TimeSeries& x, const Envelope& y_envelope,
+                         double abandon_above, bool* abandoned) {
+  if (abandoned != nullptr) *abandoned = false;
+  if (x.size() != y_envelope.upper.size()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > y_envelope.upper[i]) {
+      sum += x[i] - y_envelope.upper[i];
+    } else if (x[i] < y_envelope.lower[i]) {
+      sum += y_envelope.lower[i] - x[i];
+    }
+    if (sum > abandon_above) {
+      // Every remaining term is >= 0, so the full sum would also exceed
+      // the threshold: the caller's prune decision is already settled.
+      if (abandoned != nullptr) *abandoned = i + 1 < x.size();
+      return sum;
+    }
+  }
+  return sum;
+}
+
 double LbKeogh(const ts::TimeSeries& x, const ts::TimeSeries& y,
                std::size_t r) {
   return LbKeogh(x, MakeEnvelope(y, r));

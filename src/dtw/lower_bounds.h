@@ -61,6 +61,22 @@ double LbKim(const SeriesStats& x, const SeriesStats& y);
 /// (a trivially valid bound).
 double LbKeogh(const ts::TimeSeries& x, const Envelope& y_envelope);
 
+/// LB_Keogh with cumulative-bound abandoning (the UCR-suite refinement):
+/// accumulates the envelope distances left to right and stops as soon as
+/// the running sum exceeds `abandon_above`, instead of always completing
+/// the O(n) pass. The terms are non-negative and accumulated in the same
+/// order as LbKeogh, so the running sum is monotone non-decreasing and the
+/// returned partial sum is itself a valid lower bound; in particular the
+/// decision `result > abandon_above` is identical to the full pass's
+/// `LbKeogh(...) > abandon_above`, which is what keeps cascade prunes (and
+/// therefore hit lists) unchanged. When the scan stops early, `*abandoned`
+/// (if non-null) is set to true and the partial sum is returned; otherwise
+/// `*abandoned` is set to false and the result equals LbKeogh(x, y_envelope)
+/// exactly. Length mismatches return 0 with *abandoned == false, as the
+/// full pass does.
+double LbKeoghAbandoning(const ts::TimeSeries& x, const Envelope& y_envelope,
+                         double abandon_above, bool* abandoned = nullptr);
+
 /// Convenience: builds the envelope of y with radius r and evaluates
 /// LB_Keogh(x, env(y)).
 double LbKeogh(const ts::TimeSeries& x, const ts::TimeSeries& y,

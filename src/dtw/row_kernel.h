@@ -1,0 +1,341 @@
+#ifndef SDTW_DTW_ROW_KERNEL_H_
+#define SDTW_DTW_ROW_KERNEL_H_
+
+/// \file row_kernel.h
+/// \brief The banded DP row recurrence: scalar reference and the
+/// vectorisable two-pass kernel.
+///
+/// Both kernels fill one DP row window: cur[0..chi-clo] receives DP columns
+/// [clo, chi] of row i, reading DP row i-1 from prev whose window is
+/// [plo, phi] (reads outside it are +infinity, exactly like the out-of-band
+/// cells of a full matrix). Cells with no finite predecessor stay +infinity
+/// and are not counted. Both return the minimum filled value (for early
+/// abandoning) and produce bit-identical cur rows, row minima, and cell
+/// counts — the property suite pins this across random bands, window
+/// shapes, and costs.
+///
+/// FillBandRowScalar is the historical loop: one serial pass whose every
+/// cell carries a `left` dependency through two mins and an add, plus
+/// per-cell band-window branches — the compiler cannot vectorise any of it.
+///
+/// One caveat bounds the bit-identical contract: cost values must be
+/// finite. If Δ overflows to +infinity (|x − y| ≳ 1.3e154 under the
+/// squared cost), cell *values* still agree (both kernels store +inf) but
+/// the two-pass cell *count* — derived from the first finite staged sum —
+/// can differ from the scalar loop's per-cell finite-predecessor count.
+/// Series magnitudes anywhere near that are outside every supported
+/// workload (inputs are typically z-normalised).
+///
+/// FillBandRowTwoPass splits the recurrence so almost all of the work has
+/// no loop-carried dependency:
+///
+///   pass 1 (vectorisable): stage the cost row c[k] = Δ(x_i, y[clo-1+k]),
+///     then s[k] = min(up[k], diag[k]) + c[k] — the row value *assuming the
+///     left predecessor never wins*. The band-window +inf guards are gone:
+///     prev rows carry kRowPad guard cells of +infinity on both sides, so
+///     up/diag are plain shifted loads for any window that moves by at most
+///     kRowPad columns per row (slower-moving than that covers every
+///     Sakoe-Chiba/Itakura/sDTW band; rows that jump farther take the
+///     scalar path). Pass 1 also flags the cells where the left predecessor
+///     *could* win: f[k] = s[k-1] + c[k] < s[k].
+///   pass 2 (serial): resolve the left dependency with a tight scan. Since
+///     min(a,b) + c and min(a+c, b+c) are the same value in floating point
+///     (rounded addition of the shared c is monotone, so the smaller
+///     operand stays smaller and the selected sum is rounded identically),
+///     v[k] = min(t[k], v[k-1]) + c[k] = min(s[k], v[k-1] + c[k]) — cell k
+///     differs from s[k] only when a chain of left wins reaches it, and
+///     such a chain can only *start* at a flagged cell (v <= s, so
+///     v[k-1] + c[k] < s[k] implies s[k-1] + c[k] < s[k]). The scan
+///     therefore skips ahead flag-by-flag (runs of carry-free cells are
+///     already final in cur) and only walks the rare serial segments
+///     where the carry survives — ~5% of cells on smooth series.
+///
+/// The identical association order (one min against `left`, then one add
+/// of the separately-rounded cost) keeps every DP value bit-identical to
+/// the scalar loop, which is what pins the retrieval engine's hit lists
+/// across kernels, thread counts, and visit orders. This also requires
+/// building without FMA contraction (-ffp-contract=off): fusing the cost
+/// multiply into the accumulate add would change the rounding of *both*
+/// kernels' cells.
+///
+/// With AVX2 available (e.g. -DSDTW_NATIVE=ON), pass 1 runs as explicit
+/// 4-lane intrinsics, with the carry flags extracted four at a time via
+/// movemask and a 16-entry byte-expansion table; the tail runs as one
+/// back-aligned overlapping vector (recomputing up to three cells with
+/// identical inputs, hence identical bits) instead of a masked epilogue.
+/// Measured on the BM_DtwBandedNarrowDistance band (width 33): ~3x the
+/// scalar loop's cells/s. Follow-ons: an AVX-512 8-lane variant, and the
+/// prefix-min wavefront for the pass-2 serial segments (see ROADMAP).
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "dtw/cost.h"
+
+namespace sdtw {
+namespace dtw {
+namespace internal {
+
+/// Guard cells of +infinity kept on both sides of every DtwScratch DP row.
+/// Pass 1 of the two-pass kernel reads predecessor cells as shifted loads
+/// whose indices stay within the pads whenever the DP window moves by at
+/// most kRowPad columns between rows; the pads then supply the +infinity
+/// an out-of-band read must observe.
+inline constexpr std::size_t kRowPad = 8;
+
+inline constexpr double kRowInf = std::numeric_limits<double>::infinity();
+
+/// Scalar reference row fill — the historical serial loop, retained
+/// verbatim as the slow path for windows that jump more than kRowPad
+/// columns, for rows narrower than one vector, and as the oracle the
+/// property suite pins the two-pass kernel against. Reads prev only
+/// through its window guards (no pads required) and writes exactly
+/// cur[0..chi-clo]. `cells` (when non-null) is incremented once per
+/// filled cell.
+template <typename Cost>
+double FillBandRowScalar(const double* prev, std::size_t plo, std::size_t phi,
+                         double* cur, std::size_t clo, std::size_t chi,
+                         double xi, const double* y, Cost cost,
+                         std::size_t* cells) {
+  double row_min = kRowInf;
+  double left = kRowInf;  // value at (i, j-1); out-of-band at j == clo
+  for (std::size_t j = clo; j <= chi; ++j) {
+    const double up = j >= plo && j <= phi ? prev[j - plo] : kRowInf;
+    const double diag =
+        j - 1 >= plo && j - 1 <= phi ? prev[j - 1 - plo] : kRowInf;
+    const double best = std::min({up, left, diag});
+    double v = kRowInf;
+    if (std::isfinite(best)) {
+      v = best + cost(xi, y[j - 1]);
+      row_min = std::min(row_min, v);
+      if (cells != nullptr) ++*cells;
+    }
+    cur[j - clo] = v;
+    left = v;
+  }
+  return row_min;
+}
+
+/// Rewrites the +infinity guard pads around a freshly filled row of width
+/// `w`, restoring the invariant the next row's pass 1 depends on.
+inline void WriteRowPads(double* row, std::size_t w) {
+  for (std::size_t k = 1; k <= kRowPad; ++k) {
+    row[-static_cast<std::ptrdiff_t>(k)] = kRowInf;
+    row[w + k - 1] = kRowInf;
+  }
+}
+
+/// Initialises a scratch row as the DP origin row (window {0}): pads of
+/// +infinity around the single origin cell 0.
+inline void ArmOriginRow(double* row) {
+  WriteRowPads(row, 1);
+  row[0] = 0.0;
+}
+
+#if defined(__AVX2__)
+
+inline __m256d CostVector(SquaredCost, __m256d xv, __m256d yv) {
+  const __m256d d = _mm256_sub_pd(xv, yv);
+  return _mm256_mul_pd(d, d);
+}
+
+inline __m256d CostVector(AbsCost, __m256d xv, __m256d yv) {
+  const __m256d d = _mm256_sub_pd(xv, yv);
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), d);
+}
+
+#endif  // __AVX2__
+
+/// Pass 2 of the two-pass kernel: resolves the left dependency over the
+/// staged row. On entry cur[0..w) holds s (the no-left-win values), c the
+/// cost row, f the carry-entry flag bytes (f[0] forced 0), and `smin` the
+/// minimum of the staged values. Returns the row minimum of the final
+/// values. Runs of unflagged cells are already final; only the serial
+/// carry segments are walked, each evaluating the exact recurrence
+/// v[k] = min(s[k], v[k-1] + c[k]).
+inline double ResolveLeftDependency(double* cur, const double* c,
+                                    const unsigned char* f, std::size_t w,
+                                    double smin) {
+  double row_min = smin;
+  std::size_t k = 1;
+  while (k < w) {
+    // Skip to the next flagged cell, eight flag bytes at a time. The
+    // lowest-addressed non-zero byte is at the counting-from-LSB end on
+    // little-endian and the counting-from-MSB end on big-endian.
+    while (k + 8 <= w) {
+      std::uint64_t word;
+      std::memcpy(&word, f + k, 8);
+      if (word != 0) {
+        const int bit = std::endian::native == std::endian::little
+                            ? std::countr_zero(word)
+                            : std::countl_zero(word);
+        k += static_cast<std::size_t>(bit) >> 3;
+        break;
+      }
+      k += 8;
+    }
+    while (k < w && f[k] == 0) ++k;
+    if (k >= w) break;
+    // Serial carry segment: walk while the left predecessor keeps
+    // winning. cur[k-1] is final (either carry-free, or fixed by an
+    // earlier segment that died before k). The win test is a branch, not
+    // a select: inside a segment it is all but always taken (carry runs
+    // are long on smooth series), so the loop-carried chain is a single
+    // rounded add per cell and the comparison retires off the chain.
+    double left = cur[k - 1];
+    for (;;) {
+      const double lc = left + c[k];
+      if (!(lc < cur[k])) {
+        // The segment died at cell k (its staged value stands), and a
+        // true carry entry at k would contradict this exit (the staged
+        // flag only over-approximates the carry value), so cell k's flag
+        // is necessarily clear — resume the scan after it.
+        ++k;
+        break;
+      }
+      cur[k] = lc;
+      if (lc < row_min) row_min = lc;
+      left = lc;
+      if (++k >= w) break;
+    }
+  }
+  return row_min;
+}
+
+/// Two-pass row fill over padded scratch rows. prev and cur must each
+/// carry kRowPad guard cells on both sides; prev's guards (and any cell
+/// of its window) must be valid, as maintained by a previous call or by
+/// ArmOriginRow. cost_row and flag_row need chi-clo+1 usable cells.
+/// Writes cur[0..chi-clo] plus its guard pads. Bit-identical outputs to
+/// FillBandRowScalar (values, row minimum, cell count).
+template <typename Cost>
+double FillBandRowTwoPass(const double* prev, std::size_t plo,
+                          std::size_t phi, double* cur, std::size_t clo,
+                          std::size_t chi, double xi, const double* y,
+                          Cost cost, double* cost_row,
+                          unsigned char* flag_row, std::size_t* cells) {
+  const std::size_t w = chi - clo + 1;
+  if (plo > phi) {
+    // Empty predecessor window: no cell has a finite predecessor.
+    for (std::size_t k = 0; k < w; ++k) cur[k] = kRowInf;
+    WriteRowPads(cur, w);
+    return kRowInf;
+  }
+  if (w < 4 || clo + kRowPad < plo + 1 || chi > phi + kRowPad) {
+    // Window narrower than one vector, or moving faster than the guard
+    // pads cover: take the scalar path (identical results by definition).
+    const double row_min =
+        FillBandRowScalar(prev, plo, phi, cur, clo, chi, xi, y, cost, cells);
+    WriteRowPads(cur, w);
+    return row_min;
+  }
+
+  // Pass 1: stage cost row, s = min(up, diag) + c into cur, carry flags.
+  const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(clo) -
+                               static_cast<std::ptrdiff_t>(plo);
+  const double* pu = prev + shift;      // up:   prev DP column j
+  const double* pd = prev + shift - 1;  // diag: prev DP column j-1
+  const double* yy = y + (clo - 1);
+  double smin;
+
+#if defined(__AVX2__)
+  static const std::uint32_t kFlagBytes[16] = {
+      0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u,
+      0x00010000u, 0x00010001u, 0x00010100u, 0x00010101u,
+      0x01000000u, 0x01000001u, 0x01000100u, 0x01000101u,
+      0x01010000u, 0x01010001u, 0x01010100u, 0x01010101u};
+  const __m256d xv = _mm256_set1_pd(xi);
+  __m256d sminv = _mm256_set1_pd(kRowInf);
+  __m256d s_last = _mm256_set1_pd(kRowInf);  // lane 3 = s[k-1] carry-in
+  std::size_t k = 0;
+  for (; k + 4 <= w; k += 4) {
+    const __m256d up = _mm256_loadu_pd(pu + k);
+    const __m256d dg = _mm256_loadu_pd(pd + k);
+    const __m256d cv = CostVector(cost, xv, _mm256_loadu_pd(yy + k));
+    const __m256d sv = _mm256_add_pd(_mm256_min_pd(up, dg), cv);
+    _mm256_storeu_pd(cur + k, sv);
+    _mm256_storeu_pd(cost_row + k, cv);
+    sminv = _mm256_min_pd(sminv, sv);
+    // s shifted one lane right (s[k-1..k+2]): previous group's lane 3
+    // into lane 0, current lanes 0..2 into lanes 1..3.
+    const __m256d rot = _mm256_permute4x64_pd(sv, _MM_SHUFFLE(2, 1, 0, 3));
+    const __m256d prev_top =
+        _mm256_permute4x64_pd(s_last, _MM_SHUFFLE(3, 3, 3, 3));
+    const __m256d sprev = _mm256_blend_pd(rot, prev_top, 1);
+    s_last = sv;
+    const int fm = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_add_pd(sprev, cv), sv, _CMP_LT_OQ));
+    std::memcpy(flag_row + k, &kFlagBytes[fm], 4);
+  }
+  if (k < w) {
+    // Back-aligned overlapping tail vector: recomputes up to three cells
+    // with identical inputs (so identical bits), never reads past the
+    // row, and needs no masked epilogue. w >= 4 guaranteed above.
+    const std::size_t kt = w - 4;
+    const __m256d up = _mm256_loadu_pd(pu + kt);
+    const __m256d dg = _mm256_loadu_pd(pd + kt);
+    const __m256d cv = CostVector(cost, xv, _mm256_loadu_pd(yy + kt));
+    const __m256d sv = _mm256_add_pd(_mm256_min_pd(up, dg), cv);
+    _mm256_storeu_pd(cur + kt, sv);
+    _mm256_storeu_pd(cost_row + kt, cv);
+    sminv = _mm256_min_pd(sminv, sv);
+    // kt >= 1 here (w % 4 != 0 and w > 4), so cur[kt-1] is staged.
+    const __m256d sprev = _mm256_loadu_pd(cur + kt - 1);
+    const int fm = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_add_pd(sprev, cv), sv, _CMP_LT_OQ));
+    std::memcpy(flag_row + kt, &kFlagBytes[fm], 4);
+  }
+  {
+    const __m128d lo = _mm256_castpd256_pd128(sminv);
+    const __m128d hi = _mm256_extractf128_pd(sminv, 1);
+    __m128d m2 = _mm_min_pd(lo, hi);
+    m2 = _mm_min_sd(m2, _mm_unpackhi_pd(m2, m2));
+    smin = _mm_cvtsd_f64(m2);
+  }
+#else
+  Cost::Row(xi, yy, cost_row, w);
+  for (std::size_t k = 0; k < w; ++k) {
+    const double t = pu[k] < pd[k] ? pu[k] : pd[k];
+    cur[k] = t + cost_row[k];
+  }
+  for (std::size_t k = 1; k < w; ++k) {
+    flag_row[k] =
+        cur[k - 1] + cost_row[k] < cur[k] ? 1 : 0;
+  }
+  smin = kRowInf;
+  for (std::size_t k = 0; k < w; ++k) {
+    if (cur[k] < smin) smin = cur[k];
+  }
+#endif
+  flag_row[0] = 0;
+
+  if (cells != nullptr) {
+    // Cells with a finite predecessor: everything from the first finite
+    // staged value on (once any cell is finite, the left chain keeps all
+    // later cells finite — costs are finite). The scan almost always
+    // stops at cell 0.
+    std::size_t k0 = 0;
+    while (k0 < w && !(cur[k0] < kRowInf)) ++k0;
+    *cells += w - k0;
+  }
+
+  const double row_min = ResolveLeftDependency(cur, cost_row, flag_row, w,
+                                               smin);
+  WriteRowPads(cur, w);
+  return row_min;
+}
+
+}  // namespace internal
+}  // namespace dtw
+}  // namespace sdtw
+
+#endif  // SDTW_DTW_ROW_KERNEL_H_

@@ -66,6 +66,11 @@ struct PerQueryState {
   std::vector<Hit> heap;  // max-heap under HitLess, size <= k
   std::atomic<double> best{kInf};
   QueryStats stats;
+  /// VisitOrder::kGlobalLowerBound only: the query's whole candidate set
+  /// as (cached LB_Kim, index), sorted ascending once in phase 1; phase-2
+  /// chunks slice it instead of the index range. Read-only while workers
+  /// race.
+  std::vector<std::pair<double, std::size_t>> global_order;
 };
 
 // Runs fn on `threads` workers and waits for all of them; threads == 1
@@ -144,7 +149,10 @@ double BatchKnnEngine::CascadeDistance(const ts::TimeSeries& query,
   // to some value inside [min(y), max(y)], so Σ_i dist(x_i, envelope) is
   // a valid bound. Radius-limited envelopes would only bound
   // window-constrained DTW, and sDTW bands may be narrower still — hence
-  // exact-DTW mode only.
+  // exact-DTW mode only. Each direction accumulates its sum with
+  // cumulative abandoning against the best-so-far (LbKeoghAbandoning):
+  // the prune decision is identical to the full pass, but the O(n) bound
+  // computation itself stops as soon as it is settled.
   if (opt.use_lb_keogh && opt.distance == DistanceKind::kFullDtw) {
     if (target.size() != query.size()) {
       // LB_Keogh is only defined on equal lengths (LbKeogh would return
@@ -152,12 +160,21 @@ double BatchKnnEngine::CascadeDistance(const ts::TimeSeries& query,
       // so, instead of counting it as Keogh-checked.
       if (stats != nullptr) ++stats->lb_keogh_skipped;
     } else if (std::isfinite(best_so_far)) {
-      if (dtw::LbKeogh(query, index_.envelopes_[candidate]) > best_so_far) {
-        if (stats != nullptr) ++stats->pruned_by_keogh;
+      bool abandoned = false;
+      if (dtw::LbKeoghAbandoning(query, index_.envelopes_[candidate],
+                                 best_so_far, &abandoned) > best_so_far) {
+        if (stats != nullptr) {
+          ++stats->pruned_by_keogh;
+          if (abandoned) ++stats->lb_keogh_abandoned;
+        }
         return kInf;
       }
-      if (dtw::LbKeogh(target, context.envelope) > best_so_far) {
-        if (stats != nullptr) ++stats->pruned_by_keogh;
+      if (dtw::LbKeoghAbandoning(target, context.envelope, best_so_far,
+                                 &abandoned) > best_so_far) {
+        if (stats != nullptr) {
+          ++stats->pruned_by_keogh;
+          if (abandoned) ++stats->lb_keogh_abandoned;
+        }
         return kInf;
       }
     }
@@ -242,8 +259,12 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
   const std::size_t threads =
       ResolveThreads(options_.num_threads, num_queries * num_candidates);
 
+  const VisitOrder visit_order = index_.options_.visit_order;
+
   // Phase 1: per-query contexts, each computed exactly once, spread over
-  // the workers.
+  // the workers. Under kGlobalLowerBound this also builds each query's
+  // whole-index LB_Kim schedule, so phase-2 chunks slice one global
+  // cheapest-first order instead of sorting per chunk.
   {
     std::atomic<std::size_t> next{0};
     RunOnWorkers(std::min(threads, num_queries), [&]() {
@@ -251,6 +272,15 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
         const std::size_t q = next.fetch_add(1, std::memory_order_relaxed);
         if (q >= num_queries) return;
         states[q].context = MakeContext(queries[q]);
+        if (visit_order == VisitOrder::kGlobalLowerBound) {
+          auto& order = states[q].global_order;
+          order.reserve(num_candidates);
+          for (std::size_t i = 0; i < num_candidates; ++i) {
+            order.emplace_back(
+                dtw::LbKim(states[q].context.stats, index_.stats_[i]), i);
+          }
+          std::sort(order.begin(), order.end());
+        }
       }
     });
   }
@@ -279,8 +309,9 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
   // or for the stage-1 prune (which CascadeDistance re-gates on the same
   // conditions). When neither consumes it, the schedule pass skips the
   // bound and the loop degenerates to the plain index-order scan.
+  // (kGlobalLowerBound schedules come precomputed from phase 1.)
   const bool need_kim =
-      index_.options_.visit_order == VisitOrder::kLowerBound ||
+      visit_order == VisitOrder::kLowerBound ||
       (index_.options_.use_lb_kim &&
        LbKimSound(index_.options_, index_.engine_));
 
@@ -302,20 +333,30 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
       // Schedule phase: the O(1) cached-stats LB_Kim of every candidate
       // in the chunk, then (by default) the chunk sorted ascending by
       // (bound, index) so likely-near candidates tighten the shared
-      // best-so-far before the expensive tail runs. Pure scheduling: the
-      // hit lists are identical under any order (see file comment), only
-      // the prune counters move.
+      // best-so-far before the expensive tail runs. Under
+      // kGlobalLowerBound the chunk instead slices the query's presorted
+      // whole-index schedule. Pure scheduling either way: the hit lists
+      // are identical under any order (see file comment), only the prune
+      // counters move.
       auto& order = scratch.visit_order();
       order.clear();
-      for (std::size_t i = begin; i < end; ++i) {
-        if (has_exclude && exclude == i) continue;
-        order.emplace_back(
-            need_kim ? dtw::LbKim(state.context.stats, index_.stats_[i])
-                     : 0.0,
-            i);
-      }
-      if (index_.options_.visit_order == VisitOrder::kLowerBound) {
-        std::sort(order.begin(), order.end());
+      if (visit_order == VisitOrder::kGlobalLowerBound) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& entry = state.global_order[i];
+          if (has_exclude && exclude == entry.second) continue;
+          order.push_back(entry);
+        }
+      } else {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (has_exclude && exclude == i) continue;
+          order.emplace_back(
+              need_kim ? dtw::LbKim(state.context.stats, index_.stats_[i])
+                       : 0.0,
+              i);
+        }
+        if (visit_order == VisitOrder::kLowerBound) {
+          std::sort(order.begin(), order.end());
+        }
       }
       // Cascade phase, in schedule order.
       for (const auto& [kim_lb, i] : order) {

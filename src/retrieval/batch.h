@@ -25,6 +25,14 @@
 ///    the Keogh→DP cascade then runs cheapest-first, so near neighbours
 ///    tighten the shared best-so-far before the expensive tail is visited
 ///    and most DPs are pruned before they start.
+///    VisitOrder::kGlobalLowerBound instead presorts each query's whole
+///    candidate set once in phase 1 and lets chunks slice that global
+///    schedule — same hits, one O(N log N) sort per query, ordering that
+///    survives arbitrarily small chunks;
+///  * LB_Keogh passes accumulate with cumulative abandoning against the
+///    best-so-far (dtw::LbKeoghAbandoning): identical prune decisions,
+///    but the O(n) bound computation itself stops once settled (counted
+///    in QueryStats::lb_keogh_abandoned).
 ///
 /// Results are deterministic regardless of thread count, completion order,
 /// and visit order: hits are the k smallest (distance, index) pairs,

@@ -50,6 +50,16 @@ enum class VisitOrder {
   /// typically far fewer DPs run (~3x fewer on bench_batch_retrieval's
   /// default workload; workload-dependent, not a per-dataset theorem).
   kLowerBound,
+  /// Ascending cached LB_Kim over the query's *entire* candidate set,
+  /// presorted once per query before chunking (kLowerBound sorts each
+  /// chunk independently). Chunks then slice the global schedule, so the
+  /// cheapest candidates index-set-wide run first regardless of how many
+  /// chunks the scheduler cut — which matters when high thread counts
+  /// shrink chunks until per-chunk ordering degenerates toward index
+  /// order. Costs one O(N log N) sort (and an O(N) schedule buffer) per
+  /// query per batch. Hit lists remain bitwise identical to both other
+  /// orders, for the same reason as kLowerBound.
+  kGlobalLowerBound,
 };
 
 /// \brief Engine configuration.
@@ -88,10 +98,15 @@ struct Hit {
 /// The four outcome counters partition the scanned candidates exactly:
 /// pruned_by_kim + pruned_by_keogh + pruned_by_early_abandon +
 /// dp_evaluations == candidates, under every visit order and thread count.
-/// lb_keogh_skipped is a stage-level count orthogonal to that partition:
-/// candidates whose Keogh stage could not run (length mismatch with the
-/// query — LB_Keogh is only defined on equal lengths) and which continued
-/// down the cascade instead of being silently counted as Keogh-checked.
+/// lb_keogh_skipped and lb_keogh_abandoned are stage-level counts
+/// orthogonal to that partition: skipped counts candidates whose Keogh
+/// stage could not run (length mismatch with the query — LB_Keogh is only
+/// defined on equal lengths) and which continued down the cascade instead
+/// of being silently counted as Keogh-checked; abandoned counts Keogh
+/// evaluations (up to two per candidate, one per direction) whose
+/// cumulative sum crossed the best-so-far before the pass completed and
+/// stopped early (LbKeoghAbandoning), saving part of the O(n) bound
+/// computation on top of the prune itself.
 struct QueryStats {
   std::size_t candidates = 0;
   std::size_t pruned_by_kim = 0;
@@ -99,6 +114,7 @@ struct QueryStats {
   std::size_t pruned_by_early_abandon = 0;
   std::size_t dp_evaluations = 0;
   std::size_t lb_keogh_skipped = 0;
+  std::size_t lb_keogh_abandoned = 0;
 
   /// Accumulates another set of counters into this one (per-chunk merge in
   /// the batch engine, per-query aggregation in reporting).
@@ -109,6 +125,7 @@ struct QueryStats {
     pruned_by_early_abandon += other.pruned_by_early_abandon;
     dp_evaluations += other.dp_evaluations;
     lb_keogh_skipped += other.lb_keogh_skipped;
+    lb_keogh_abandoned += other.lb_keogh_abandoned;
   }
   /// Fraction of candidates the cascade resolved without a completed DP:
   /// 1 − dp_evaluations / candidates (0 on an empty scan).

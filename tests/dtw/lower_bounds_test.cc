@@ -182,6 +182,65 @@ TEST(LbKeoghTest, TightensWithSmallerRadius) {
   EXPECT_GE(LbKeogh(x, y, 1), LbKeogh(x, y, 10) - 1e-12);
 }
 
+TEST(LbKeoghAbandoningTest, DecisionMatchesFullPassExactly) {
+  // The cumulative-abandoning pass accumulates the same non-negative
+  // terms in the same order, so (result > threshold) must agree with the
+  // full pass for every threshold, and the result must equal the full
+  // bound bit for bit whenever the pass completes.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const ts::TimeSeries x = RandomSeries(64, 700 + seed);
+    const ts::TimeSeries y = RandomSeries(64, 800 + seed);
+    const Envelope env = MakeEnvelope(y, 3);
+    const double full = LbKeogh(x, env);
+    const double thresholds[] = {std::numeric_limits<double>::infinity(),
+                                 full,
+                                 full * 0.999,
+                                 full * 0.5,
+                                 full * 1.001,
+                                 0.0};
+    for (const double threshold : thresholds) {
+      bool abandoned = true;
+      const double got = LbKeoghAbandoning(x, env, threshold, &abandoned);
+      EXPECT_EQ(got > threshold, full > threshold)
+          << "seed " << seed << " thr " << threshold;
+      EXPECT_LE(got, full) << "seed " << seed;  // a partial prefix sum
+      if (!abandoned) {
+        EXPECT_EQ(got, full) << "seed " << seed << " thr " << threshold;
+      } else {
+        EXPECT_GT(got, threshold) << "seed " << seed << " thr " << threshold;
+      }
+    }
+    // No threshold: always completes, always the exact bound.
+    bool abandoned = true;
+    EXPECT_EQ(LbKeoghAbandoning(
+                  x, env, std::numeric_limits<double>::infinity(), &abandoned),
+              full);
+    EXPECT_FALSE(abandoned);
+  }
+}
+
+TEST(LbKeoghAbandoningTest, AbandonsEarlyWhenBoundExplodes) {
+  // A query far outside the envelope crosses any small threshold within a
+  // few terms; the pass must report the early stop.
+  const ts::TimeSeries y({0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  const ts::TimeSeries x({10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0});
+  const Envelope env = MakeEnvelope(y, 2);
+  bool abandoned = false;
+  const double got = LbKeoghAbandoning(x, env, 5.0, &abandoned);
+  EXPECT_TRUE(abandoned);
+  EXPECT_GT(got, 5.0);
+  EXPECT_LT(got, LbKeogh(x, env));  // stopped before the full sum
+}
+
+TEST(LbKeoghAbandoningTest, LengthMismatchIsTrivialBound) {
+  const ts::TimeSeries x({1.0, 2.0});
+  const ts::TimeSeries y({1.0, 2.0, 3.0});
+  bool abandoned = true;
+  EXPECT_DOUBLE_EQ(LbKeoghAbandoning(x, MakeEnvelope(y, 1), 0.5, &abandoned),
+                   0.0);
+  EXPECT_FALSE(abandoned);
+}
+
 TEST(SeriesStatsTest, CachedLbKimMatchesDirect) {
   const ts::TimeSeries x = RandomSeries(80, 21);
   const ts::TimeSeries y = RandomSeries(64, 22);

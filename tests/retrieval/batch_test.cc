@@ -195,7 +195,8 @@ TEST(BatchKnnEngineTest, StatsCountersSumExactlyToCandidates) {
   for (const DistanceKind kind : {DistanceKind::kFullDtw,
                                   DistanceKind::kSdtw}) {
     for (const VisitOrder order :
-         {VisitOrder::kIndexOrder, VisitOrder::kLowerBound}) {
+         {VisitOrder::kIndexOrder, VisitOrder::kLowerBound,
+          VisitOrder::kGlobalLowerBound}) {
       KnnOptions opt;
       opt.distance = kind;
       opt.visit_order = order;
@@ -249,32 +250,44 @@ TEST(BatchKnnEngineTest, VisitOrdersReturnBitwiseIdenticalHits) {
     opt.visit_order = VisitOrder::kLowerBound;
     KnnEngine lb_engine(opt);
     lb_engine.Index(ds);
+    opt.visit_order = VisitOrder::kGlobalLowerBound;
+    KnnEngine global_engine(opt);
+    global_engine.Index(ds);
     const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 6);
     for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
       BatchOptions bopt;
       bopt.num_threads = threads;
       bopt.chunk_size = 5;  // several chunks -> per-chunk sorting matters
-      std::vector<QueryStats> index_stats, lb_stats;
+      std::vector<QueryStats> index_stats, lb_stats, global_stats;
       const auto index_hits = BatchKnnEngine(index_engine, bopt)
                                   .QueryBatch(queries, 4, &index_stats);
       const auto lb_hits =
           BatchKnnEngine(lb_engine, bopt).QueryBatch(queries, 4, &lb_stats);
+      const auto global_hits = BatchKnnEngine(global_engine, bopt)
+                                   .QueryBatch(queries, 4, &global_stats);
       ASSERT_EQ(index_hits.size(), lb_hits.size());
+      ASSERT_EQ(index_hits.size(), global_hits.size());
       for (std::size_t q = 0; q < index_hits.size(); ++q) {
         ASSERT_EQ(lb_hits[q].size(), index_hits[q].size())
+            << threads << " " << q;
+        ASSERT_EQ(global_hits[q].size(), index_hits[q].size())
             << threads << " " << q;
         for (std::size_t i = 0; i < index_hits[q].size(); ++i) {
           EXPECT_EQ(lb_hits[q][i].index, index_hits[q][i].index)
               << threads << " " << q;
           EXPECT_EQ(lb_hits[q][i].distance, index_hits[q][i].distance)
               << threads << " " << q;
+          EXPECT_EQ(global_hits[q][i].index, index_hits[q][i].index)
+              << threads << " " << q;
+          EXPECT_EQ(global_hits[q][i].distance, index_hits[q][i].distance)
+              << threads << " " << q;
         }
       }
       // Reordering moves work between the cascade outcomes (the DP saving
       // is workload-dependent and pinned by bench_batch_retrieval, not a
       // per-dataset theorem), but the outcome partition itself must stay
-      // exact under both schedules.
-      for (const auto* stats : {&index_stats, &lb_stats}) {
+      // exact under every schedule.
+      for (const auto* stats : {&index_stats, &lb_stats, &global_stats}) {
         for (const QueryStats& s : *stats) {
           EXPECT_EQ(s.pruned_by_kim + s.pruned_by_keogh +
                         s.pruned_by_early_abandon + s.dp_evaluations,
@@ -283,6 +296,90 @@ TEST(BatchKnnEngineTest, VisitOrdersReturnBitwiseIdenticalHits) {
         }
       }
     }
+  }
+}
+
+TEST(BatchKnnEngineTest, GlobalLowerBoundMatchesBruteForceAcrossThreads) {
+  // The whole-index presort is pure scheduling: under any thread count
+  // and chunking, hits must equal the brute-force k smallest
+  // (distance, index) pairs bit for bit.
+  const ts::Dataset ds = SmallGun(30);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kFullDtw;
+  opt.visit_order = VisitOrder::kGlobalLowerBound;
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 5);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    BatchOptions bopt;
+    bopt.num_threads = threads;
+    bopt.chunk_size = 4;
+    std::vector<std::optional<std::size_t>> excludes;
+    for (std::size_t q = 0; q < queries.size(); ++q) excludes.push_back(q);
+    const auto hits = BatchKnnEngine(engine, bopt)
+                          .QueryBatch(queries, 3, excludes, nullptr);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::vector<Hit> expected =
+          BruteForceTopK(ds, queries[q], 3, excludes[q]);
+      ASSERT_EQ(hits[q].size(), expected.size()) << threads << " " << q;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(hits[q][i].index, expected[i].index)
+            << threads << " " << q;
+        EXPECT_EQ(hits[q][i].distance, expected[i].distance)
+            << threads << " " << q;
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, KeoghAbandoningCountsAndPreservesHits) {
+  // Cumulative-bound abandoning changes how much of each LB_Keogh pass
+  // runs, never its decision: hits stay brute-force exact, the outcome
+  // partition stays exact, and on a workload where the Keogh stage prunes
+  // at all, at least some of those bound passes must have stopped early.
+  // Trace-like series have class-distinct levels, so the full-span Keogh
+  // envelopes actually separate queries from far candidates (Gun-like
+  // series share one value range and the full-span bound degenerates
+  // toward zero).
+  data::GeneratorOptions gopt;
+  gopt.num_series = 32;
+  gopt.length = 80;
+  const ts::Dataset ds = data::MakeTraceLike(gopt);
+  KnnOptions opt;
+  opt.distance = DistanceKind::kFullDtw;
+  opt.use_lb_kim = false;  // every candidate reaches the Keogh stage
+  KnnEngine engine(opt);
+  engine.Index(ds);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 6);
+  for (const std::size_t threads : {1u, 4u}) {
+    BatchOptions bopt;
+    bopt.num_threads = threads;
+    std::vector<QueryStats> stats;
+    const auto hits =
+        BatchKnnEngine(engine, bopt).QueryBatch(queries, 3, &stats);
+    QueryStats total;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::vector<Hit> expected =
+          BruteForceTopK(ds, queries[q], 3, std::nullopt);
+      ASSERT_EQ(hits[q].size(), expected.size()) << threads << " " << q;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(hits[q][i].index, expected[i].index) << threads << " " << q;
+        EXPECT_EQ(hits[q][i].distance, expected[i].distance)
+            << threads << " " << q;
+      }
+      EXPECT_EQ(stats[q].pruned_by_kim + stats[q].pruned_by_keogh +
+                    stats[q].pruned_by_early_abandon +
+                    stats[q].dp_evaluations,
+                stats[q].candidates)
+          << threads << " " << q;
+      // At most two directed bound passes per Keogh-pruned candidate can
+      // have abandoned.
+      EXPECT_LE(stats[q].lb_keogh_abandoned, 2 * stats[q].pruned_by_keogh)
+          << threads << " " << q;
+      total.Merge(stats[q]);
+    }
+    EXPECT_GT(total.pruned_by_keogh, 0u) << threads;
+    EXPECT_GT(total.lb_keogh_abandoned, 0u) << threads;
   }
 }
 
@@ -298,7 +395,8 @@ TEST(BatchKnnEngineTest, MixedLengthIndexSkipsKeoghPerCandidate) {
   for (const auto& s : short_set) ds.Add(s);
 
   for (const VisitOrder order :
-       {VisitOrder::kIndexOrder, VisitOrder::kLowerBound}) {
+       {VisitOrder::kIndexOrder, VisitOrder::kLowerBound,
+        VisitOrder::kGlobalLowerBound}) {
     KnnOptions opt;
     opt.distance = DistanceKind::kFullDtw;
     opt.use_lb_kim = false;  // every candidate reaches the Keogh stage
