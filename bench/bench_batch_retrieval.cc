@@ -256,17 +256,24 @@ void WriteJson(const char* path, const Scale& scale, bool smoke,
     std::fprintf(f, "    }%s\n", last ? "" : ",");
   };
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"sdtw-bench-retrieval-v1\",\n");
+  std::fprintf(f, "  \"schema\": \"sdtw-bench-retrieval-v2\",\n");
   std::fprintf(f,
                "  \"scale\": {\"series\": %zu, \"queries\": %zu, \"length\": "
                "%zu, \"threads\": %zu, \"k\": %zu, \"smoke\": %s},\n",
                scale.num_series, scale.num_queries, scale.length,
                scale.threads, scale.k, smoke ? "true" : "false");
+  // Variant + CPU features make the baseline self-describing so the CI
+  // perf gate can refuse apples-to-oranges comparisons (e.g. a previous
+  // run on an AVX-512 host versus a current run forced to portable).
   std::fprintf(f,
                "  \"kernel\": {\"band_half_width\": 16, "
+               "\"variant\": \"%s\", "
+               "\"cpu_features\": \"%s\", "
                "\"banded_cells_per_second_abs\": %.0f, "
                "\"banded_cells_per_second_squared\": %.0f},\n",
-               kernel_abs, kernel_sq);
+               sdtw::dtw::ActiveRowKernelOps().name,
+               sdtw::dtw::DetectedCpuFeatures().c_str(), kernel_abs,
+               kernel_sq);
   std::fprintf(f, "  \"modes\": {\n");
   mode("dtw", dtw_metrics, false);
   mode("sdtw", sdtw_metrics, true);
@@ -349,9 +356,10 @@ int main(int argc, char** argv) {
     const double kernel_sq =
         KernelCellsPerSecond(kernel_n, dtw::CostKind::kSquared);
     std::printf(
-        "banded kernel (half-width 16, n=%zu): %.1f M cells/s abs, "
-        "%.1f M cells/s squared\n",
-        kernel_n, kernel_abs / 1e6, kernel_sq / 1e6);
+        "banded kernel (half-width 16, n=%zu, variant=%s): %.1f M cells/s "
+        "abs, %.1f M cells/s squared\n",
+        kernel_n, dtw::ActiveRowKernelOps().name, kernel_abs / 1e6,
+        kernel_sq / 1e6);
     WriteJson(json_path.c_str(), scale, config.smoke, kernel_abs, kernel_sq,
               dtw_metrics, sdtw_metrics);
   }

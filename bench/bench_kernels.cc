@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "align/consistency.h"
 #include "align/matching.h"
 #include "bench_common.h"
@@ -92,6 +94,39 @@ BENCHMARK(BM_DtwBandedNarrowDistance)
     ->Arg(1024)
     ->Arg(4096)
     ->Arg(16384);
+
+// One row per runnable SIMD variant (portable always, avx2/avx512 when
+// the binary and CPU both have them), pinned through DtwScratch so the
+// runtime dispatcher's choice is taken out of the measurement. The plain
+// BM_DtwBandedNarrowDistance rows above show the dispatched default;
+// these rows show what each ISA level buys on this machine.
+void BM_DtwBandedNarrowDistanceVariant(benchmark::State& state,
+                                       const dtw::RowKernelOps* ops) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ts::TimeSeries x = MakeSeries(n, 1);
+  const ts::TimeSeries y = MakeSeries(n, 2);
+  const dtw::Band band = FixedWidthDiagonalBand(n, n, 16);
+  dtw::DtwScratch scratch;
+  scratch.set_kernel(ops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dtw::DtwBandedDistance(x, y, band, dtw::CostKind::kAbsolute, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(band.CellCount()));
+}
+
+const bool kVariantRowsRegistered = [] {
+  for (const dtw::RowKernelOps* ops : dtw::SupportedRowKernels()) {
+    const std::string name =
+        std::string("BM_DtwBandedNarrowDistance/kernel:") + ops->name;
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 BM_DtwBandedNarrowDistanceVariant, ops)
+        ->Arg(1024)
+        ->Arg(4096);
+  }
+  return true;
+}();
 
 // The retained scalar row kernel driven over the same narrow bands — the
 // pre-vectorisation baseline, kept measurable so the two-pass speedup

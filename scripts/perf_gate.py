@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI perf regression gate over BENCH_retrieval.json baselines.
+
+Compares the current run's perf baseline (written by
+`bench_batch_retrieval --json=...`) against the previous run's artifact
+and fails when the banded DP kernel slows down by more than the allowed
+ratio, or when any cascade order starts running MORE DP evaluations (the
+DP counts are deterministic for a fixed scale and seed, so any increase
+is a real pruning regression, not noise).
+
+The gate only trusts like-for-like comparisons. It SKIPS (exit 0, with a
+message) instead of failing when the baseline is missing or was produced
+by a different schema, benchmark scale, kernel variant, or CPU feature
+set — e.g. the previous run landed on an AVX-512 runner and this one did
+not, or a schema bump changed what the numbers mean.
+
+Usage: perf_gate.py BASELINE_JSON CURRENT_JSON [--min-ratio=0.85]
+Exit codes: 0 = pass or skip, 1 = perf regression, 2 = usage/parse error.
+"""
+
+import json
+import sys
+
+DEFAULT_MIN_RATIO = 0.85
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def skip(reason):
+    print(f"perf gate: SKIP ({reason})")
+    sys.exit(0)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    min_ratio = DEFAULT_MIN_RATIO
+    for a in argv[1:]:
+        if a.startswith("--min-ratio="):
+            min_ratio = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    baseline_path, current_path = args
+    try:
+        current = load(current_path)
+    except (OSError, ValueError) as e:
+        print(f"perf gate: cannot read current baseline {current_path}: {e}",
+              file=sys.stderr)
+        return 2
+    try:
+        baseline = load(baseline_path)
+    except OSError:
+        skip(f"no previous baseline at {baseline_path}")
+    except ValueError as e:
+        skip(f"previous baseline unparseable: {e}")
+
+    # Like-for-like guards: refuse to compare across schema revisions,
+    # benchmark scales, kernel variants, or CPU feature sets.
+    if baseline.get("schema") != current.get("schema"):
+        skip(f"schema changed: {baseline.get('schema')} -> "
+             f"{current.get('schema')}")
+    if baseline.get("scale") != current.get("scale"):
+        skip("benchmark scale changed")
+    bk, ck = baseline.get("kernel", {}), current.get("kernel", {})
+    for key in ("variant", "cpu_features", "band_half_width"):
+        if bk.get(key) != ck.get(key):
+            skip(f"kernel {key} changed: {bk.get(key)!r} -> {ck.get(key)!r}")
+
+    failures = []
+
+    # 1. Banded-kernel throughput: the number the SIMD kernel work moves.
+    for key in ("banded_cells_per_second_abs",
+                "banded_cells_per_second_squared"):
+        old, new = bk.get(key), ck.get(key)
+        if not old or new is None:
+            skip(f"kernel metric {key} missing")
+        ratio = new / old
+        line = (f"  {key}: {old / 1e6:.1f} -> {new / 1e6:.1f} M cells/s "
+                f"(ratio {ratio:.3f}, floor {min_ratio:.2f})")
+        print(line)
+        if ratio < min_ratio:
+            failures.append(f"{key} regressed: {line.strip()}")
+
+    # 2. DP-evaluation counts per mode and visit order: deterministic at
+    # fixed scale/seed, so strictly more DPs means the cascade got worse.
+    for mode, mdata in sorted(current.get("modes", {}).items()):
+        bmode = baseline.get("modes", {}).get(mode)
+        if bmode is None:
+            skip(f"mode '{mode}' absent from previous baseline")
+        for order, odata in sorted(mdata.get("orders", {}).items()):
+            border = bmode.get("orders", {}).get(order)
+            if border is None:
+                skip(f"order '{mode}/{order}' absent from previous baseline")
+            old, new = border.get("dp_evaluations"), odata.get("dp_evaluations")
+            if old is None or new is None:
+                skip(f"dp_evaluations missing for {mode}/{order}")
+            print(f"  {mode}/{order}: dp_evaluations {old} -> {new}")
+            if new > old:
+                failures.append(
+                    f"{mode}/{order} dp_evaluations increased: {old} -> {new}")
+
+    if failures:
+        print("perf gate: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("perf gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -63,8 +63,10 @@ std::vector<PathPoint> BacktrackImpl(const MatrixAt& at, std::size_t n,
 // Shared rolling two-row DP driver over per-row DP windows, using the
 // caller's scratch buffers (grown beforehand to the widest window). The
 // window callable maps series row r (0-based) to the inclusive DP column
-// window of DP row r + 1. Every row fill runs the two-pass kernel of
-// row_kernel.h over the scratch's padded rows; the kernel re-initialises
+// window of DP row r + 1. Every row fill runs through `fill`, a row-fill
+// entry point of a dispatched kernel variant (dtw/kernel_dispatch.h) with
+// the cost baked in — resolved once per call by the kernels below, so the
+// per-row cost is one predictable indirect call. The kernel re-initialises
 // every cell and pad it reads, so a reused scratch needs no clearing.
 // With `abandon`, returns +inf as soon as every filled cell of a row
 // exceeds `threshold`. Reports the number of cells filled (finite
@@ -73,10 +75,10 @@ std::vector<PathPoint> BacktrackImpl(const MatrixAt& at, std::size_t n,
 // non-null it is called as sink(i, row, w) after each non-empty DP row i
 // is filled (the path-preserving kernels copy rows into their band
 // matrices through it).
-template <typename Cost, typename WindowFn, typename RowSink>
+template <typename WindowFn, typename RowSink>
 double RollingWindowKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
                            WindowFn window, bool abandon, double threshold,
-                           Cost cost, DtwScratch& scratch,
+                           RowFillFn fill, DtwScratch& scratch,
                            std::size_t* cells_filled, RowSink sink) {
   const std::size_t n = x.size();
   const std::size_t m = y.size();
@@ -94,10 +96,8 @@ double RollingWindowKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
     const auto [clo, chi] = window(i - 1);
     double row_min = kInf;
     if (clo <= chi) {
-      row_min = internal::FillBandRowTwoPass(prev, plo, phi, cur, clo, chi,
-                                             x[i - 1], y.values().data(),
-                                             cost,
-                                             cost_row, flag_row, cells_ptr);
+      row_min = fill(prev, plo, phi, cur, clo, chi, x[i - 1],
+                     y.values().data(), cost_row, flag_row, cells_ptr);
       sink(i, cur, chi - clo + 1);
     }
     if (abandon && row_min > threshold) {
@@ -122,11 +122,12 @@ struct DiscardRows {
 
 // Band-compressed distance-only kernel: two rolling buffers sized to the
 // widest band row. Memory is O(max band-row width) regardless of n and m,
-// and per-row work is O(row width) — no full-row infinity re-fill.
-template <typename Cost>
+// and per-row work is O(row width) — no full-row infinity re-fill. The
+// row-fill variant comes from the scratch (pinned by retrieval workers,
+// process-wide active otherwise).
 double BandedRollingKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
                            const Band& band, bool abandon, double threshold,
-                           Cost cost, DtwScratch& scratch,
+                           CostKind cost, DtwScratch& scratch,
                            std::size_t* cells_filled,
                            std::size_t* cells_allocated) {
   const std::size_t m = y.size();
@@ -136,37 +137,38 @@ double BandedRollingKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
   return RollingWindowKernel(
       x, y,
       [&band, m](std::size_t r) { return DpWindow(band.row(r), m); },
-      abandon, threshold, cost, scratch, cells_filled, DiscardRows{});
+      abandon, threshold, scratch.kernel().fill(cost), scratch, cells_filled,
+      DiscardRows{});
 }
 
 // Full-grid distance-only kernel as the degenerate window [1, m] — the
 // same code path (and bit-identical results) as the historical dedicated
 // two-row implementation.
-template <typename Cost>
 double FullRollingKernel(const ts::TimeSeries& x, const ts::TimeSeries& y,
-                         bool abandon, double threshold, Cost cost,
+                         bool abandon, double threshold, CostKind cost,
                          DtwScratch& scratch) {
   const std::size_t m = y.size();
   scratch.EnsureWidth(m + 1);
   return RollingWindowKernel(
       x, y,
       [m](std::size_t) { return std::pair<std::size_t, std::size_t>{1, m}; },
-      abandon, threshold, cost, scratch, nullptr, DiscardRows{});
+      abandon, threshold, scratch.kernel().fill(cost), scratch, nullptr,
+      DiscardRows{});
 }
 
-template <typename Cost>
 DtwResult DtwFullImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
-                      bool want_path, Cost cost) {
+                      const DtwOptions& options) {
   DtwResult result;
   const std::size_t n = x.size();
   const std::size_t m = y.size();
   if (n == 0 || m == 0) return result;
   const std::size_t stride = m + 1;
-  if (!want_path) {
+  DtwScratch scratch;
+  scratch.set_kernel(options.kernel);
+  if (!options.want_path) {
     // Distance-only: the rolling kernel needs no (n+1)x(m+1) matrix.
-    DtwScratch scratch;
-    result.distance = FullRollingKernel(x, y, /*abandon=*/false, kInf, cost,
-                                        scratch);
+    result.distance = FullRollingKernel(x, y, /*abandon=*/false, kInf,
+                                        options.cost, scratch);
     result.cells_filled = n * m;
     result.cells_allocated = 2 * stride;
     return result;
@@ -177,12 +179,12 @@ DtwResult DtwFullImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
   // distance-only path.
   std::vector<double> d((n + 1) * stride, kInf);
   d[0] = 0.0;
-  DtwScratch scratch;
   scratch.EnsureWidth(m + 1);
   RollingWindowKernel(
       x, y,
       [m](std::size_t) { return std::pair<std::size_t, std::size_t>{1, m}; },
-      /*abandon=*/false, kInf, cost, scratch, nullptr,
+      /*abandon=*/false, kInf, scratch.kernel().fill(options.cost), scratch,
+      nullptr,
       [&d, stride](std::size_t i, const double* row, std::size_t w) {
         std::memcpy(d.data() + i * stride + 1, row, w * sizeof(double));
       });
@@ -197,21 +199,22 @@ DtwResult DtwFullImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
   return result;
 }
 
-template <typename Cost>
 DtwResult DtwBandedImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
-                        const Band& band, bool want_path, bool abandon,
-                        double threshold, Cost cost) {
+                        const Band& band, bool abandon, double threshold,
+                        const DtwOptions& options) {
   DtwResult result;
   const std::size_t n = x.size();
   const std::size_t m = y.size();
   if (n == 0 || m == 0 || band.n() != n || band.m() != m) return result;
-  if (!want_path) {
+  DtwScratch scratch;
+  scratch.set_kernel(options.kernel);
+  if (!options.want_path) {
     // Distance-only: no cell needs to outlive its row, so the rolling
     // kernel's two band-width buffers suffice.
-    DtwScratch scratch;
     result.distance =
-        BandedRollingKernel(x, y, band, abandon, threshold, cost, scratch,
-                            &result.cells_filled, &result.cells_allocated);
+        BandedRollingKernel(x, y, band, abandon, threshold, options.cost,
+                            scratch, &result.cells_filled,
+                            &result.cells_allocated);
     return result;
   }
   // Path-preserving: keep every in-band cell (and nothing else) so the
@@ -219,13 +222,13 @@ DtwResult DtwBandedImpl(const ts::TimeSeries& x, const ts::TimeSeries& y,
   // scratch (the two-pass kernel needs its padded rows) and copied into
   // the band-compressed matrix as they complete.
   BandMatrix d(band);
-  DtwScratch scratch;
   scratch.EnsureWidth(MaxDpRowWidth(band));
   std::size_t cells = 0;
   const double distance = RollingWindowKernel(
       x, y,
       [&band, m](std::size_t r) { return DpWindow(band.row(r), m); },
-      abandon, threshold, cost, scratch, &cells,
+      abandon, threshold, scratch.kernel().fill(options.cost), scratch,
+      &cells,
       [&d](std::size_t i, const double* row, std::size_t w) {
         std::memcpy(d.row_data(i), row, w * sizeof(double));
       });
@@ -264,32 +267,19 @@ void DtwScratch::EnsureWidth(std::size_t width) {
 
 DtwResult Dtw(const ts::TimeSeries& x, const ts::TimeSeries& y,
               const DtwOptions& options) {
-  if (options.cost == CostKind::kAbsolute) {
-    return DtwFullImpl(x, y, options.want_path, AbsCost{});
-  }
-  return DtwFullImpl(x, y, options.want_path, SquaredCost{});
+  return DtwFullImpl(x, y, options);
 }
 
 DtwResult DtwBanded(const ts::TimeSeries& x, const ts::TimeSeries& y,
                     const Band& band, const DtwOptions& options) {
-  if (options.cost == CostKind::kAbsolute) {
-    return DtwBandedImpl(x, y, band, options.want_path, /*abandon=*/false,
-                         kInf, AbsCost{});
-  }
-  return DtwBandedImpl(x, y, band, options.want_path, /*abandon=*/false,
-                       kInf, SquaredCost{});
+  return DtwBandedImpl(x, y, band, /*abandon=*/false, kInf, options);
 }
 
 DtwResult DtwBandedEarlyAbandon(const ts::TimeSeries& x,
                                 const ts::TimeSeries& y, const Band& band,
                                 double threshold,
                                 const DtwOptions& options) {
-  if (options.cost == CostKind::kAbsolute) {
-    return DtwBandedImpl(x, y, band, options.want_path, /*abandon=*/true,
-                         threshold, AbsCost{});
-  }
-  return DtwBandedImpl(x, y, band, options.want_path, /*abandon=*/true,
-                       threshold, SquaredCost{});
+  return DtwBandedImpl(x, y, band, /*abandon=*/true, threshold, options);
 }
 
 double DtwDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
@@ -301,12 +291,7 @@ double DtwDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
 double DtwDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
                    CostKind cost, DtwScratch& scratch) {
   if (x.empty() || y.empty()) return kInf;
-  if (cost == CostKind::kAbsolute) {
-    return FullRollingKernel(x, y, /*abandon=*/false, kInf, AbsCost{},
-                             scratch);
-  }
-  return FullRollingKernel(x, y, /*abandon=*/false, kInf, SquaredCost{},
-                           scratch);
+  return FullRollingKernel(x, y, /*abandon=*/false, kInf, cost, scratch);
 }
 
 double DtwBandedDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
@@ -322,12 +307,8 @@ double DtwBandedDistance(const ts::TimeSeries& x, const ts::TimeSeries& y,
       band.m() != y.size()) {
     return kInf;
   }
-  if (cost == CostKind::kAbsolute) {
-    return BandedRollingKernel(x, y, band, /*abandon=*/false, kInf,
-                               AbsCost{}, scratch, nullptr, nullptr);
-  }
-  return BandedRollingKernel(x, y, band, /*abandon=*/false, kInf,
-                             SquaredCost{}, scratch, nullptr, nullptr);
+  return BandedRollingKernel(x, y, band, /*abandon=*/false, kInf, cost,
+                             scratch, nullptr, nullptr);
 }
 
 double DtwDistanceEarlyAbandon(const ts::TimeSeries& x,
@@ -341,12 +322,7 @@ double DtwDistanceEarlyAbandon(const ts::TimeSeries& x,
                                const ts::TimeSeries& y, double threshold,
                                CostKind cost, DtwScratch& scratch) {
   if (x.empty() || y.empty()) return kInf;
-  if (cost == CostKind::kAbsolute) {
-    return FullRollingKernel(x, y, /*abandon=*/true, threshold, AbsCost{},
-                             scratch);
-  }
-  return FullRollingKernel(x, y, /*abandon=*/true, threshold, SquaredCost{},
-                           scratch);
+  return FullRollingKernel(x, y, /*abandon=*/true, threshold, cost, scratch);
 }
 
 double DtwBandedDistanceEarlyAbandon(const ts::TimeSeries& x,
@@ -365,12 +341,8 @@ double DtwBandedDistanceEarlyAbandon(const ts::TimeSeries& x,
       band.m() != y.size()) {
     return kInf;
   }
-  if (cost == CostKind::kAbsolute) {
-    return BandedRollingKernel(x, y, band, /*abandon=*/true, threshold,
-                               AbsCost{}, scratch, nullptr, nullptr);
-  }
-  return BandedRollingKernel(x, y, band, /*abandon=*/true, threshold,
-                             SquaredCost{}, scratch, nullptr, nullptr);
+  return BandedRollingKernel(x, y, band, /*abandon=*/true, threshold, cost,
+                             scratch, nullptr, nullptr);
 }
 
 bool IsValidWarpPath(const std::vector<PathPoint>& path, std::size_t n,

@@ -33,6 +33,7 @@
 
 #include "dtw/band.h"
 #include "dtw/cost.h"
+#include "dtw/kernel_dispatch.h"
 #include "ts/time_series.h"
 
 namespace sdtw {
@@ -68,6 +69,10 @@ struct DtwOptions {
   CostKind cost = CostKind::kAbsolute;
   /// When false, skips backtracking and path storage.
   bool want_path = true;
+  /// Row-kernel variant to run the DP rows with; nullptr selects the
+  /// process-wide ActiveRowKernelOps(). Every variant is bit-identical,
+  /// so this is a speed/test knob, never a semantic one.
+  const RowKernelOps* kernel = nullptr;
 };
 
 /// \brief Reusable row storage for the rolling DP kernels.
@@ -96,6 +101,17 @@ class DtwScratch {
   /// The usable row width (max `width` passed to EnsureWidth so far).
   std::size_t width() const { return width_; }
 
+  /// Pins the row-kernel variant the scratch-buffer kernels below run
+  /// with; nullptr (the default) restores the process-wide selection.
+  /// Retrieval workers set this once from their batch options.
+  void set_kernel(const RowKernelOps* ops) { kernel_ = ops; }
+
+  /// The effective ops table: the pinned variant, or the process-wide
+  /// active one.
+  const RowKernelOps& kernel() const {
+    return kernel_ != nullptr ? *kernel_ : ActiveRowKernelOps();
+  }
+
   /// \name Kernel row accessors
   /// Pointers to cell 0 of each row; cells [-kRowPad, width + kRowPad)
   /// are addressable. Valid until the next EnsureWidth growth. Rows are
@@ -115,6 +131,7 @@ class DtwScratch {
   std::size_t cur_off_ = 0;
   std::size_t cost_off_ = 0;
   std::size_t width_ = 0;
+  const RowKernelOps* kernel_ = nullptr;  ///< Pinned variant; never owned.
 };
 
 /// Full O(NM) DTW between x and y (paper §2.1.3).

@@ -1,0 +1,158 @@
+#include "dtw/kernel_dispatch.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+// SDTW_HAVE_AVX2_KERNEL / SDTW_HAVE_AVX512_KERNEL are per-file compile
+// definitions set by src/CMakeLists.txt on exactly this TU, mirroring
+// which variant TUs it compiled in. The CPUID builtins below exist only
+// when targeting x86, which is also the only case where the AVX variants
+// are compiled, so every __builtin_cpu_supports call sits behind one of
+// these macros.
+
+namespace sdtw {
+namespace dtw {
+
+namespace {
+
+bool CpuSupports(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kPortable:
+      return true;
+    case KernelVariant::kAvx2:
+#if defined(SDTW_HAVE_AVX2_KERNEL)
+      // Checks CPUID and OS xsave state (XCR0) in one go.
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case KernelVariant::kAvx512:
+#if defined(SDTW_HAVE_AVX512_KERNEL)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const RowKernelOps& SelectActiveOps() {
+  if (const char* env = std::getenv("SDTW_KERNEL");
+      env != nullptr && *env != '\0') {
+    const KernelResolution r = ResolveKernelOverride(env);
+    if (r.ops == nullptr) {
+      // Abort rather than fall back: a silently ignored override would
+      // poison forced-variant test runs and perf baselines.
+      std::fprintf(stderr, "sdtw: SDTW_KERNEL=%s: %s\n", env,
+                   r.error.c_str());
+      std::exit(EXIT_FAILURE);
+    }
+    return *r.ops;
+  }
+  for (const KernelVariant v :
+       {KernelVariant::kAvx512, KernelVariant::kAvx2}) {
+    if (KernelVariantSupported(v)) return *FindRowKernelOps(v);
+  }
+  return internal::kPortableRowKernelOps;
+}
+
+}  // namespace
+
+const RowKernelOps& ActiveRowKernelOps() {
+  static const RowKernelOps& ops = SelectActiveOps();
+  return ops;
+}
+
+const RowKernelOps* FindRowKernelOps(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kPortable:
+      return &internal::kPortableRowKernelOps;
+    case KernelVariant::kAvx2:
+#if defined(SDTW_HAVE_AVX2_KERNEL)
+      return &internal::kAvx2RowKernelOps;
+#else
+      return nullptr;
+#endif
+    case KernelVariant::kAvx512:
+#if defined(SDTW_HAVE_AVX512_KERNEL)
+      return &internal::kAvx512RowKernelOps;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool KernelVariantSupported(KernelVariant variant) {
+  return FindRowKernelOps(variant) != nullptr && CpuSupports(variant);
+}
+
+std::vector<const RowKernelOps*> SupportedRowKernels() {
+  std::vector<const RowKernelOps*> out;
+  for (const KernelVariant v : {KernelVariant::kPortable,
+                                KernelVariant::kAvx2,
+                                KernelVariant::kAvx512}) {
+    if (KernelVariantSupported(v)) out.push_back(FindRowKernelOps(v));
+  }
+  return out;
+}
+
+const char* KernelVariantName(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kPortable:
+      return "portable";
+    case KernelVariant::kAvx2:
+      return "avx2";
+    case KernelVariant::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<KernelVariant> ParseKernelVariant(std::string_view name) {
+  if (name == "portable") return KernelVariant::kPortable;
+  if (name == "avx2") return KernelVariant::kAvx2;
+  if (name == "avx512") return KernelVariant::kAvx512;
+  return std::nullopt;
+}
+
+KernelResolution ResolveKernelOverride(std::string_view name) {
+  KernelResolution r;
+  const std::optional<KernelVariant> v = ParseKernelVariant(name);
+  if (!v.has_value()) {
+    r.error = "unknown kernel variant '" + std::string(name) +
+              "' (valid values: portable, avx2, avx512)";
+    return r;
+  }
+  const RowKernelOps* ops = FindRowKernelOps(*v);
+  if (ops == nullptr) {
+    r.error = std::string("kernel variant '") + KernelVariantName(*v) +
+              "' is not compiled into this binary";
+    return r;
+  }
+  if (!CpuSupports(*v)) {
+    r.error = std::string("kernel variant '") + KernelVariantName(*v) +
+              "' is not supported by this CPU (detected features: " +
+              DetectedCpuFeatures() + ")";
+    return r;
+  }
+  r.ops = ops;
+  return r;
+}
+
+std::string DetectedCpuFeatures() {
+  std::string features;
+#if defined(SDTW_HAVE_AVX2_KERNEL) || defined(SDTW_HAVE_AVX512_KERNEL)
+  const auto append = [&features](const char* name) {
+    if (!features.empty()) features += ',';
+    features += name;
+  };
+  if (__builtin_cpu_supports("avx2")) append("avx2");
+  if (__builtin_cpu_supports("avx512f")) append("avx512f");
+#endif
+  if (features.empty()) features = "none";
+  return features;
+}
+
+}  // namespace dtw
+}  // namespace sdtw

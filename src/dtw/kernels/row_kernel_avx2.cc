@@ -1,0 +1,140 @@
+/// \file row_kernel_avx2.cc
+/// \brief AVX2 row-kernel variant: explicit 4-lane pass 1.
+///
+/// Compiled with per-file -mavx2 (src/CMakeLists.txt) and dispatched only
+/// after the runtime CPU check, so nothing here may leak into other TUs:
+/// every symbol is in an anonymous namespace (except the ops table, whose
+/// initialisers are plain function pointers), and the shared driver is
+/// instantiated with the TU-local Avx2RowPass1 functor, which makes the
+/// instantiation itself unique to this TU.
+///
+/// Pass 1 runs as 4-lane intrinsics: up/diag as shifted unaligned loads
+/// from the padded prev row, the carry flags extracted four at a time via
+/// movemask and a 16-entry byte-expansion table, the s[k-1] lane shift as
+/// a cross-lane permute blended with the previous group's top lane, and
+/// the tail as one back-aligned overlapping vector (recomputing up to
+/// three cells with identical inputs, hence identical bits) instead of a
+/// masked epilogue. Measured on the BM_DtwBandedNarrowDistance band
+/// (width 33): ~3x the portable variant's cells/s.
+
+#if !defined(__AVX2__)
+#error "row_kernel_avx2.cc must be compiled with -mavx2"
+#endif
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "dtw/cost.h"
+#include "dtw/kernel_dispatch.h"
+#include "dtw/row_kernel.h"
+
+namespace sdtw {
+namespace dtw {
+
+namespace {
+
+using internal::kRowInf;
+
+// Expands a 4-bit movemask into four 0/1 flag bytes (little-endian lane
+// order: mask bit b -> byte b).
+const std::uint32_t kFlagBytes[16] = {
+    0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u,
+    0x00010000u, 0x00010001u, 0x00010100u, 0x00010101u,
+    0x01000000u, 0x01000001u, 0x01000100u, 0x01000101u,
+    0x01010000u, 0x01010001u, 0x01010100u, 0x01010101u};
+
+inline __m256d CostVector(SquaredCost, __m256d xv, __m256d yv) {
+  const __m256d d = _mm256_sub_pd(xv, yv);
+  return _mm256_mul_pd(d, d);
+}
+
+inline __m256d CostVector(AbsCost, __m256d xv, __m256d yv) {
+  const __m256d d = _mm256_sub_pd(xv, yv);
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), d);
+}
+
+struct Avx2RowPass1 {
+  static constexpr std::size_t kMinWidth = 4;
+
+  template <typename Cost>
+  double operator()(Cost cost, double xi, const double* pu, const double* pd,
+                    const double* yy, double* cur, double* cost_row,
+                    unsigned char* flag_row, std::size_t w) const {
+    const __m256d xv = _mm256_set1_pd(xi);
+    __m256d sminv = _mm256_set1_pd(kRowInf);
+    __m256d s_last = _mm256_set1_pd(kRowInf);  // lane 3 = s[k-1] carry-in
+    std::size_t k = 0;
+    for (; k + 4 <= w; k += 4) {
+      const __m256d up = _mm256_loadu_pd(pu + k);
+      const __m256d dg = _mm256_loadu_pd(pd + k);
+      const __m256d cv = CostVector(cost, xv, _mm256_loadu_pd(yy + k));
+      const __m256d sv = _mm256_add_pd(_mm256_min_pd(up, dg), cv);
+      _mm256_storeu_pd(cur + k, sv);
+      _mm256_storeu_pd(cost_row + k, cv);
+      sminv = _mm256_min_pd(sminv, sv);
+      // s shifted one lane right (s[k-1..k+2]): previous group's lane 3
+      // into lane 0, current lanes 0..2 into lanes 1..3.
+      const __m256d rot = _mm256_permute4x64_pd(sv, _MM_SHUFFLE(2, 1, 0, 3));
+      const __m256d prev_top =
+          _mm256_permute4x64_pd(s_last, _MM_SHUFFLE(3, 3, 3, 3));
+      const __m256d sprev = _mm256_blend_pd(rot, prev_top, 1);
+      s_last = sv;
+      const int fm = _mm256_movemask_pd(
+          _mm256_cmp_pd(_mm256_add_pd(sprev, cv), sv, _CMP_LT_OQ));
+      std::memcpy(flag_row + k, &kFlagBytes[fm], 4);
+    }
+    if (k < w) {
+      // Back-aligned overlapping tail vector: recomputes up to three
+      // cells with identical inputs (so identical bits), never reads past
+      // the row, and needs no masked epilogue. w >= 4 guaranteed by the
+      // driver's kMinWidth gate.
+      const std::size_t kt = w - 4;
+      const __m256d up = _mm256_loadu_pd(pu + kt);
+      const __m256d dg = _mm256_loadu_pd(pd + kt);
+      const __m256d cv = CostVector(cost, xv, _mm256_loadu_pd(yy + kt));
+      const __m256d sv = _mm256_add_pd(_mm256_min_pd(up, dg), cv);
+      _mm256_storeu_pd(cur + kt, sv);
+      _mm256_storeu_pd(cost_row + kt, cv);
+      sminv = _mm256_min_pd(sminv, sv);
+      // kt >= 1 here (w % 4 != 0 and w > 4), so cur[kt-1] is staged.
+      const __m256d sprev = _mm256_loadu_pd(cur + kt - 1);
+      const int fm = _mm256_movemask_pd(
+          _mm256_cmp_pd(_mm256_add_pd(sprev, cv), sv, _CMP_LT_OQ));
+      std::memcpy(flag_row + kt, &kFlagBytes[fm], 4);
+    }
+    const __m128d lo = _mm256_castpd256_pd128(sminv);
+    const __m128d hi = _mm256_extractf128_pd(sminv, 1);
+    __m128d m2 = _mm_min_pd(lo, hi);
+    m2 = _mm_min_sd(m2, _mm_unpackhi_pd(m2, m2));
+    return _mm_cvtsd_f64(m2);
+  }
+};
+
+template <typename Cost>
+double Fill(const double* prev, std::size_t plo, std::size_t phi,
+            double* cur, std::size_t clo, std::size_t chi, double xi,
+            const double* y, double* cost_row, unsigned char* flag_row,
+            std::size_t* cells) {
+  return internal::FillBandRowTwoPassImpl(prev, plo, phi, cur, clo, chi, xi,
+                                          y, Cost{}, cost_row, flag_row,
+                                          cells, Avx2RowPass1{});
+}
+
+}  // namespace
+
+namespace internal {
+
+const RowKernelOps kAvx2RowKernelOps = {
+    KernelVariant::kAvx2,
+    "avx2",
+    &Fill<AbsCost>,
+    &Fill<SquaredCost>,
+};
+
+}  // namespace internal
+
+}  // namespace dtw
+}  // namespace sdtw

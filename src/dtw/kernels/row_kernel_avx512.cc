@@ -1,0 +1,162 @@
+/// \file row_kernel_avx512.cc
+/// \brief AVX-512 row-kernel variant: explicit 8-lane pass 1.
+///
+/// Compiled with per-file -mavx512f (src/CMakeLists.txt) and dispatched
+/// only after the runtime CPU check; the same TU-isolation rules as the
+/// AVX2 variant apply (see row_kernel_avx2.cc).
+///
+/// The 8-lane pass mirrors the AVX2 structure, using what AVX-512F adds:
+/// the s[k-1] lane shift is a single valignq concatenating the previous
+/// group's top lane with the current lanes 0..6; the carry-win compare
+/// yields a __mmask8 directly, expanded to flag bytes through the same
+/// 16-entry table twice (low and high nibble) — no VL/BW instructions, so
+/// plain avx512f is the only requirement; the staged minimum reduces once
+/// per row through a stack spill (order-insensitive: min is associative
+/// and commutative on the NaN-free values the kernel produces, and GCC's
+/// _mm512_reduce_min_pd spuriously trips -Wmaybe-uninitialized through
+/// _mm256_undefined_pd, which would break -Werror builds). The tail is
+/// the same back-aligned overlapping trick, recomputing up to seven cells
+/// with identical inputs, hence identical bits. The driver's minimum
+/// width for this pass is 8; rows of 4..7 cells take the scalar path,
+/// which is bit-identical by contract, so variant outputs still agree.
+
+#if !defined(__AVX512F__)
+#error "row_kernel_avx512.cc must be compiled with -mavx512f"
+#endif
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC's unmasked AVX-512F intrinsics are defined in terms of their masked
+// forms with _mm512_undefined_pd() as the (fully overwritten) pass-through
+// operand; -Wmaybe-uninitialized flags that deliberate garbage at -O2
+// (GCC PR105593). TU-wide, intrinsics only — keep real uses of
+// uninitialised locals out of this file.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "dtw/cost.h"
+#include "dtw/kernel_dispatch.h"
+#include "dtw/row_kernel.h"
+
+namespace sdtw {
+namespace dtw {
+
+namespace {
+
+using internal::kRowInf;
+
+// Expands a 4-bit mask nibble into four 0/1 flag bytes (little-endian
+// lane order: mask bit b -> byte b).
+const std::uint32_t kFlagBytes[16] = {
+    0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u,
+    0x00010000u, 0x00010001u, 0x00010100u, 0x00010101u,
+    0x01000000u, 0x01000001u, 0x01000100u, 0x01000101u,
+    0x01010000u, 0x01010001u, 0x01010100u, 0x01010101u};
+
+inline void WriteFlagBytes(unsigned char* f, unsigned mask8) {
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(kFlagBytes[mask8 & 15u]) |
+      static_cast<std::uint64_t>(kFlagBytes[mask8 >> 4]) << 32;
+  std::memcpy(f, &bytes, 8);
+}
+
+inline __m512d CostVector(SquaredCost, __m512d xv, __m512d yv) {
+  const __m512d d = _mm512_sub_pd(xv, yv);
+  return _mm512_mul_pd(d, d);
+}
+
+inline __m512d CostVector(AbsCost, __m512d xv, __m512d yv) {
+  return _mm512_abs_pd(_mm512_sub_pd(xv, yv));
+}
+
+// s shifted one lane right: [s_last lane 7, sv lanes 0..6]. valignq with
+// shift 7 takes the top qword of the low operand and the low 7 of the
+// high operand.
+inline __m512d ShiftInPrevTop(__m512d sv, __m512d s_last) {
+  return _mm512_castsi512_pd(_mm512_alignr_epi64(
+      _mm512_castpd_si512(sv), _mm512_castpd_si512(s_last), 7));
+}
+
+struct Avx512RowPass1 {
+  static constexpr std::size_t kMinWidth = 8;
+
+  template <typename Cost>
+  double operator()(Cost cost, double xi, const double* pu, const double* pd,
+                    const double* yy, double* cur, double* cost_row,
+                    unsigned char* flag_row, std::size_t w) const {
+    const __m512d xv = _mm512_set1_pd(xi);
+    __m512d sminv = _mm512_set1_pd(kRowInf);
+    __m512d s_last = _mm512_set1_pd(kRowInf);  // lane 7 = s[k-1] carry-in
+    std::size_t k = 0;
+    for (; k + 8 <= w; k += 8) {
+      const __m512d up = _mm512_loadu_pd(pu + k);
+      const __m512d dg = _mm512_loadu_pd(pd + k);
+      const __m512d cv = CostVector(cost, xv, _mm512_loadu_pd(yy + k));
+      const __m512d sv = _mm512_add_pd(_mm512_min_pd(up, dg), cv);
+      _mm512_storeu_pd(cur + k, sv);
+      _mm512_storeu_pd(cost_row + k, cv);
+      sminv = _mm512_min_pd(sminv, sv);
+      const __m512d sprev = ShiftInPrevTop(sv, s_last);
+      s_last = sv;
+      const __mmask8 fm = _mm512_cmp_pd_mask(_mm512_add_pd(sprev, cv), sv,
+                                             _CMP_LT_OQ);
+      WriteFlagBytes(flag_row + k, fm);
+    }
+    if (k < w) {
+      // Back-aligned overlapping tail vector, as in the AVX2 variant:
+      // recomputes up to seven cells with identical inputs (identical
+      // bits). w >= 8 guaranteed by the driver's kMinWidth gate.
+      const std::size_t kt = w - 8;
+      const __m512d up = _mm512_loadu_pd(pu + kt);
+      const __m512d dg = _mm512_loadu_pd(pd + kt);
+      const __m512d cv = CostVector(cost, xv, _mm512_loadu_pd(yy + kt));
+      const __m512d sv = _mm512_add_pd(_mm512_min_pd(up, dg), cv);
+      _mm512_storeu_pd(cur + kt, sv);
+      _mm512_storeu_pd(cost_row + kt, cv);
+      sminv = _mm512_min_pd(sminv, sv);
+      // kt >= 1 here (w % 8 != 0 and w > 8), so cur[kt-1] is staged.
+      const __m512d sprev = _mm512_loadu_pd(cur + kt - 1);
+      const __mmask8 fm = _mm512_cmp_pd_mask(_mm512_add_pd(sprev, cv), sv,
+                                             _CMP_LT_OQ);
+      WriteFlagBytes(flag_row + kt, fm);
+    }
+    alignas(64) double lanes[8];
+    _mm512_store_pd(lanes, sminv);
+    double smin = lanes[0];
+    for (int i = 1; i < 8; ++i) {
+      if (lanes[i] < smin) smin = lanes[i];
+    }
+    return smin;
+  }
+};
+
+template <typename Cost>
+double Fill(const double* prev, std::size_t plo, std::size_t phi,
+            double* cur, std::size_t clo, std::size_t chi, double xi,
+            const double* y, double* cost_row, unsigned char* flag_row,
+            std::size_t* cells) {
+  return internal::FillBandRowTwoPassImpl(prev, plo, phi, cur, clo, chi, xi,
+                                          y, Cost{}, cost_row, flag_row,
+                                          cells, Avx512RowPass1{});
+}
+
+}  // namespace
+
+namespace internal {
+
+const RowKernelOps kAvx512RowKernelOps = {
+    KernelVariant::kAvx512,
+    "avx512",
+    &Fill<AbsCost>,
+    &Fill<SquaredCost>,
+};
+
+}  // namespace internal
+
+}  // namespace dtw
+}  // namespace sdtw

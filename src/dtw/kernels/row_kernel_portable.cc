@@ -1,0 +1,41 @@
+/// \file row_kernel_portable.cc
+/// \brief Portable row-kernel variant: the two-pass kernel compiled with
+/// the project's baseline flags only. Always compiled in; the floor every
+/// other variant must match bit for bit, and the fallback selected when
+/// the CPU offers no vector ISA we carry.
+
+#include <cstddef>
+
+#include "dtw/cost.h"
+#include "dtw/kernel_dispatch.h"
+#include "dtw/row_kernel.h"
+
+namespace sdtw {
+namespace dtw {
+
+namespace {
+
+template <typename Cost>
+double Fill(const double* prev, std::size_t plo, std::size_t phi,
+            double* cur, std::size_t clo, std::size_t chi, double xi,
+            const double* y, double* cost_row, unsigned char* flag_row,
+            std::size_t* cells) {
+  return internal::FillBandRowTwoPass(prev, plo, phi, cur, clo, chi, xi, y,
+                                      Cost{}, cost_row, flag_row, cells);
+}
+
+}  // namespace
+
+namespace internal {
+
+const RowKernelOps kPortableRowKernelOps = {
+    KernelVariant::kPortable,
+    "portable",
+    &Fill<AbsCost>,
+    &Fill<SquaredCost>,
+};
+
+}  // namespace internal
+
+}  // namespace dtw
+}  // namespace sdtw

@@ -3,7 +3,7 @@
 
 /// \file row_kernel.h
 /// \brief The banded DP row recurrence: scalar reference and the
-/// vectorisable two-pass kernel.
+/// vectorisable two-pass kernel body shared by every ISA variant.
 ///
 /// Both kernels fill one DP row window: cur[0..chi-clo] receives DP columns
 /// [clo, chi] of row i, reading DP row i-1 from prev whose window is
@@ -26,18 +26,19 @@
 /// Series magnitudes anywhere near that are outside every supported
 /// workload (inputs are typically z-normalised).
 ///
-/// FillBandRowTwoPass splits the recurrence so almost all of the work has
-/// no loop-carried dependency:
+/// FillBandRowTwoPassImpl splits the recurrence so almost all of the work
+/// has no loop-carried dependency:
 ///
-///   pass 1 (vectorisable): stage the cost row c[k] = Δ(x_i, y[clo-1+k]),
-///     then s[k] = min(up[k], diag[k]) + c[k] — the row value *assuming the
-///     left predecessor never wins*. The band-window +inf guards are gone:
-///     prev rows carry kRowPad guard cells of +infinity on both sides, so
-///     up/diag are plain shifted loads for any window that moves by at most
-///     kRowPad columns per row (slower-moving than that covers every
-///     Sakoe-Chiba/Itakura/sDTW band; rows that jump farther take the
-///     scalar path). Pass 1 also flags the cells where the left predecessor
-///     *could* win: f[k] = s[k-1] + c[k] < s[k].
+///   pass 1 (vectorisable, supplied per ISA by a Pass1 functor): stage the
+///     cost row c[k] = Δ(x_i, y[clo-1+k]), then s[k] = min(up[k], diag[k])
+///     + c[k] — the row value *assuming the left predecessor never wins*.
+///     The band-window +inf guards are gone: prev rows carry kRowPad guard
+///     cells of +infinity on both sides, so up/diag are plain shifted
+///     loads for any window that moves by at most kRowPad columns per row
+///     (slower-moving than that covers every Sakoe-Chiba/Itakura/sDTW
+///     band; rows that jump farther take the scalar path). Pass 1 also
+///     flags the cells where the left predecessor *could* win:
+///     f[k] = s[k-1] + c[k] < s[k].
 ///   pass 2 (serial): resolve the left dependency with a tight scan. Since
 ///     min(a,b) + c and min(a+c, b+c) are the same value in floating point
 ///     (rounded addition of the shared c is monotone, so the smaller
@@ -58,14 +59,17 @@
 /// multiply into the accumulate add would change the rounding of *both*
 /// kernels' cells.
 ///
-/// With AVX2 available (e.g. -DSDTW_NATIVE=ON), pass 1 runs as explicit
-/// 4-lane intrinsics, with the carry flags extracted four at a time via
-/// movemask and a 16-entry byte-expansion table; the tail runs as one
-/// back-aligned overlapping vector (recomputing up to three cells with
-/// identical inputs, hence identical bits) instead of a masked epilogue.
-/// Measured on the BM_DtwBandedNarrowDistance band (width 33): ~3x the
-/// scalar loop's cells/s. Follow-ons: an AVX-512 8-lane variant, and the
-/// prefix-min wavefront for the pass-2 serial segments (see ROADMAP).
+/// ISA variants live in src/dtw/kernels/row_kernel_{portable,avx2,
+/// avx512}.cc — each its own translation unit compiled with per-file arch
+/// flags and selected at runtime through dtw::RowKernelOps (see
+/// dtw/kernel_dispatch.h). To make that per-TU compilation safe, EVERY
+/// function in this header has internal linkage (`static`): a TU built
+/// with -mavx512f may compile these bodies with AVX-512 encodings, and if
+/// they had external (vague/comdat) linkage the linker would keep ONE
+/// arbitrary copy per binary — possibly the AVX-512 one — and hand it to
+/// TUs meant to stay portable. Internal linkage gives every TU its own
+/// copy compiled with its own flags, which is the whole point of the
+/// dispatch refactor. Do not remove the `static`s.
 
 #include <algorithm>
 #include <bit>
@@ -74,10 +78,6 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
-
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
 
 #include "dtw/cost.h"
 
@@ -97,15 +97,15 @@ inline constexpr double kRowInf = std::numeric_limits<double>::infinity();
 /// Scalar reference row fill — the historical serial loop, retained
 /// verbatim as the slow path for windows that jump more than kRowPad
 /// columns, for rows narrower than one vector, and as the oracle the
-/// property suite pins the two-pass kernel against. Reads prev only
+/// property suite pins every dispatched variant against. Reads prev only
 /// through its window guards (no pads required) and writes exactly
 /// cur[0..chi-clo]. `cells` (when non-null) is incremented once per
 /// filled cell.
 template <typename Cost>
-double FillBandRowScalar(const double* prev, std::size_t plo, std::size_t phi,
-                         double* cur, std::size_t clo, std::size_t chi,
-                         double xi, const double* y, Cost cost,
-                         std::size_t* cells) {
+static double FillBandRowScalar(const double* prev, std::size_t plo,
+                                std::size_t phi, double* cur, std::size_t clo,
+                                std::size_t chi, double xi, const double* y,
+                                Cost cost, std::size_t* cells) {
   double row_min = kRowInf;
   double left = kRowInf;  // value at (i, j-1); out-of-band at j == clo
   for (std::size_t j = clo; j <= chi; ++j) {
@@ -127,7 +127,7 @@ double FillBandRowScalar(const double* prev, std::size_t plo, std::size_t phi,
 
 /// Rewrites the +infinity guard pads around a freshly filled row of width
 /// `w`, restoring the invariant the next row's pass 1 depends on.
-inline void WriteRowPads(double* row, std::size_t w) {
+static inline void WriteRowPads(double* row, std::size_t w) {
   for (std::size_t k = 1; k <= kRowPad; ++k) {
     row[-static_cast<std::ptrdiff_t>(k)] = kRowInf;
     row[w + k - 1] = kRowInf;
@@ -136,24 +136,10 @@ inline void WriteRowPads(double* row, std::size_t w) {
 
 /// Initialises a scratch row as the DP origin row (window {0}): pads of
 /// +infinity around the single origin cell 0.
-inline void ArmOriginRow(double* row) {
+static inline void ArmOriginRow(double* row) {
   WriteRowPads(row, 1);
   row[0] = 0.0;
 }
-
-#if defined(__AVX2__)
-
-inline __m256d CostVector(SquaredCost, __m256d xv, __m256d yv) {
-  const __m256d d = _mm256_sub_pd(xv, yv);
-  return _mm256_mul_pd(d, d);
-}
-
-inline __m256d CostVector(AbsCost, __m256d xv, __m256d yv) {
-  const __m256d d = _mm256_sub_pd(xv, yv);
-  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), d);
-}
-
-#endif  // __AVX2__
 
 /// Pass 2 of the two-pass kernel: resolves the left dependency over the
 /// staged row. On entry cur[0..w) holds s (the no-left-win values), c the
@@ -162,9 +148,9 @@ inline __m256d CostVector(AbsCost, __m256d xv, __m256d yv) {
 /// values. Runs of unflagged cells are already final; only the serial
 /// carry segments are walked, each evaluating the exact recurrence
 /// v[k] = min(s[k], v[k-1] + c[k]).
-inline double ResolveLeftDependency(double* cur, const double* c,
-                                    const unsigned char* f, std::size_t w,
-                                    double smin) {
+static inline double ResolveLeftDependency(double* cur, const double* c,
+                                           const unsigned char* f,
+                                           std::size_t w, double smin) {
   double row_min = smin;
   std::size_t k = 1;
   while (k < w) {
@@ -211,18 +197,54 @@ inline double ResolveLeftDependency(double* cur, const double* c,
   return row_min;
 }
 
-/// Two-pass row fill over padded scratch rows. prev and cur must each
-/// carry kRowPad guard cells on both sides; prev's guards (and any cell
-/// of its window) must be valid, as maintained by a previous call or by
-/// ArmOriginRow. cost_row and flag_row need chi-clo+1 usable cells.
-/// Writes cur[0..chi-clo] plus its guard pads. Bit-identical outputs to
+/// Portable pass 1: plain loops over the staged rows. The cost row is
+/// staged through Cost::Row (a dependency-free loop the compiler can
+/// auto-vectorise with whatever the build's baseline ISA allows), then the
+/// staged values, carry flags, and staged minimum are computed in three
+/// further dependency-free sweeps.
+struct PortableRowPass1 {
+  /// Narrowest window pass 1 accepts; anything narrower takes the scalar
+  /// reference path (identical results by definition).
+  static constexpr std::size_t kMinWidth = 4;
+
+  template <typename Cost>
+  double operator()([[maybe_unused]] Cost cost, double xi, const double* pu,
+                    const double* pd, const double* yy, double* cur,
+                    double* cost_row, unsigned char* flag_row,
+                    std::size_t w) const {
+    Cost::Row(xi, yy, cost_row, w);
+    for (std::size_t k = 0; k < w; ++k) {
+      const double t = pu[k] < pd[k] ? pu[k] : pd[k];
+      cur[k] = t + cost_row[k];
+    }
+    for (std::size_t k = 1; k < w; ++k) {
+      flag_row[k] = cur[k - 1] + cost_row[k] < cur[k] ? 1 : 0;
+    }
+    double smin = kRowInf;
+    for (std::size_t k = 0; k < w; ++k) {
+      if (cur[k] < smin) smin = cur[k];
+    }
+    return smin;
+  }
+};
+
+/// Two-pass row fill over padded scratch rows, generic over the pass-1
+/// implementation (each ISA variant TU instantiates it with its own
+/// TU-local Pass1 functor — the instantiation is then unique to that TU,
+/// never shared across arch flags). prev and cur must each carry kRowPad
+/// guard cells on both sides; prev's guards (and any cell of its window)
+/// must be valid, as maintained by a previous call or by ArmOriginRow.
+/// cost_row and flag_row need chi-clo+1 usable cells. Writes
+/// cur[0..chi-clo] plus its guard pads. Bit-identical outputs to
 /// FillBandRowScalar (values, row minimum, cell count).
-template <typename Cost>
-double FillBandRowTwoPass(const double* prev, std::size_t plo,
-                          std::size_t phi, double* cur, std::size_t clo,
-                          std::size_t chi, double xi, const double* y,
-                          Cost cost, double* cost_row,
-                          unsigned char* flag_row, std::size_t* cells) {
+template <typename Cost, typename Pass1>
+static double FillBandRowTwoPassImpl(const double* prev, std::size_t plo,
+                                     std::size_t phi, double* cur,
+                                     std::size_t clo, std::size_t chi,
+                                     double xi, const double* y, Cost cost,
+                                     double* cost_row,
+                                     unsigned char* flag_row,
+                                     std::size_t* cells, Pass1 pass1) {
   const std::size_t w = chi - clo + 1;
   if (plo > phi) {
     // Empty predecessor window: no cell has a finite predecessor.
@@ -230,7 +252,8 @@ double FillBandRowTwoPass(const double* prev, std::size_t plo,
     WriteRowPads(cur, w);
     return kRowInf;
   }
-  if (w < 4 || clo + kRowPad < plo + 1 || chi > phi + kRowPad) {
+  if (w < Pass1::kMinWidth || clo + kRowPad < plo + 1 ||
+      chi > phi + kRowPad) {
     // Window narrower than one vector, or moving faster than the guard
     // pads cover: take the scalar path (identical results by definition).
     const double row_min =
@@ -245,77 +268,7 @@ double FillBandRowTwoPass(const double* prev, std::size_t plo,
   const double* pu = prev + shift;      // up:   prev DP column j
   const double* pd = prev + shift - 1;  // diag: prev DP column j-1
   const double* yy = y + (clo - 1);
-  double smin;
-
-#if defined(__AVX2__)
-  static const std::uint32_t kFlagBytes[16] = {
-      0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u,
-      0x00010000u, 0x00010001u, 0x00010100u, 0x00010101u,
-      0x01000000u, 0x01000001u, 0x01000100u, 0x01000101u,
-      0x01010000u, 0x01010001u, 0x01010100u, 0x01010101u};
-  const __m256d xv = _mm256_set1_pd(xi);
-  __m256d sminv = _mm256_set1_pd(kRowInf);
-  __m256d s_last = _mm256_set1_pd(kRowInf);  // lane 3 = s[k-1] carry-in
-  std::size_t k = 0;
-  for (; k + 4 <= w; k += 4) {
-    const __m256d up = _mm256_loadu_pd(pu + k);
-    const __m256d dg = _mm256_loadu_pd(pd + k);
-    const __m256d cv = CostVector(cost, xv, _mm256_loadu_pd(yy + k));
-    const __m256d sv = _mm256_add_pd(_mm256_min_pd(up, dg), cv);
-    _mm256_storeu_pd(cur + k, sv);
-    _mm256_storeu_pd(cost_row + k, cv);
-    sminv = _mm256_min_pd(sminv, sv);
-    // s shifted one lane right (s[k-1..k+2]): previous group's lane 3
-    // into lane 0, current lanes 0..2 into lanes 1..3.
-    const __m256d rot = _mm256_permute4x64_pd(sv, _MM_SHUFFLE(2, 1, 0, 3));
-    const __m256d prev_top =
-        _mm256_permute4x64_pd(s_last, _MM_SHUFFLE(3, 3, 3, 3));
-    const __m256d sprev = _mm256_blend_pd(rot, prev_top, 1);
-    s_last = sv;
-    const int fm = _mm256_movemask_pd(
-        _mm256_cmp_pd(_mm256_add_pd(sprev, cv), sv, _CMP_LT_OQ));
-    std::memcpy(flag_row + k, &kFlagBytes[fm], 4);
-  }
-  if (k < w) {
-    // Back-aligned overlapping tail vector: recomputes up to three cells
-    // with identical inputs (so identical bits), never reads past the
-    // row, and needs no masked epilogue. w >= 4 guaranteed above.
-    const std::size_t kt = w - 4;
-    const __m256d up = _mm256_loadu_pd(pu + kt);
-    const __m256d dg = _mm256_loadu_pd(pd + kt);
-    const __m256d cv = CostVector(cost, xv, _mm256_loadu_pd(yy + kt));
-    const __m256d sv = _mm256_add_pd(_mm256_min_pd(up, dg), cv);
-    _mm256_storeu_pd(cur + kt, sv);
-    _mm256_storeu_pd(cost_row + kt, cv);
-    sminv = _mm256_min_pd(sminv, sv);
-    // kt >= 1 here (w % 4 != 0 and w > 4), so cur[kt-1] is staged.
-    const __m256d sprev = _mm256_loadu_pd(cur + kt - 1);
-    const int fm = _mm256_movemask_pd(
-        _mm256_cmp_pd(_mm256_add_pd(sprev, cv), sv, _CMP_LT_OQ));
-    std::memcpy(flag_row + kt, &kFlagBytes[fm], 4);
-  }
-  {
-    const __m128d lo = _mm256_castpd256_pd128(sminv);
-    const __m128d hi = _mm256_extractf128_pd(sminv, 1);
-    __m128d m2 = _mm_min_pd(lo, hi);
-    m2 = _mm_min_sd(m2, _mm_unpackhi_pd(m2, m2));
-    smin = _mm_cvtsd_f64(m2);
-  }
-#else
-  Cost::Row(xi, yy, cost_row, w);
-  for (std::size_t k = 0; k < w; ++k) {
-    const double t = pu[k] < pd[k] ? pu[k] : pd[k];
-    cur[k] = t + cost_row[k];
-  }
-  for (std::size_t k = 1; k < w; ++k) {
-    flag_row[k] =
-        cur[k - 1] + cost_row[k] < cur[k] ? 1 : 0;
-  }
-  smin = kRowInf;
-  for (std::size_t k = 0; k < w; ++k) {
-    if (cur[k] < smin) smin = cur[k];
-  }
-#endif
+  const double smin = pass1(cost, xi, pu, pd, yy, cur, cost_row, flag_row, w);
   flag_row[0] = 0;
 
   if (cells != nullptr) {
@@ -332,6 +285,21 @@ double FillBandRowTwoPass(const double* prev, std::size_t plo,
                                                smin);
   WriteRowPads(cur, w);
   return row_min;
+}
+
+/// The portable two-pass kernel under its historical name — what the
+/// portable dispatch variant wraps, and the direct entry point of the
+/// in-TU property tests and benches.
+template <typename Cost>
+static double FillBandRowTwoPass(const double* prev, std::size_t plo,
+                                 std::size_t phi, double* cur,
+                                 std::size_t clo, std::size_t chi, double xi,
+                                 const double* y, Cost cost, double* cost_row,
+                                 unsigned char* flag_row,
+                                 std::size_t* cells) {
+  return FillBandRowTwoPassImpl(prev, plo, phi, cur, clo, chi, xi, y, cost,
+                                cost_row, flag_row, cells,
+                                PortableRowPass1{});
 }
 
 }  // namespace internal

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "dtw/band_matrix.h"
+#include "dtw/row_kernel.h"
 
 namespace sdtw {
 namespace dtw {
@@ -17,26 +19,37 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Today the matrix is full-width (Band::Full); routing it through
 // BandMatrix shares the storage/backtrack machinery with the banded
 // kernels and makes a band-constrained subsequence search a drop-in.
+//
+// The rows themselves run through the dispatched row kernel in padded
+// rolling scratch rows and are copied out, exactly like the banded
+// path-preserving kernel: row 0 is the free-start window [0, m] of zeros,
+// rows i >= 1 fill [1, m] (the kernel's out-of-band semantics supply the
+// d(i, 0) = +inf left border at j = 1). The historical per-cell loop had
+// the same association order — min of the three predecessors, then one
+// separately-rounded cost add — so values are bit-identical to it on
+// every variant.
 BandMatrix FillOpenBeginMatrix(const ts::TimeSeries& query,
-                               const ts::TimeSeries& series, CostKind cost) {
+                               const ts::TimeSeries& series, CostKind cost,
+                               const RowKernelOps* kernel) {
   const std::size_t n = query.size();
   const std::size_t m = series.size();
   BandMatrix d = BandMatrix::OpenBegin(Band::Full(n, m));
+  DtwScratch scratch;
+  scratch.set_kernel(kernel);
+  scratch.EnsureWidth(m + 1);
+  const RowFillFn fill = scratch.kernel().fill(cost);
+  double* prev = scratch.prev_row();
+  double* cur = scratch.cur_row();
+  // Free-start row: d(0, j) = 0 across the full window [0, m].
+  internal::WriteRowPads(prev, m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = 0.0;
+  std::size_t plo = 0;
   for (std::size_t i = 1; i <= n; ++i) {
-    const double qi = query[i - 1];
-    // DP row i stores columns [1, m]; row 0 stores [0, m].
-    double* row = d.row_data(i);
-    const double* prev = d.row_data(i - 1);
-    const std::size_t plo = d.row_lo(i - 1);
-    double left = kInf;  // d(i, 0) = +inf
-    for (std::size_t j = 1; j <= m; ++j) {
-      const double up = prev[j - plo];
-      const double diag = j - 1 >= plo ? prev[j - 1 - plo] : kInf;
-      const double best = std::min({up, left, diag});
-      const double v = best + EvalCost(cost, qi, series[j - 1]);
-      row[j - 1] = v;
-      left = v;
-    }
+    fill(prev, plo, m, cur, 1, m, query[i - 1], series.values().data(),
+         scratch.cost_row(), scratch.flag_row(), nullptr);
+    std::memcpy(d.row_data(i), cur, m * sizeof(double));
+    std::swap(prev, cur);
+    plo = 1;
   }
   return d;
 }
@@ -90,7 +103,8 @@ SubsequenceMatch FindBestSubsequence(const ts::TimeSeries& query,
   const std::size_t n = query.size();
   const std::size_t m = series.size();
   if (n == 0 || m == 0) return match;
-  const BandMatrix d = FillOpenBeginMatrix(query, series, options.cost);
+  const BandMatrix d =
+      FillOpenBeginMatrix(query, series, options.cost, options.kernel);
   // Open end: the best distance is the minimum of the last row.
   std::size_t best_j = 1;
   for (std::size_t j = 2; j <= m; ++j) {

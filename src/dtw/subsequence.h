@@ -38,6 +38,9 @@ struct SubsequenceMatch {
 struct SubsequenceOptions {
   CostKind cost = CostKind::kAbsolute;
   bool want_path = true;
+  /// Row-kernel variant for the open-begin DP fill; nullptr selects the
+  /// process-wide ActiveRowKernelOps(). Bit-identical across variants.
+  const RowKernelOps* kernel = nullptr;
 };
 
 /// Finds the best-aligning window of `series` for `query` (query drives the

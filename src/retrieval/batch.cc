@@ -318,6 +318,7 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
   std::atomic<std::size_t> next{0};
   RunOnWorkers(threads, [&]() {
     ScratchArena scratch;
+    scratch.set_kernel(options_.kernel);
     scratch.SizeForTargets(index_.max_length());
     for (;;) {
       const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
@@ -440,6 +441,7 @@ std::vector<std::vector<AlignedHit>> BatchKnnEngine::QueryBatchWithAlignments(
   if (opt.distance == DistanceKind::kSdtw) {
     core::SdtwOptions sdtw_options = opt.sdtw;
     sdtw_options.dtw.want_path = true;
+    if (options_.kernel != nullptr) sdtw_options.dtw.kernel = options_.kernel;
     path_engine.emplace(sdtw_options);
   }
 
@@ -469,6 +471,7 @@ std::vector<std::vector<AlignedHit>> BatchKnnEngine::QueryBatchWithAlignments(
           dtw::DtwOptions dtw_options;
           dtw_options.cost = dtw::CostKind::kAbsolute;
           dtw_options.want_path = true;
+          dtw_options.kernel = options_.kernel;
           aligned.path = dtw::Dtw(queries[q], target, dtw_options).path;
           break;
         }

@@ -64,6 +64,11 @@ struct BatchOptions {
   /// ~4 units per worker while never splitting a query that does not need
   /// splitting for load balance.
   std::size_t chunk_size = 0;
+  /// Row-kernel variant every worker's DP runs with; nullptr selects the
+  /// process-wide ActiveRowKernelOps(). Variants are bit-identical, so
+  /// hit lists do not depend on this — it exists for benchmarking and for
+  /// the forced-variant test matrix.
+  const dtw::RowKernelOps* kernel = nullptr;
 };
 
 /// \brief One retrieval hit with its recovered warp path.

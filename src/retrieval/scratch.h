@@ -58,6 +58,11 @@ class ScratchArena {
   dtw::DtwScratch& dp() { return dp_; }
   std::size_t dp_width() const { return dp_.width(); }
 
+  /// Pins the row-kernel variant every DP this worker runs uses (nullptr
+  /// = process-wide active variant); forwarded to the dtw scratch so the
+  /// cascade's kernels pick it up without further plumbing.
+  void set_kernel(const dtw::RowKernelOps* ops) { dp_.set_kernel(ops); }
+
   /// Reusable (LB_Kim, candidate index) schedule of the chunk currently
   /// being scanned — cleared per chunk, capacity retained across chunks so
   /// LB-ordered visiting allocates only on the first chunk a worker sees.

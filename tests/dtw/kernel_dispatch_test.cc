@@ -1,0 +1,143 @@
+// Unit tests of the runtime kernel-dispatch surface (dtw/kernel_dispatch.h):
+// variant naming and parsing, the compiled-in/CPU-supported distinction,
+// the override resolution used by SDTW_KERNEL — including the two failure
+// modes (unknown name, unsupported variant), which must produce clear
+// errors instead of a silent fallback — and the coherence of the active
+// selection. Per-variant bitwise-equivalence pins live in the property
+// suite (tests/property/kernel_dispatch_property_test.cc).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "dtw/kernel_dispatch.h"
+
+namespace sdtw {
+namespace dtw {
+namespace {
+
+TEST(KernelDispatch, VariantNamesRoundTripThroughParse) {
+  for (const KernelVariant v : {KernelVariant::kPortable, KernelVariant::kAvx2,
+                                KernelVariant::kAvx512}) {
+    const std::optional<KernelVariant> parsed =
+        ParseKernelVariant(KernelVariantName(v));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+TEST(KernelDispatch, ParseRejectsUnknownAndNonCanonicalNames) {
+  EXPECT_FALSE(ParseKernelVariant("").has_value());
+  EXPECT_FALSE(ParseKernelVariant("bogus").has_value());
+  EXPECT_FALSE(ParseKernelVariant("AVX2").has_value());
+  EXPECT_FALSE(ParseKernelVariant("avx512f").has_value());
+  EXPECT_FALSE(ParseKernelVariant("native").has_value());
+}
+
+TEST(KernelDispatch, PortableIsAlwaysCompiledInAndSupported) {
+  const RowKernelOps* ops = FindRowKernelOps(KernelVariant::kPortable);
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->variant, KernelVariant::kPortable);
+  EXPECT_STREQ(ops->name, "portable");
+  EXPECT_TRUE(KernelVariantSupported(KernelVariant::kPortable));
+}
+
+TEST(KernelDispatch, OpsTablesAreCompleteAndSelfConsistent) {
+  for (const KernelVariant v : {KernelVariant::kPortable, KernelVariant::kAvx2,
+                                KernelVariant::kAvx512}) {
+    const RowKernelOps* ops = FindRowKernelOps(v);
+    if (ops == nullptr) continue;  // variant not compiled into this binary
+    EXPECT_EQ(ops->variant, v);
+    EXPECT_STREQ(ops->name, KernelVariantName(v));
+    EXPECT_NE(ops->fill_abs, nullptr);
+    EXPECT_NE(ops->fill_squared, nullptr);
+    EXPECT_EQ(ops->fill(CostKind::kAbsolute), ops->fill_abs);
+    EXPECT_EQ(ops->fill(CostKind::kSquared), ops->fill_squared);
+  }
+}
+
+TEST(KernelDispatch, SupportedKernelsArePreferenceOrderedAndSupported) {
+  const std::vector<const RowKernelOps*> supported = SupportedRowKernels();
+  ASSERT_FALSE(supported.empty());  // portable at minimum
+  EXPECT_EQ(supported.front()->variant, KernelVariant::kPortable);
+  for (std::size_t i = 0; i < supported.size(); ++i) {
+    EXPECT_TRUE(KernelVariantSupported(supported[i]->variant));
+    if (i > 0) {
+      EXPECT_LT(static_cast<int>(supported[i - 1]->variant),
+                static_cast<int>(supported[i]->variant));
+    }
+  }
+}
+
+TEST(KernelDispatch, ActiveKernelHonoursOverrideOrPicksBestSupported) {
+  const RowKernelOps& active = ActiveRowKernelOps();
+  EXPECT_TRUE(KernelVariantSupported(active.variant));
+  const char* env = std::getenv("SDTW_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    // Forced-variant run (e.g. the ctest registrations with SDTW_KERNEL
+    // set): the override decides, whatever the CPU prefers.
+    const std::optional<KernelVariant> forced = ParseKernelVariant(env);
+    ASSERT_TRUE(forced.has_value());  // the process would have aborted
+    EXPECT_EQ(active.variant, *forced);
+  } else {
+    // Default selection: the last (most preferred) supported variant.
+    EXPECT_EQ(active.variant, SupportedRowKernels().back()->variant);
+  }
+}
+
+TEST(KernelDispatch, ResolveOverrideAcceptsEverySupportedVariant) {
+  for (const RowKernelOps* ops : SupportedRowKernels()) {
+    const KernelResolution r = ResolveKernelOverride(ops->name);
+    EXPECT_EQ(r.ops, ops) << ops->name;
+    EXPECT_TRUE(r.error.empty()) << r.error;
+  }
+}
+
+TEST(KernelDispatch, ResolveOverrideRejectsUnknownNameWithClearError) {
+  const KernelResolution r = ResolveKernelOverride("bogus");
+  EXPECT_EQ(r.ops, nullptr);
+  EXPECT_NE(r.error.find("unknown kernel variant 'bogus'"), std::string::npos)
+      << r.error;
+  // The error must teach the valid spellings.
+  EXPECT_NE(r.error.find("portable, avx2, avx512"), std::string::npos)
+      << r.error;
+}
+
+TEST(KernelDispatch, ResolveOverrideRejectsUnrunnableVariantWithClearError) {
+  // Every variant that is compiled in but not runnable here (CPU too old),
+  // or not compiled in at all (non-x86 build), must resolve to a clear
+  // error naming the variant. On a machine that can run everything this
+  // loop checks nothing — the graceful-absence path is covered on the
+  // hosts where it matters.
+  for (const KernelVariant v :
+       {KernelVariant::kAvx2, KernelVariant::kAvx512}) {
+    if (KernelVariantSupported(v)) continue;
+    const KernelResolution r = ResolveKernelOverride(KernelVariantName(v));
+    EXPECT_EQ(r.ops, nullptr);
+    EXPECT_NE(r.error.find(KernelVariantName(v)), std::string::npos)
+        << r.error;
+    const bool compiled = FindRowKernelOps(v) != nullptr;
+    EXPECT_NE(r.error.find(compiled ? "not supported by this CPU"
+                                    : "not compiled into this binary"),
+              std::string::npos)
+        << r.error;
+  }
+}
+
+TEST(KernelDispatch, DetectedCpuFeaturesIsNonEmptyAndConsistent) {
+  const std::string features = DetectedCpuFeatures();
+  EXPECT_FALSE(features.empty());
+  // Whenever the AVX2 variant is runnable the feature string must say so
+  // (it is what the bench baseline records for like-for-like comparison).
+  if (KernelVariantSupported(KernelVariant::kAvx2)) {
+    EXPECT_NE(features.find("avx2"), std::string::npos) << features;
+  }
+  if (KernelVariantSupported(KernelVariant::kAvx512)) {
+    EXPECT_NE(features.find("avx512f"), std::string::npos) << features;
+  }
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace sdtw

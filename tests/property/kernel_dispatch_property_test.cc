@@ -1,0 +1,341 @@
+// Bitwise-equivalence properties of the runtime-dispatched row-kernel
+// variants (dtw/kernel_dispatch.h): every variant this host can run —
+// portable always, avx2/avx512 when compiled in and CPU-supported — must
+// be indistinguishable from the scalar reference and from every other
+// variant in everything observable:
+//  * row level: each variant's dispatched fill entry points reproduce
+//    FillBandRowScalar bit for bit (cell values, row minimum, cell count,
+//    restored guard pads) across the same adversarial window shapes the
+//    portable kernel is pinned with;
+//  * library level: distances, warp paths, and cells_filled through
+//    DtwOptions::kernel, and early-abandon decisions through a pinned
+//    DtwScratch, identical across variants for thresholds straddling the
+//    true distance;
+//  * subsequence level: open-begin matches (distance, window, path)
+//    through SubsequenceOptions::kernel;
+//  * retrieval level: batch hit lists and alignment paths through
+//    BatchOptions::kernel, multi-threaded.
+// Variants absent on this host (e.g. AVX-512 on an AVX2-only machine) are
+// skipped gracefully — SupportedRowKernels() simply does not list them;
+// the dispatch unit tests pin the clear-error path for forcing them.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <limits>
+#include <vector>
+
+#include "data/extra_families.h"
+#include "dtw/dtw.h"
+#include "dtw/kernel_dispatch.h"
+#include "dtw/row_kernel.h"
+#include "dtw/subsequence.h"
+#include "retrieval/batch.h"
+#include "retrieval/knn.h"
+#include "ts/random.h"
+
+namespace sdtw {
+namespace dtw {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+using internal::kRowPad;
+
+ts::TimeSeries RandomWalk(std::size_t n, std::uint64_t seed) {
+  ts::Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x += rng.Gaussian(0.0, 0.5);
+    v[i] = x;
+  }
+  return ts::TimeSeries(std::move(v));
+}
+
+// Runs one row through the scalar reference and through a dispatched
+// variant's fill entry point, pinning every observable bit.
+void CheckRowVariant(const RowKernelOps& ops, CostKind cost,
+                     const std::vector<double>& prev_window, std::size_t plo,
+                     std::size_t phi, std::size_t clo, std::size_t chi,
+                     double xi, const ts::TimeSeries& y) {
+  const std::size_t w = chi - clo + 1;
+  const std::size_t pw = prev_window.size();
+
+  // Scalar reference on plain buffers.
+  std::vector<double> ref_cur(w, -1.0);
+  std::size_t ref_cells = 0;
+  const double ref_min =
+      cost == CostKind::kAbsolute
+          ? internal::FillBandRowScalar(prev_window.data(), plo, phi,
+                                        ref_cur.data(), clo, chi, xi,
+                                        y.values().data(), AbsCost{},
+                                        &ref_cells)
+          : internal::FillBandRowScalar(prev_window.data(), plo, phi,
+                                        ref_cur.data(), clo, chi, xi,
+                                        y.values().data(), SquaredCost{},
+                                        &ref_cells);
+
+  // Dispatched variant on padded buffers with the pad invariant
+  // established.
+  const std::size_t cap = std::max(w, pw) + 2 * kRowPad + 8;
+  std::vector<double> prev_buf(cap, kInf);
+  std::vector<double> cur_buf(cap, -7.0);  // poison: pads must be rewritten
+  std::vector<double> cost_row(cap, -7.0);
+  std::vector<unsigned char> flag_row(cap, 0xee);
+  double* prev = prev_buf.data() + kRowPad;
+  double* cur = cur_buf.data() + kRowPad;
+  std::copy(prev_window.begin(), prev_window.end(), prev);
+  std::size_t cells = 0;
+  const double row_min =
+      ops.fill(cost)(prev, plo, phi, cur, clo, chi, xi, y.values().data(),
+                     cost_row.data(), flag_row.data(), &cells);
+
+  ASSERT_EQ(ref_cells, cells) << ops.name;
+  EXPECT_EQ(ref_min, row_min) << ops.name;
+  for (std::size_t k = 0; k < w; ++k) {
+    ASSERT_EQ(ref_cur[k], cur[k])
+        << ops.name << " cell " << k << " of width " << w;
+  }
+  for (std::size_t k = 1; k <= kRowPad; ++k) {
+    ASSERT_EQ(cur[-static_cast<std::ptrdiff_t>(k)], kInf) << ops.name;
+    ASSERT_EQ(cur[w + k - 1], kInf) << ops.name;
+  }
+}
+
+TEST(KernelDispatchProperty, EveryVariantMatchesScalarOnRandomWindows) {
+  const std::vector<const RowKernelOps*> variants = SupportedRowKernels();
+  ASSERT_FALSE(variants.empty());
+  ts::Rng rng(20260807);
+  const ts::TimeSeries y = RandomWalk(160, 7);
+  for (int trial = 0; trial < 1500; ++trial) {
+    // Window widths biased toward the vector-width edge cases of both the
+    // 4-lane and the 8-lane pass (plus the scalar gates at width < 4 / 8).
+    const std::size_t w =
+        1 + static_cast<std::size_t>(
+                rng.Uniform(0.0, 1.0) * (trial % 3 == 0 ? 70 : 19));
+    const std::size_t clo =
+        1 + static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * (y.size() - w));
+    const std::size_t chi = clo + w - 1;
+    const double xi = rng.Gaussian(0.0, 1.0);
+
+    std::size_t plo, phi;
+    std::vector<double> prev_window;
+    const double shape = rng.Uniform(0.0, 1.0);
+    if (shape < 0.1) {
+      plo = 1;  // empty predecessor window
+      phi = 0;
+    } else {
+      const std::size_t pwidth =
+          1 + static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * (w + 8));
+      std::ptrdiff_t offset;
+      if (shape < 0.7) {
+        offset = static_cast<std::ptrdiff_t>(rng.Uniform(0.0, 1.0) * 7) - 3;
+      } else {
+        offset = static_cast<std::ptrdiff_t>(rng.Uniform(0.0, 1.0) * 60) - 30;
+      }
+      const std::ptrdiff_t plo_s = std::max<std::ptrdiff_t>(
+          0, static_cast<std::ptrdiff_t>(clo) + offset);
+      plo = static_cast<std::size_t>(plo_s);
+      phi = plo + pwidth - 1;
+      prev_window.resize(pwidth);
+      for (double& v : prev_window) {
+        v = rng.Uniform(0.0, 1.0) < 0.15 ? kInf
+                                         : std::abs(rng.Gaussian(2.0, 1.5));
+      }
+      if (rng.Uniform(0.0, 1.0) < 0.2) {
+        const std::size_t run =
+            static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * pwidth);
+        std::fill(prev_window.begin(),
+                  prev_window.begin() + static_cast<std::ptrdiff_t>(run),
+                  kInf);
+      }
+    }
+    const CostKind cost =
+        trial % 2 == 0 ? CostKind::kAbsolute : CostKind::kSquared;
+    for (const RowKernelOps* ops : variants) {
+      CheckRowVariant(*ops, cost, prev_window, plo, phi, clo, chi, xi, y);
+      if (HasFatalFailure()) {
+        ADD_FAILURE() << "trial " << trial << " variant " << ops->name;
+        return;
+      }
+    }
+  }
+}
+
+Band RandomFeasibleBand(std::size_t n, std::size_t m, ts::Rng& rng) {
+  std::vector<BandRow> rows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t a = static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * m);
+    const std::size_t b = static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * m);
+    rows[i].lo = std::min(a, b);
+    rows[i].hi = std::max(a, b);
+  }
+  Band band = Band::FromRows(std::move(rows), m);
+  band.MakeFeasible();
+  return band;
+}
+
+TEST(KernelDispatchProperty, DistancesPathsAndCellsIdenticalAcrossVariants) {
+  const std::vector<const RowKernelOps*> variants = SupportedRowKernels();
+  ts::Rng rng(424242);
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t n =
+        3 + static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * 40);
+    const std::size_t m =
+        3 + static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * 40);
+    const ts::TimeSeries x = RandomWalk(n, 9000 + trial);
+    const ts::TimeSeries y = RandomWalk(m, 9500 + trial);
+    const CostKind cost =
+        trial % 2 == 0 ? CostKind::kAbsolute : CostKind::kSquared;
+    const Band band = RandomFeasibleBand(n, m, rng);
+
+    DtwOptions base;
+    base.cost = cost;
+    base.want_path = true;
+    base.kernel = FindRowKernelOps(KernelVariant::kPortable);
+    const DtwResult ref_banded = DtwBanded(x, y, band, base);
+    const DtwResult ref_full = Dtw(x, y, base);
+
+    for (const RowKernelOps* ops : variants) {
+      DtwOptions options = base;
+      options.kernel = ops;
+      const DtwResult banded = DtwBanded(x, y, band, options);
+      EXPECT_EQ(ref_banded.distance, banded.distance) << ops->name;
+      EXPECT_EQ(ref_banded.cells_filled, banded.cells_filled) << ops->name;
+      EXPECT_EQ(ref_banded.path, banded.path) << ops->name;
+      const DtwResult full = Dtw(x, y, options);
+      EXPECT_EQ(ref_full.distance, full.distance) << ops->name;
+      EXPECT_EQ(ref_full.path, full.path) << ops->name;
+    }
+  }
+}
+
+TEST(KernelDispatchProperty, AbandonDecisionsIdenticalAcrossVariants) {
+  const std::vector<const RowKernelOps*> variants = SupportedRowKernels();
+  ts::Rng rng(31337);
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::size_t n =
+        2 + static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * 30);
+    const std::size_t m =
+        2 + static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * 30);
+    const ts::TimeSeries x = RandomWalk(n, 7000 + trial);
+    const ts::TimeSeries y = RandomWalk(m, 7500 + trial);
+    const CostKind cost =
+        trial % 2 == 0 ? CostKind::kAbsolute : CostKind::kSquared;
+    const Band band = RandomFeasibleBand(n, m, rng);
+
+    DtwScratch ref_scratch;
+    ref_scratch.set_kernel(FindRowKernelOps(KernelVariant::kPortable));
+    const double ref =
+        DtwBandedDistance(x, y, band, cost, ref_scratch);
+    ASSERT_TRUE(std::isfinite(ref));
+    const double nudge = ref * 1e-12;
+    const double thresholds[] = {ref, ref - nudge, ref + nudge,
+                                 ref * 0.5, ref * 2.0 + 1.0, 0.0};
+    for (const RowKernelOps* ops : variants) {
+      DtwScratch scratch;
+      scratch.set_kernel(ops);
+      EXPECT_EQ(ref, DtwBandedDistance(x, y, band, cost, scratch))
+          << ops->name;
+      for (const double threshold : thresholds) {
+        // Same decision AND same surviving bits as the portable variant.
+        const double ref_ea = DtwBandedDistanceEarlyAbandon(
+            x, y, band, threshold, cost, ref_scratch);
+        const double got_ea = DtwBandedDistanceEarlyAbandon(
+            x, y, band, threshold, cost, scratch);
+        EXPECT_EQ(ref_ea, got_ea) << ops->name << " thr " << threshold;
+        const double ref_full_ea = DtwDistanceEarlyAbandon(
+            x, y, threshold, cost, ref_scratch);
+        const double got_full_ea =
+            DtwDistanceEarlyAbandon(x, y, threshold, cost, scratch);
+        EXPECT_EQ(ref_full_ea, got_full_ea)
+            << ops->name << " thr " << threshold;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchProperty, SubsequenceMatchesIdenticalAcrossVariants) {
+  const std::vector<const RowKernelOps*> variants = SupportedRowKernels();
+  ts::Rng rng(777);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n =
+        3 + static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * 20);
+    const std::size_t m =
+        n + static_cast<std::size_t>(rng.Uniform(0.0, 1.0) * 80);
+    const ts::TimeSeries query = RandomWalk(n, 3000 + trial);
+    const ts::TimeSeries series = RandomWalk(m, 3500 + trial);
+
+    SubsequenceOptions base;
+    base.cost = trial % 2 == 0 ? CostKind::kAbsolute : CostKind::kSquared;
+    base.want_path = true;
+    base.kernel = FindRowKernelOps(KernelVariant::kPortable);
+    const SubsequenceMatch ref = FindBestSubsequence(query, series, base);
+
+    for (const RowKernelOps* ops : variants) {
+      SubsequenceOptions options = base;
+      options.kernel = ops;
+      const SubsequenceMatch got = FindBestSubsequence(query, series, options);
+      EXPECT_EQ(ref.distance, got.distance) << ops->name;
+      EXPECT_EQ(ref.begin, got.begin) << ops->name;
+      EXPECT_EQ(ref.end, got.end) << ops->name;
+      EXPECT_EQ(ref.path, got.path) << ops->name;
+    }
+  }
+}
+
+TEST(KernelDispatchProperty, BatchHitsAndAlignmentsIdenticalAcrossVariants) {
+  const std::vector<const RowKernelOps*> variants = SupportedRowKernels();
+  data::GeneratorOptions gen;
+  gen.num_series = 12;
+  gen.length = 64;
+  const ts::Dataset ds = data::MakeCbf(gen);
+  std::vector<ts::TimeSeries> queries(ds.begin(), ds.begin() + 4);
+
+  for (const retrieval::DistanceKind distance :
+       {retrieval::DistanceKind::kSdtw, retrieval::DistanceKind::kFullDtw}) {
+    retrieval::KnnOptions opt;
+    opt.distance = distance;
+    retrieval::KnnEngine engine(opt);
+    engine.Index(ds);
+
+    retrieval::BatchOptions ref_options;
+    ref_options.num_threads = 2;
+    ref_options.kernel = FindRowKernelOps(KernelVariant::kPortable);
+    const retrieval::BatchKnnEngine ref_engine(engine, ref_options);
+    const auto ref_hits = ref_engine.QueryBatch(queries, 3);
+    const auto ref_aligned = ref_engine.QueryBatchWithAlignments(queries, 3);
+
+    for (const RowKernelOps* ops : variants) {
+      retrieval::BatchOptions options = ref_options;
+      options.kernel = ops;
+      const retrieval::BatchKnnEngine batch(engine, options);
+      const auto hits = batch.QueryBatch(queries, 3);
+      ASSERT_EQ(ref_hits.size(), hits.size()) << ops->name;
+      for (std::size_t q = 0; q < hits.size(); ++q) {
+        ASSERT_EQ(ref_hits[q].size(), hits[q].size()) << ops->name;
+        for (std::size_t r = 0; r < hits[q].size(); ++r) {
+          EXPECT_EQ(ref_hits[q][r].index, hits[q][r].index) << ops->name;
+          EXPECT_EQ(ref_hits[q][r].distance, hits[q][r].distance)
+              << ops->name;  // bitwise
+        }
+      }
+      const auto aligned = batch.QueryBatchWithAlignments(queries, 3);
+      ASSERT_EQ(ref_aligned.size(), aligned.size()) << ops->name;
+      for (std::size_t q = 0; q < aligned.size(); ++q) {
+        ASSERT_EQ(ref_aligned[q].size(), aligned[q].size()) << ops->name;
+        for (std::size_t r = 0; r < aligned[q].size(); ++r) {
+          EXPECT_EQ(ref_aligned[q][r].hit.distance,
+                    aligned[q][r].hit.distance)
+              << ops->name;
+          EXPECT_EQ(ref_aligned[q][r].path, aligned[q][r].path) << ops->name;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace sdtw

@@ -12,9 +12,11 @@
 //    full-matrix DP — including the exact abandon decision for
 //    thresholds straddling the true distance;
 //  * both cost kinds, every trial.
-// When the library is built with -DSDTW_NATIVE=ON the library-level
-// checks exercise the explicit AVX2 pass 1; the in-TU kernel checks pin
-// whatever instruction set this test was compiled with.
+// The in-TU kernel checks pin the portable two-pass kernel (this test's
+// own instantiation); the library-level checks run whatever variant the
+// runtime dispatch selected (or SDTW_KERNEL forces — see the
+// property_forced_portable_kernel ctest registration). Per-variant pins
+// across every runnable ISA live in kernel_dispatch_property_test.cc.
 
 #include <algorithm>
 #include <cmath>
