@@ -70,6 +70,9 @@ def main(argv):
         if bk.get(key) != ck.get(key):
             skip(f"kernel {key} changed: {bk.get(key)!r} -> {ck.get(key)!r}")
 
+    # Past this point comparisons have begun: a missing entry only skips
+    # that entry (it may have been added/removed between runs), never the
+    # whole gate — exiting 0 here would discard failures already found.
     failures = []
 
     # 1. Banded-kernel throughput: the number the SIMD kernel work moves.
@@ -77,7 +80,8 @@ def main(argv):
                 "banded_cells_per_second_squared"):
         old, new = bk.get(key), ck.get(key)
         if not old or new is None:
-            skip(f"kernel metric {key} missing")
+            print(f"  {key}: skipped (missing from baseline or current)")
+            continue
         ratio = new / old
         line = (f"  {key}: {old / 1e6:.1f} -> {new / 1e6:.1f} M cells/s "
                 f"(ratio {ratio:.3f}, floor {min_ratio:.2f})")
@@ -90,14 +94,18 @@ def main(argv):
     for mode, mdata in sorted(current.get("modes", {}).items()):
         bmode = baseline.get("modes", {}).get(mode)
         if bmode is None:
-            skip(f"mode '{mode}' absent from previous baseline")
+            print(f"  {mode}: skipped (absent from previous baseline)")
+            continue
         for order, odata in sorted(mdata.get("orders", {}).items()):
             border = bmode.get("orders", {}).get(order)
             if border is None:
-                skip(f"order '{mode}/{order}' absent from previous baseline")
+                print(f"  {mode}/{order}: skipped "
+                      "(absent from previous baseline)")
+                continue
             old, new = border.get("dp_evaluations"), odata.get("dp_evaluations")
             if old is None or new is None:
-                skip(f"dp_evaluations missing for {mode}/{order}")
+                print(f"  {mode}/{order}: skipped (dp_evaluations missing)")
+                continue
             print(f"  {mode}/{order}: dp_evaluations {old} -> {new}")
             if new > old:
                 failures.append(
