@@ -1,10 +1,46 @@
 #!/usr/bin/env sh
 # Mirrors the tier-1 verify command: configure, build, run every test suite.
-# Usage: scripts/check.sh [build-dir]   (default: build)
+#
+# Usage: scripts/check.sh [--lint] [build-dir]   (default build dir: build)
+#
+#   --lint   run the static-analysis pass first: the project-invariant
+#            linter (scripts/lint_invariants.py), then clang-tidy over the
+#            TUs changed since origin/main (scripts/tidy.sh --changed).
+#            clang-tidy is skipped with a warning when not installed; the
+#            invariant linter always runs (it needs only a C++ compiler
+#            and nm, which a buildable host has by definition).
 set -eu
 
-BUILD_DIR="${1:-build}"
+LINT=0
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --lint) LINT=1 ;;
+    -h|--help)
+      sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+NPROC="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
-cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
+
+if [ "$LINT" = 1 ]; then
+  python3 scripts/lint_invariants.py
+  if scripts/tidy.sh --build-dir "$BUILD_DIR" --changed; then
+    :
+  else
+    status=$?
+    if [ "$status" = 69 ]; then
+      echo "check.sh: clang-tidy not installed; tidy pass skipped" >&2
+    else
+      exit "$status"
+    fi
+  fi
+fi
+
+cmake --build "$BUILD_DIR" -j "$NPROC"
+cd "$BUILD_DIR" && ctest --output-on-failure -j "$NPROC"

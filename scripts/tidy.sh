@@ -1,0 +1,117 @@
+#!/usr/bin/env sh
+# clang-tidy runner for the sdtw tree (config: .clang-tidy at the repo
+# root; WarningsAsErrors promotes every finding to a failure).
+#
+# Usage: scripts/tidy.sh [--build-dir DIR] [--changed [REF]] [--fix] [file...]
+#
+#   full-tree (default)  lint every library TU under src/
+#   --changed [REF]      lint only TUs touched since REF (default:
+#                        origin/main when it exists, else HEAD) — changed
+#                        headers pull in the src/ TUs that include them
+#   --fix                apply clang-tidy's suggested fixes in place
+#   file...              lint exactly these files
+#
+# Needs compile_commands.json in the build dir (every configure writes it:
+# CMAKE_EXPORT_COMPILE_COMMANDS is ON by default). Exits non-zero on any
+# finding, missing tool, or missing compilation database.
+set -eu
+
+BUILD_DIR=build
+MODE=full
+REF=
+FIX=
+FILES=
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir)
+      BUILD_DIR="$2"
+      shift 2
+      ;;
+    --changed)
+      MODE=changed
+      shift
+      if [ $# -gt 0 ] && [ "${1#-}" = "$1" ]; then
+        REF="$1"
+        shift
+      fi
+      ;;
+    --fix)
+      FIX="-fix"
+      shift
+      ;;
+    -h|--help)
+      sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      MODE=files
+      FILES="$FILES $1"
+      shift
+      ;;
+  esac
+done
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+              clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      TIDY="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "tidy.sh: clang-tidy not found (set CLANG_TIDY=... or install it)" >&2
+  exit 69  # EX_UNAVAILABLE
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "tidy.sh: $BUILD_DIR/compile_commands.json missing — configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 66  # EX_NOINPUT
+fi
+
+case "$MODE" in
+  full)
+    FILES="$(git ls-files 'src/*.cc' 'src/**/*.cc')"
+    ;;
+  changed)
+    if [ -z "$REF" ]; then
+      if git rev-parse --verify -q origin/main >/dev/null; then
+        REF=origin/main
+      else
+        REF=HEAD
+      fi
+    fi
+    CHANGED="$( { git diff --name-only "$REF" --; git diff --name-only --cached --; } | sort -u)"
+    FILES="$(printf '%s\n' "$CHANGED" | grep '^src/.*\.cc$' || true)"
+    # A changed header is linted through every src/ TU that includes it.
+    HDRS="$(printf '%s\n' "$CHANGED" | grep '^src/.*\.h$' || true)"
+    for h in $HDRS; do
+      rel="${h#src/}"
+      FILES="$FILES
+$(git grep -l "#include \"$rel\"" -- 'src/*.cc' 'src/**/*.cc' || true)"
+    done
+    FILES="$(printf '%s\n' $FILES | sort -u)"
+    ;;
+esac
+
+# Drop files that no longer exist (deletes show up in git diff too).
+EXISTING=
+for f in $FILES; do
+  [ -f "$f" ] && EXISTING="$EXISTING $f"
+done
+FILES="$EXISTING"
+
+if [ -z "$(echo "$FILES" | tr -d ' \n')" ]; then
+  echo "tidy.sh: no files to lint"
+  exit 0
+fi
+
+echo "tidy.sh: linting$(echo "$FILES" | wc -w | tr -d ' ') TU(s) with $TIDY" | \
+  sed 's/linting/linting /'
+# shellcheck disable=SC2086 — word splitting of $FILES is intended.
+"$TIDY" -p "$BUILD_DIR" --quiet $FIX $FILES
+echo "tidy.sh: clean"

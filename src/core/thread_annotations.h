@@ -1,0 +1,93 @@
+#ifndef SDTW_CORE_THREAD_ANNOTATIONS_H_
+#define SDTW_CORE_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// \brief Clang thread-safety-analysis attribute macros.
+///
+/// The retrieval engine's hardest guarantee — deterministic hits under any
+/// thread count — rests on a small set of locking invariants (which fields
+/// a mutex guards, which functions expect it held). These macros state
+/// those invariants in the code itself so Clang's `-Wthread-safety`
+/// analysis can check them at compile time; TSan then only has to confirm
+/// what the compiler already proved. The build enables the analysis (and
+/// promotes its findings to errors) under `-DSDTW_THREAD_SAFETY=ON`; on
+/// compilers without the attributes every macro expands to nothing, so
+/// annotated code is portable.
+///
+/// The macro set and spellings follow the Clang documentation
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the project
+/// prefix keeps them out of other libraries' namespaces. Use them through
+/// core::Mutex / core::MutexLock (core/mutex.h), which carry the
+/// capability attributes libstdc++'s std::mutex lacks.
+///
+/// Note on style: the attribute arguments are capability *expressions*
+/// (e.g. `mu`, `state.mu`), not ordinary expression operands — wrapping
+/// them in parentheses would change what the analysis sees, so these
+/// macros intentionally pass their argument through unparenthesised.
+
+#if defined(__clang__)
+#define SDTW_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define SDTW_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (a lockable resource), e.g.
+/// `class SDTW_CAPABILITY("mutex") Mutex { ... };`.
+#define SDTW_CAPABILITY(x) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))  // NOLINT(bugprone-macro-parentheses)
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define SDTW_SCOPED_CAPABILITY \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// A data member readable/writable only while `x` is held.
+#define SDTW_GUARDED_BY(x) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))  // NOLINT(bugprone-macro-parentheses)
+
+/// A pointer member whose *pointee* is guarded by `x`.
+#define SDTW_PT_GUARDED_BY(x) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))  // NOLINT(bugprone-macro-parentheses)
+
+/// The function may only be called while the listed capabilities are held
+/// (and does not release them).
+#define SDTW_REQUIRES(...) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// As SDTW_REQUIRES for shared (reader) access.
+#define SDTW_REQUIRES_SHARED(...) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define SDTW_ACQUIRE(...) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (which must be held on
+/// entry).
+#define SDTW_RELEASE(...) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define SDTW_TRY_ACQUIRE(result, ...) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(result, __VA_ARGS__))
+
+/// The function may only be called while the listed capabilities are NOT
+/// held (it acquires them itself; calling with one held would deadlock).
+#define SDTW_EXCLUDES(...) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume it from here on.
+#define SDTW_ASSERT_CAPABILITY(x) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))  // NOLINT(bugprone-macro-parentheses)
+
+/// The function returns a reference to the named capability.
+#define SDTW_RETURN_CAPABILITY(x) \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))  // NOLINT(bugprone-macro-parentheses)
+
+/// Escape hatch: the function intentionally breaks the stated invariants
+/// (e.g. single-threaded teardown); always pair with a comment saying why.
+#define SDTW_NO_THREAD_SAFETY_ANALYSIS \
+  SDTW_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // SDTW_CORE_THREAD_ANNOTATIONS_H_

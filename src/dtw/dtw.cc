@@ -1,6 +1,7 @@
 #include "dtw/dtw.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -256,8 +257,12 @@ void DtwScratch::EnsureWidth(std::size_t width) {
       (2 * internal::kRowPad + width_ + 7) & ~std::size_t{7};
   cells_.assign(3 * stride + 8, internal::kRowInf);
   flag_store_.assign(stride, 0);
+  // Alignment probe: std::bit_cast is the defined-behaviour C++20 way to
+  // read a pointer's address representation (what the old
+  // reinterpret_cast<uintptr_t> spelling did via implementation-defined
+  // conversion); uintptr_t is pointer-sized on every supported target.
   const std::size_t misalign =
-      reinterpret_cast<std::uintptr_t>(cells_.data()) % 64;
+      std::bit_cast<std::uintptr_t>(cells_.data()) % 64;
   const std::size_t align_off =
       misalign != 0 ? (64 - misalign) / sizeof(double) : 0;
   prev_off_ = align_off + internal::kRowPad;

@@ -37,15 +37,20 @@ bool CpuSupports(KernelVariant variant) {
 }
 
 const RowKernelOps& SelectActiveOps() {
-  if (const char* env = std::getenv("SDTW_KERNEL");
+  // getenv is on clang-tidy's mt-unsafe list because of setenv races, but
+  // this read happens exactly once per process (magic-static init in
+  // ActiveRowKernelOps) and nothing in the library ever calls setenv.
+  if (const char* env = std::getenv("SDTW_KERNEL");  // NOLINT(concurrency-mt-unsafe)
       env != nullptr && *env != '\0') {
     const KernelResolution r = ResolveKernelOverride(env);
     if (r.ops == nullptr) {
       // Abort rather than fall back: a silently ignored override would
-      // poison forced-variant test runs and perf baselines.
+      // poison forced-variant test runs and perf baselines. exit() is
+      // mt-unsafe in general; here the process is being torn down on a
+      // configuration error before any worker threads can exist.
       std::fprintf(stderr, "sdtw: SDTW_KERNEL=%s: %s\n", env,
                    r.error.c_str());
-      std::exit(EXIT_FAILURE);
+      std::exit(EXIT_FAILURE);  // NOLINT(concurrency-mt-unsafe)
     }
     return *r.ops;
   }

@@ -6,10 +6,12 @@
 #include <cmath>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace sdtw {
 namespace retrieval {
@@ -56,21 +58,76 @@ bool HitLess(const Hit& a, const Hit& b) {
          (a.distance == b.distance && a.index < b.index);
 }
 
-// Shared mutable state of one query while the batch is in flight. The
-// heap and stats are guarded by mu; best is additionally published as an
-// atomic so the hot loop can read the current k-th best without locking
-// (a stale read is always >= the true value, i.e. merely prunes less).
+// Shared mutable state of one query while the batch is in flight, with
+// its locking invariants stated as thread-safety-analysis capabilities
+// (checked under -DSDTW_THREAD_SAFETY=ON):
+//
+//  * heap and stats are guarded by mu — all access goes through the
+//    SDTW_EXCLUDES member functions below, which take the lock, or their
+//    SDTW_REQUIRES(mu) locked bodies;
+//  * best is additionally published as an atomic so the hot loop can read
+//    the current k-th best without locking (a stale read is always >= the
+//    true value, i.e. merely prunes less);
+//  * context and global_order are phase-1 state: written by exactly one
+//    worker (the one that claimed query q off the phase-1 counter) and
+//    made visible to every phase-2 worker by the RunOnWorkers join
+//    between the phases; read-only from then on, so unguarded.
 struct PerQueryState {
   QueryContext context;
-  std::mutex mu;
-  std::vector<Hit> heap;  // max-heap under HitLess, size <= k
-  std::atomic<double> best{kInf};
-  QueryStats stats;
   /// VisitOrder::kGlobalLowerBound only: the query's whole candidate set
   /// as (cached LB_Kim, index), sorted ascending once in phase 1; phase-2
   /// chunks slice it instead of the index range. Read-only while workers
   /// race.
   std::vector<std::pair<double, std::size_t>> global_order;
+  /// Upper bound of the final k-th best distance, monotonically
+  /// non-increasing while workers race; kInf until the heap first fills.
+  std::atomic<double> best{kInf};
+
+  /// Offers a candidate hit to the top-k heap; keeps `best` equal to the
+  /// heap root whenever the heap is full.
+  void Offer(const Hit& hit, std::size_t k) SDTW_EXCLUDES(mu) {
+    core::MutexLock lock(mu);
+    OfferLocked(hit, k);
+  }
+
+  /// Folds a worker's chunk-local counters into the query's stats.
+  void MergeStats(const QueryStats& local) SDTW_EXCLUDES(mu) {
+    core::MutexLock lock(mu);
+    stats.Merge(local);
+  }
+
+  /// Final collection (workers joined, but the analysis neither knows nor
+  /// needs to: the uncontended lock is cheap): heap-sorts and surrenders
+  /// the hit list, leaving the heap empty.
+  std::vector<Hit> TakeSortedHits() SDTW_EXCLUDES(mu) {
+    core::MutexLock lock(mu);
+    std::sort_heap(heap.begin(), heap.end(), HitLess);
+    return std::move(heap);
+  }
+
+  QueryStats StatsSnapshot() SDTW_EXCLUDES(mu) {
+    core::MutexLock lock(mu);
+    return stats;
+  }
+
+ private:
+  void OfferLocked(const Hit& hit, std::size_t k) SDTW_REQUIRES(mu) {
+    if (heap.size() < k) {
+      heap.push_back(hit);
+      std::push_heap(heap.begin(), heap.end(), HitLess);
+    } else if (HitLess(hit, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), HitLess);
+      heap.back() = hit;
+      std::push_heap(heap.begin(), heap.end(), HitLess);
+    }
+    if (heap.size() == k) {
+      best.store(heap.front().distance, std::memory_order_relaxed);
+    }
+  }
+
+  core::Mutex mu;
+  std::vector<Hit> heap SDTW_GUARDED_BY(mu);  // max-heap under HitLess
+  QueryStats stats SDTW_GUARDED_BY(mu);
 };
 
 // Runs fn on `threads` workers and waits for all of them; threads == 1
@@ -374,30 +431,16 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
         // upper bound of that threshold, so this lock-free reject is
         // conservative and exact results are preserved.
         if (d > best_so_far) continue;
-        std::lock_guard<std::mutex> lock(state.mu);
-        if (state.heap.size() < k) {
-          state.heap.push_back(hit);
-          std::push_heap(state.heap.begin(), state.heap.end(), HitLess);
-        } else if (HitLess(hit, state.heap.front())) {
-          std::pop_heap(state.heap.begin(), state.heap.end(), HitLess);
-          state.heap.back() = hit;
-          std::push_heap(state.heap.begin(), state.heap.end(), HitLess);
-        }
-        if (state.heap.size() == k) {
-          state.best.store(state.heap.front().distance,
-                           std::memory_order_relaxed);
-        }
+        state.Offer(hit, k);
       }
-      std::lock_guard<std::mutex> lock(state.mu);
-      state.stats.Merge(local);
+      state.MergeStats(local);
     }
   });
 
   if (contexts_out != nullptr) contexts_out->resize(num_queries);
   for (std::size_t q = 0; q < num_queries; ++q) {
-    std::sort_heap(states[q].heap.begin(), states[q].heap.end(), HitLess);
-    results[q] = std::move(states[q].heap);
-    if (stats != nullptr) (*stats)[q] = states[q].stats;
+    results[q] = states[q].TakeSortedHits();
+    if (stats != nullptr) (*stats)[q] = states[q].StatsSnapshot();
     if (contexts_out != nullptr) {
       (*contexts_out)[q] = std::move(states[q].context);
     }

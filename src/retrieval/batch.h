@@ -34,6 +34,16 @@
 ///    but the O(n) bound computation itself stops once settled (counted
 ///    in QueryStats::lb_keogh_abandoned).
 ///
+/// Thread-safety model (statically checked under -DSDTW_THREAD_SAFETY=ON
+/// with Clang — see core/thread_annotations.h): each in-flight query owns
+/// one core::Mutex guarding its top-k heap and cascade counters, its
+/// best-so-far is a monotone atomic readable without the lock, per-query
+/// derivatives are written in phase 1 and read-only once the workers
+/// rejoin, and every worker thread exclusively owns one ScratchArena
+/// (scratch.h) for the lifetime of the batch. BatchKnnEngine itself is
+/// const/stateless per call, so concurrent QueryBatch calls on one engine
+/// are safe.
+///
 /// Results are deterministic regardless of thread count, completion order,
 /// and visit order: hits are the k smallest (distance, index) pairs,
 /// exactly what the sequential in-index-order scan produces — every prune

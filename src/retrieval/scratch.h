@@ -41,7 +41,15 @@ struct QueryContext {
 };
 
 /// \brief Mutable per-worker scratch reused across every candidate a
-/// worker touches. Not thread-safe; create one per worker thread.
+/// worker touches.
+///
+/// Ownership is the capability: an arena is confined to the single worker
+/// thread that created it — it is never shared, so it carries no lock and
+/// no SDTW_GUARDED_BY annotations (there is nothing for the thread-safety
+/// analysis to check; handing one arena to two racing workers is a
+/// use-after-transfer bug, not a missing-lock bug). The batch engine
+/// constructs one arena inside each worker's thread function, which is
+/// what makes its hot loop allocation- and lock-free.
 class ScratchArena {
  public:
   ScratchArena() = default;

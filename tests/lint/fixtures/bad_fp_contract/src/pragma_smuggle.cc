@@ -1,0 +1,7 @@
+// Lint fixture: fp-contract violation via pragma rather than a flag.
+// The comment mention of -ffast-math above must NOT be flagged; the
+// pragma below MUST be.
+
+#pragma STDC FP_CONTRACT ON
+
+double Fma(double a, double b, double c) { return a * b + c; }

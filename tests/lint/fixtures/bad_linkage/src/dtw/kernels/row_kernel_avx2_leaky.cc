@@ -1,0 +1,27 @@
+// Lint fixture: deliberately violates kernel-internal-linkage.
+//
+// This TU models a kernel file whose author forgot `static` (or the
+// anonymous namespace) on a helper: the function below gets external
+// linkage and, because the file name says avx2, the linter compiles it
+// with -mavx2 and must flag the leaked symbol. The ops-table export is
+// included too, to prove the allowlist still admits it.
+
+namespace sdtw {
+namespace dtw {
+namespace internal {
+
+struct FixtureRowKernelOpsShape {
+  double (*helper)(double);
+};
+
+// Allowed: matches the k*RowKernelOps allowlist.
+extern const FixtureRowKernelOpsShape kFixtureRowKernelOps;
+
+// VIOLATION: external linkage in an arch-flagged TU.
+double LeakyHelper(double x) { return x * 0.5 + 1.0; }
+
+const FixtureRowKernelOpsShape kFixtureRowKernelOps = {&LeakyHelper};
+
+}  // namespace internal
+}  // namespace dtw
+}  // namespace sdtw

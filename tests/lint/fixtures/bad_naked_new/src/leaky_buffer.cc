@@ -1,0 +1,20 @@
+// Lint fixture: deliberately violates naked-new.
+#include <cstdlib>
+
+// A comment saying new things happen here must not be flagged, and
+// neither must the string literal below.
+
+int* MakeBuffer() {
+  const char* msg = "allocating new buffer with malloc()";
+  (void)msg;
+  return new int[3];  // VIOLATION: naked new expression
+}
+
+void* MakeRaw() {
+  return std::malloc(64);  // VIOLATION: C allocation call
+}
+
+int* MakeAllowed() {
+  // Suppressed with rationale: fixture exercises the allow marker.
+  return new int(7);  // lint:allow(naked-new) fixture tests the marker
+}
