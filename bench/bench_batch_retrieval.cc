@@ -256,7 +256,9 @@ void WriteJson(const char* path, const Scale& scale, bool smoke,
     std::fprintf(f, "    }%s\n", last ? "" : ",");
   };
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"sdtw-bench-retrieval-v2\",\n");
+  // v3: bench_service may append a "service" block (latency percentiles,
+  // throughput, cache hit rate) after this bench writes the base file.
+  std::fprintf(f, "  \"schema\": \"sdtw-bench-retrieval-v3\",\n");
   std::fprintf(f,
                "  \"scale\": {\"series\": %zu, \"queries\": %zu, \"length\": "
                "%zu, \"threads\": %zu, \"k\": %zu, \"smoke\": %s},\n",

@@ -38,6 +38,18 @@ if [ -x "${build_dir}/bench/bench_batch_retrieval" ]; then
   fi
   ran=$((ran + 1))
 fi
+# bench_service amends the service block (latency percentiles, cache hit
+# rate) into the same BENCH_retrieval.json and verifies service hits
+# bitwise against direct scans; divergence exits non-zero.
+if [ -x "${build_dir}/bench/bench_service" ]; then
+  echo "== smoke: ${build_dir}/bench/bench_service"
+  if ! "${build_dir}/bench/bench_service" --smoke \
+       "--json=${build_dir}/BENCH_retrieval.json" > /dev/null; then
+    echo "FAILED: ${build_dir}/bench/bench_service" >&2
+    status=1
+  fi
+  ran=$((ran + 1))
+fi
 if [ "${ran}" -eq 0 ]; then
   echo "error: no bench_fig* executables found in ${build_dir}/bench" >&2
   exit 1

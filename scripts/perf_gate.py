@@ -8,13 +8,22 @@ ratio, or when any cascade order starts running MORE DP evaluations (the
 DP counts are deterministic for a fixed scale and seed, so any increase
 is a real pruning regression, not noise).
 
+Since schema v3 the baseline may carry a "service" block (written by
+`bench_service --json=...`); its p95 submit->complete latency is gated
+too: the current p95 must stay under baseline * --max-p95-ratio plus a
+fixed 2ms slack (wall-clock latency on shared CI runners is noisy in a
+way the deterministic DP counts are not). The rule self-skips when
+either run has no service block or the service workload changed.
+
 The gate only trusts like-for-like comparisons. It SKIPS (exit 0, with a
 message) instead of failing when the baseline is missing or was produced
 by a different schema, benchmark scale, kernel variant, or CPU feature
 set — e.g. the previous run landed on an AVX-512 runner and this one did
-not, or a schema bump changed what the numbers mean.
+not, or a schema bump changed what the numbers mean (in particular, a
+pre-v3 baseline without service numbers never fails the v3 gate).
 
 Usage: perf_gate.py BASELINE_JSON CURRENT_JSON [--min-ratio=0.85]
+                    [--max-p95-ratio=1.5]
 Exit codes: 0 = pass or skip, 1 = perf regression, 2 = usage/parse error.
 """
 
@@ -22,6 +31,8 @@ import json
 import sys
 
 DEFAULT_MIN_RATIO = 0.85
+DEFAULT_MAX_P95_RATIO = 1.5
+P95_SLACK_US = 2000.0
 
 
 def load(path):
@@ -37,9 +48,12 @@ def skip(reason):
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     min_ratio = DEFAULT_MIN_RATIO
+    max_p95_ratio = DEFAULT_MAX_P95_RATIO
     for a in argv[1:]:
         if a.startswith("--min-ratio="):
             min_ratio = float(a.split("=", 1)[1])
+        elif a.startswith("--max-p95-ratio="):
+            max_p95_ratio = float(a.split("=", 1)[1])
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -110,6 +124,29 @@ def main(argv):
             if new > old:
                 failures.append(
                     f"{mode}/{order} dp_evaluations increased: {old} -> {new}")
+
+    # 3. Service p95 latency: wall-clock, so gated with a generous ratio
+    # plus absolute slack rather than the exact rules above.
+    bsvc, csvc = baseline.get("service"), current.get("service")
+    if bsvc is None or csvc is None:
+        print("  service/p95: skipped (no service block in baseline or "
+              "current)")
+    elif bsvc.get("scale") != csvc.get("scale"):
+        print("  service/p95: skipped (service workload changed)")
+    else:
+        old = bsvc.get("latency", {}).get("p95_us")
+        new = csvc.get("latency", {}).get("p95_us")
+        if not old or new is None:
+            print("  service/p95: skipped (p95_us missing)")
+        else:
+            ceiling = old * max_p95_ratio + P95_SLACK_US
+            line = (f"  service/p95: {old:.0f} -> {new:.0f} us "
+                    f"(ceiling {ceiling:.0f} = x{max_p95_ratio:.2f} "
+                    f"+ {P95_SLACK_US:.0f}us slack)")
+            print(line)
+            if new > ceiling:
+                failures.append(f"service p95 latency regressed: "
+                                f"{line.strip()}")
 
     if failures:
         print("perf gate: FAIL")

@@ -17,6 +17,8 @@
 /// pairs — which is exactly the discipline the static analysis can verify
 /// completely.
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 
 #include "core/thread_annotations.h"
@@ -55,6 +57,58 @@ class SDTW_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// \brief RAII scoped lock over core::Mutex that a CondVar can wait on
+/// (std::unique_lock with capability attributes).
+///
+/// Like MutexLock it holds the lock for its whole scope; the extra
+/// std::unique_lock plumbing only exists so CondVar::Wait can release and
+/// reacquire it atomically during a wait.
+class SDTW_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) SDTW_ACQUIRE(mu) : lock_(mu.native()) {}
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+  ~UniqueLock() SDTW_RELEASE() = default;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// \brief Condition variable paired with core::Mutex via UniqueLock.
+///
+/// A wait atomically releases the lock and reacquires it before returning,
+/// so the caller's invariant — guarded state is only touched while the
+/// lock is held — is preserved; the thread-safety analysis models the
+/// capability as held across the wait, which matches that invariant
+/// exactly (the waiter never observes guarded state unlocked). Spurious
+/// wakeups are possible as with std::condition_variable: always wait in a
+/// predicate loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Waits until notified or `deadline` passes; returns
+  /// std::cv_status::timeout when the deadline was reached.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  /// Notify may be called with or without the associated mutex held.
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
 };
 
 }  // namespace core

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <thread>
@@ -73,12 +74,23 @@ bool HitLess(const Hit& a, const Hit& b) {
 //    made visible to every phase-2 worker by the RunOnWorkers join
 //    between the phases; read-only from then on, so unguarded.
 struct PerQueryState {
-  QueryContext context;
+  /// Phase-1 derivative storage, used when the caller did not preset a
+  /// context for this query; `context` points here in that case.
+  QueryContext owned_context;
+  /// The context every phase-2 worker reads: &owned_context, or the
+  /// caller's preset (a cached derivation of the same query — bitwise
+  /// identical by MakeQueryContext's purity). Phase-1 state like
+  /// global_order: written once, read-only while workers race.
+  const QueryContext* context = nullptr;
   /// VisitOrder::kGlobalLowerBound only: the query's whole candidate set
   /// as (cached LB_Kim, index), sorted ascending once in phase 1; phase-2
   /// chunks slice it instead of the index range. Read-only while workers
   /// race.
   std::vector<std::pair<double, std::size_t>> global_order;
+  /// ChunkBalance::kLbMass under kGlobalLowerBound: chunk c of this query
+  /// covers global_order[chunk_bounds[c], chunk_bounds[c+1]). Empty means
+  /// uniform candidate-count slicing. Phase-1 state, read-only in phase 2.
+  std::vector<std::size_t> chunk_bounds;
   /// Upper bound of the final k-th best distance, monotonically
   /// non-increasing while workers race; kInf until the heap first fills.
   std::atomic<double> best{kInf};
@@ -149,6 +161,50 @@ std::size_t ResolveThreads(std::size_t requested, std::size_t work_items) {
                             ? requested
                             : std::max(1u, std::thread::hardware_concurrency());
   return std::max<std::size_t>(1, std::min(threads, work_items));
+}
+
+// ChunkBalance::kLbMass boundary placement over one query's sorted global
+// LB schedule: split by cumulative expected *cost* instead of candidate
+// count. Cost model: a candidate's chance of surviving the cascade into a
+// full DP falls as its LB_Kim rises (the sort key), and a surviving DP
+// costs roughly an order of magnitude more than a pruned candidate's O(1)
+// + O(n) bound checks — so each candidate carries weight
+//   w_i = 1 + kDpCostWeight * (lb_max - lb_i) / (lb_max - lb_min)
+// (all-equal bounds degrade to uniform weights == count slicing) and
+// boundary c is placed where cumulative weight first reaches c/chunks of
+// the total. Pure scheduling: moving a boundary moves candidates between
+// workers, never changes which candidates are scanned or what they
+// return, so hit lists are pinned bitwise against count slicing.
+constexpr double kDpCostWeight = 7.0;
+
+void BuildMassBounds(const std::vector<std::pair<double, std::size_t>>& order,
+                     std::size_t chunks, std::vector<double>& prefix_mass,
+                     std::vector<std::size_t>* bounds) {
+  const std::size_t n = order.size();
+  const double lb_min = order.front().first;
+  const double lb_max = order.back().first;
+  const double span = lb_max - lb_min;
+  const bool weighted = span > 0.0 && std::isfinite(span);
+  prefix_mass.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += weighted ? 1.0 + kDpCostWeight * (lb_max - order[i].first) / span
+                      : 1.0;
+    prefix_mass[i] = total;
+  }
+  bounds->assign(chunks + 1, n);
+  (*bounds)[0] = 0;
+  std::size_t j = 0;
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const double target =
+        total * static_cast<double>(c) / static_cast<double>(chunks);
+    j = static_cast<std::size_t>(
+        std::lower_bound(prefix_mass.begin() +
+                             static_cast<std::ptrdiff_t>(j),
+                         prefix_mass.end(), target) -
+        prefix_mass.begin());
+    (*bounds)[c] = std::min(j, n);
+  }
 }
 
 }  // namespace
@@ -284,19 +340,32 @@ double BatchKnnEngine::CascadeDistance(const ts::TimeSeries& query,
 std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatch(
     std::span<const ts::TimeSeries> queries, std::size_t k,
     std::vector<QueryStats>* stats) const {
-  return QueryBatchImpl(queries, k, {}, stats, nullptr);
+  return QueryBatchImpl(queries, k, {}, {}, stats, nullptr);
 }
 
 std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatch(
     std::span<const ts::TimeSeries> queries, std::size_t k,
     std::span<const std::optional<std::size_t>> excludes,
     std::vector<QueryStats>* stats) const {
-  return QueryBatchImpl(queries, k, excludes, stats, nullptr);
+  return QueryBatchImpl(queries, k, excludes, {}, stats, nullptr);
+}
+
+QueryContext BatchKnnEngine::MakeQueryContext(
+    const ts::TimeSeries& query) const {
+  return MakeContext(query);
+}
+
+std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchWithContexts(
+    std::span<const ts::TimeSeries> queries,
+    std::span<const QueryContext* const> contexts, std::size_t k,
+    std::vector<QueryStats>* stats) const {
+  return QueryBatchImpl(queries, k, {}, contexts, stats, nullptr);
 }
 
 std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
     std::span<const ts::TimeSeries> queries, std::size_t k,
     std::span<const std::optional<std::size_t>> excludes,
+    std::span<const QueryContext* const> preset_contexts,
     std::vector<QueryStats>* stats,
     std::vector<QueryContext>* contexts_out) const {
   if (contexts_out != nullptr) contexts_out->clear();
@@ -309,43 +378,38 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
   // span keeps query→exclusion alignment for its prefix (excludes[q]
   // stays query q's exclusion) rather than silently changing meaning.
   assert(excludes.empty() || excludes.size() == num_queries);
+  assert(preset_contexts.empty() || preset_contexts.size() == num_queries);
+  // Preset contexts are borrowed from the caller and cannot be moved out.
+  assert(preset_contexts.empty() || contexts_out == nullptr);
 
   // Per-query shared state; deque keeps the mutexes/atomics in place.
   std::deque<PerQueryState> states(num_queries);
 
   const std::size_t threads =
-      ResolveThreads(options_.num_threads, num_queries * num_candidates);
+      options_.executor != nullptr
+          ? std::max<std::size_t>(1, options_.executor->num_workers())
+          : ResolveThreads(options_.num_threads, num_queries * num_candidates);
+
+  // Worker supply for both phases: the caller's persistent executor (its
+  // workers carry long-lived arenas reused across batches), or threads
+  // spawned for this call with call-local arenas.
+  const auto run_workers = [&](std::size_t spawn,
+                               const std::function<void(ScratchArena&)>& fn) {
+    if (options_.executor != nullptr) {
+      options_.executor->Execute(fn);
+      return;
+    }
+    RunOnWorkers(spawn, [&fn]() {
+      ScratchArena arena;
+      fn(arena);
+    });
+  };
 
   const VisitOrder visit_order = index_.options_.visit_order;
 
-  // Phase 1: per-query contexts, each computed exactly once, spread over
-  // the workers. Under kGlobalLowerBound this also builds each query's
-  // whole-index LB_Kim schedule, so phase-2 chunks slice one global
-  // cheapest-first order instead of sorting per chunk.
-  {
-    std::atomic<std::size_t> next{0};
-    RunOnWorkers(std::min(threads, num_queries), [&]() {
-      for (;;) {
-        const std::size_t q = next.fetch_add(1, std::memory_order_relaxed);
-        if (q >= num_queries) return;
-        states[q].context = MakeContext(queries[q]);
-        if (visit_order == VisitOrder::kGlobalLowerBound) {
-          auto& order = states[q].global_order;
-          order.reserve(num_candidates);
-          for (std::size_t i = 0; i < num_candidates; ++i) {
-            order.emplace_back(
-                dtw::LbKim(states[q].context.stats, index_.stats_[i]), i);
-          }
-          std::sort(order.begin(), order.end());
-        }
-      }
-    });
-  }
-
-  // Phase 2: the query×candidate grid, flattened into chunks of
-  // candidates and drained through one atomic work counter. Units are
-  // ordered query-major so workers gang up on the same query first and
-  // its shared best-so-far tightens as early as possible.
+  // Chunking geometry (needed by phase 1 when kLbMass places per-query
+  // boundaries): the query×candidate grid is flattened into
+  // chunks-of-candidates work units drained through one atomic counter.
   std::size_t chunks_per_query;
   if (options_.chunk_size != 0) {
     chunks_per_query =
@@ -362,6 +426,44 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
       (num_candidates + chunks_per_query - 1) / chunks_per_query;
   const std::size_t total_units = num_queries * chunks_per_query;
 
+  // Phase 1: per-query contexts, each computed exactly once (or adopted
+  // from the caller's cache), spread over the workers. Under
+  // kGlobalLowerBound this also builds each query's whole-index LB_Kim
+  // schedule, so phase-2 chunks slice one global cheapest-first order
+  // instead of sorting per chunk — and under kLbMass the chunk boundaries
+  // over that schedule, balanced by expected cost.
+  {
+    std::atomic<std::size_t> next{0};
+    run_workers(std::min(threads, num_queries), [&](ScratchArena&) {
+      std::vector<double> prefix_mass;  // reused across this worker's queries
+      for (;;) {
+        const std::size_t q = next.fetch_add(1, std::memory_order_relaxed);
+        if (q >= num_queries) return;
+        PerQueryState& state = states[q];
+        if (q < preset_contexts.size() && preset_contexts[q] != nullptr) {
+          state.context = preset_contexts[q];
+        } else {
+          state.owned_context = MakeContext(queries[q]);
+          state.context = &state.owned_context;
+        }
+        if (visit_order == VisitOrder::kGlobalLowerBound) {
+          auto& order = state.global_order;
+          order.reserve(num_candidates);
+          for (std::size_t i = 0; i < num_candidates; ++i) {
+            order.emplace_back(
+                dtw::LbKim(state.context->stats, index_.stats_[i]), i);
+          }
+          std::sort(order.begin(), order.end());
+          if (options_.chunk_balance == ChunkBalance::kLbMass &&
+              chunks_per_query > 1 && !order.empty()) {
+            BuildMassBounds(order, chunks_per_query, prefix_mass,
+                            &state.chunk_bounds);
+          }
+        }
+      }
+    });
+  }
+
   // Whether the chunk scheduler needs LB_Kim at all: for the visit order,
   // or for the stage-1 prune (which CascadeDistance re-gates on the same
   // conditions). When neither consumes it, the schedule pass skips the
@@ -372,18 +474,30 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
       (index_.options_.use_lb_kim &&
        LbKimSound(index_.options_, index_.engine_));
 
+  // Phase 2: drain the work units. Units are ordered query-major so
+  // workers gang up on the same query first and its shared best-so-far
+  // tightens as early as possible.
   std::atomic<std::size_t> next{0};
-  RunOnWorkers(threads, [&]() {
-    ScratchArena scratch;
+  run_workers(threads, [&](ScratchArena& scratch) {
+    // Idempotent per-batch setup: a persistent executor arena keeps its
+    // buffers (EnsureWidth never shrinks), a fresh one sizes them here.
     scratch.set_kernel(options_.kernel);
     scratch.SizeForTargets(index_.max_length());
     for (;;) {
       const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
       if (t >= total_units) return;
       const std::size_t q = t / chunks_per_query;
-      const std::size_t begin = (t % chunks_per_query) * chunk;
-      const std::size_t end = std::min(num_candidates, begin + chunk);
+      const std::size_t c = t % chunks_per_query;
       PerQueryState& state = states[q];
+      std::size_t begin, end;
+      if (!state.chunk_bounds.empty()) {
+        // LB-mass-balanced boundaries over the query's global schedule.
+        begin = state.chunk_bounds[c];
+        end = state.chunk_bounds[c + 1];
+      } else {
+        begin = c * chunk;
+        end = std::min(num_candidates, begin + chunk);
+      }
       const bool has_exclude =
           q < excludes.size() && excludes[q].has_value();
       const std::size_t exclude = has_exclude ? *excludes[q] : 0;
@@ -408,7 +522,7 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
         for (std::size_t i = begin; i < end; ++i) {
           if (has_exclude && exclude == i) continue;
           order.emplace_back(
-              need_kim ? dtw::LbKim(state.context.stats, index_.stats_[i])
+              need_kim ? dtw::LbKim(state.context->stats, index_.stats_[i])
                        : 0.0,
               i);
         }
@@ -421,7 +535,7 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
         ++local.candidates;
         const double best_so_far =
             state.best.load(std::memory_order_relaxed);
-        const double d = CascadeDistance(queries[q], state.context, i,
+        const double d = CascadeDistance(queries[q], *state.context, i,
                                          kim_lb, best_so_far, scratch,
                                          &local);
         if (!std::isfinite(d)) continue;
@@ -442,7 +556,7 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(
     results[q] = states[q].TakeSortedHits();
     if (stats != nullptr) (*stats)[q] = states[q].StatsSnapshot();
     if (contexts_out != nullptr) {
-      (*contexts_out)[q] = std::move(states[q].context);
+      (*contexts_out)[q] = std::move(states[q].owned_context);
     }
   }
   return results;
@@ -462,7 +576,7 @@ std::vector<std::vector<AlignedHit>> BatchKnnEngine::QueryBatchWithAlignments(
   // alignments are then recovered for the final k winners only.
   std::vector<QueryContext> contexts;
   const std::vector<std::vector<Hit>> hits =
-      QueryBatchImpl(queries, k, excludes, stats, &contexts);
+      QueryBatchImpl(queries, k, excludes, {}, stats, &contexts);
 
   std::vector<std::vector<AlignedHit>> results(hits.size());
   std::vector<std::pair<std::size_t, std::size_t>> work;  // (query, rank)

@@ -65,20 +65,49 @@
 namespace sdtw {
 namespace retrieval {
 
+/// \brief How the phase-2 scheduler splits one query's candidate schedule
+/// into work chunks.
+enum class ChunkBalance {
+  /// Equal candidate *count* per chunk (the PR-3 scheme). Under a sorted
+  /// global schedule this is systematically unbalanced: the first chunk
+  /// holds the near (low-LB_Kim) candidates, which are exactly the ones
+  /// that survive the cascade into full DPs, so one worker does most of
+  /// the DP work while the rest race through cheap prunes.
+  kCandidateCount,
+  /// Equal expected *cost* per chunk under VisitOrder::kGlobalLowerBound:
+  /// each candidate is weighted by a monotone-decreasing function of its
+  /// LB_Kim (near candidates are the expensive ones) and chunk boundaries
+  /// are placed where cumulative weight crosses equal fractions of the
+  /// total. Orders without a precomputed global schedule fall back to
+  /// kCandidateCount. Pure scheduling: hit lists are bitwise identical to
+  /// kCandidateCount under any thread count — only which worker does which
+  /// work moves.
+  kLbMass,
+};
+
 /// \brief Execution knobs of the batch engine.
 struct BatchOptions {
   /// Worker threads; 0 = hardware concurrency. 1 runs inline on the
-  /// calling thread (no thread is spawned).
+  /// calling thread (no thread is spawned). Ignored when `executor` is
+  /// set (the executor supplies the workers).
   std::size_t num_threads = 0;
   /// Candidates per work unit; 0 derives a chunking that yields at least
   /// ~4 units per worker while never splitting a query that does not need
   /// splitting for load balance.
   std::size_t chunk_size = 0;
+  /// Chunk boundary placement within one query's schedule; see
+  /// ChunkBalance. Scheduling only, never results.
+  ChunkBalance chunk_balance = ChunkBalance::kLbMass;
   /// Row-kernel variant every worker's DP runs with; nullptr selects the
   /// process-wide ActiveRowKernelOps(). Variants are bit-identical, so
   /// hit lists do not depend on this — it exists for benchmarking and for
   /// the forced-variant test matrix.
   const dtw::RowKernelOps* kernel = nullptr;
+  /// Persistent worker supply (non-owning; must outlive the engine's
+  /// calls). When set, every phase runs on the executor's workers and
+  /// their long-lived arenas instead of freshly spawned threads — the
+  /// cross-batch scratch-reuse hook the retrieval service is built on.
+  BatchExecutor* executor = nullptr;
 };
 
 /// \brief One retrieval hit with its recovered warp path.
@@ -124,6 +153,25 @@ class BatchKnnEngine {
       std::span<const std::optional<std::size_t>> excludes,
       std::vector<QueryStats>* stats = nullptr) const;
 
+  /// The per-query derivative work of phase 1 (SeriesStats, Keogh
+  /// envelope, salient features), exposed so a caching front-end can
+  /// compute a query's context once and replay it across batches. Pure
+  /// function of the query values and the engine configuration: a cached
+  /// context is bit-identical to a freshly derived one, so replaying it
+  /// cannot change hits.
+  QueryContext MakeQueryContext(const ts::TimeSeries& query) const;
+
+  /// QueryBatch with caller-supplied derivative contexts: contexts[q],
+  /// when non-null, must be MakeQueryContext(queries[q]) (possibly cached
+  /// from an earlier batch) and is used in place of the phase-1
+  /// derivation; null entries (or an empty span) are derived internally
+  /// as usual. Pointees must stay valid for the duration of the call.
+  /// Hits are bitwise identical to the plain QueryBatch.
+  std::vector<std::vector<Hit>> QueryBatchWithContexts(
+      std::span<const ts::TimeSeries> queries,
+      std::span<const QueryContext* const> contexts, std::size_t k,
+      std::vector<QueryStats>* stats = nullptr) const;
+
   /// QueryBatch plus alignment recovery: identical hits (same distances,
   /// same cascade, same pruning — the batch itself runs distance-only),
   /// each carrying the optimal warp path of the query against that
@@ -162,10 +210,15 @@ class BatchKnnEngine {
 
   /// QueryBatch body; when `contexts_out` is non-null it receives the
   /// per-query contexts (moved) so alignment recovery can reuse the cached
-  /// query features instead of re-extracting them.
+  /// query features instead of re-extracting them. `preset_contexts`
+  /// (empty, or one pointer per query with nulls meaning "derive here")
+  /// replaces phase-1 derivation per query; it is mutually exclusive with
+  /// `contexts_out` (preset contexts are borrowed and cannot be moved
+  /// out).
   std::vector<std::vector<Hit>> QueryBatchImpl(
       std::span<const ts::TimeSeries> queries, std::size_t k,
       std::span<const std::optional<std::size_t>> excludes,
+      std::span<const QueryContext* const> preset_contexts,
       std::vector<QueryStats>* stats,
       std::vector<QueryContext>* contexts_out) const;
 

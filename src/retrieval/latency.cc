@@ -1,0 +1,65 @@
+#include "retrieval/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace sdtw {
+namespace retrieval {
+
+double NearestRankPercentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest sample with at least ceil(p/100 * n)
+  // samples <= it; rank 0 (p == 0) maps to the minimum.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+LatencyRecorder::LatencyRecorder(std::size_t window_capacity)
+    : capacity_(window_capacity == 0 ? 1 : window_capacity) {}
+
+void LatencyRecorder::Record(double latency_us) {
+  const double sample = latency_us < 0.0 ? 0.0 : latency_us;
+  core::MutexLock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(sample);
+  } else {
+    ring_[next_] = sample;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++count_;
+  sum_us_ += sample;
+  max_us_ = std::max(max_us_, sample);
+}
+
+LatencySnapshot LatencyRecorder::Snapshot() const {
+  std::vector<double> window;
+  LatencySnapshot snap;
+  {
+    core::MutexLock lock(mu_);
+    window = ring_;
+    snap.count = count_;
+    snap.mean_us = count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_);
+    snap.max_us = max_us_;
+  }
+  snap.window = window.size();
+  if (!window.empty()) {
+    // One sort, three ranks.
+    std::sort(window.begin(), window.end());
+    const auto rank = [&](double p) {
+      const std::size_t r = static_cast<std::size_t>(
+          std::ceil(p / 100.0 * static_cast<double>(window.size())));
+      return window[r == 0 ? 0 : r - 1];
+    };
+    snap.p50_us = rank(50.0);
+    snap.p95_us = rank(95.0);
+    snap.p99_us = rank(99.0);
+  }
+  return snap;
+}
+
+}  // namespace retrieval
+}  // namespace sdtw

@@ -1,0 +1,70 @@
+#ifndef SDTW_RETRIEVAL_LATENCY_H_
+#define SDTW_RETRIEVAL_LATENCY_H_
+
+/// \file latency.h
+/// \brief Per-query latency recording with percentile snapshots.
+///
+/// The retrieval service records one sample per query — the wall time from
+/// Submit to result-ready, which under micro-batching includes the
+/// coalescing delay, not just the scan. Snapshots report nearest-rank
+/// percentiles (p50/p95/p99) over a bounded sliding window of the most
+/// recent samples plus all-time count/mean/max, which is what the bench
+/// JSON and the perf gate consume.
+///
+/// Thread-safe: writers from many completion paths and readers taking
+/// snapshots serialize on one annotated core::Mutex. Recording is O(1)
+/// (ring-buffer overwrite); Snapshot copies and sorts the window, so it is
+/// meant for end-of-run or low-rate metric scrapes, not per-query calls.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace sdtw {
+namespace retrieval {
+
+/// \brief Point-in-time latency statistics, microseconds.
+struct LatencySnapshot {
+  std::size_t count = 0;        ///< All-time samples recorded.
+  std::size_t window = 0;       ///< Samples the percentiles are over.
+  double mean_us = 0.0;         ///< All-time mean.
+  double max_us = 0.0;          ///< All-time maximum.
+  double p50_us = 0.0;          ///< Window percentiles, nearest-rank.
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// \brief Bounded-window latency aggregator.
+class LatencyRecorder {
+ public:
+  /// `window_capacity` bounds the percentile window (>= 1 enforced).
+  explicit LatencyRecorder(std::size_t window_capacity = 4096);
+
+  /// Records one sample; negative values are clamped to 0 (a clock
+  /// hiccup must not poison the percentiles).
+  void Record(double latency_us) SDTW_EXCLUDES(mu_);
+
+  LatencySnapshot Snapshot() const SDTW_EXCLUDES(mu_);
+
+ private:
+  const std::size_t capacity_;
+  mutable core::Mutex mu_;
+  /// Ring buffer of the most recent samples; `next_` is the overwrite
+  /// cursor once `ring_` reached capacity.
+  std::vector<double> ring_ SDTW_GUARDED_BY(mu_);
+  std::size_t next_ SDTW_GUARDED_BY(mu_) = 0;
+  std::size_t count_ SDTW_GUARDED_BY(mu_) = 0;
+  double sum_us_ SDTW_GUARDED_BY(mu_) = 0.0;
+  double max_us_ SDTW_GUARDED_BY(mu_) = 0.0;
+};
+
+/// Nearest-rank percentile (p in [0,100]) of an unsorted sample set;
+/// 0 when empty. Exposed for the recorder's tests.
+double NearestRankPercentile(std::vector<double> samples, double p);
+
+}  // namespace retrieval
+}  // namespace sdtw
+
+#endif  // SDTW_RETRIEVAL_LATENCY_H_

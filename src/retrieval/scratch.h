@@ -16,6 +16,7 @@
 ///    query×candidate loop never allocates.
 
 #include <cstddef>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -81,6 +82,33 @@ class ScratchArena {
  private:
   dtw::DtwScratch dp_;
   std::vector<std::pair<double, std::size_t>> visit_order_;
+};
+
+/// \brief Supplier of the worker threads — and the per-worker arenas they
+/// exclusively own — that a batch execution runs on.
+///
+/// By default BatchKnnEngine spawns its workers per call and each worker
+/// constructs a fresh ScratchArena, which is fine for one-shot batches but
+/// wasteful for a long-lived service dispatching micro-batches at high
+/// rate: every batch would re-allocate every worker's DP rows. A
+/// persistent implementation (retrieval::WorkerPool in service.h) keeps
+/// the threads and their arenas alive across batches, so the hot loop of
+/// batch N+1 reuses the buffers batch N sized.
+///
+/// Contract: Execute runs `fn(arena)` exactly once on every worker, each
+/// call receiving the arena that worker (and only that worker) owns, and
+/// returns only after all calls completed. Executions must not overlap —
+/// one Execute at a time per executor. Results never depend on which
+/// executor ran a batch: the engine's determinism guarantee (batch.h) is
+/// scheduling-independent.
+class BatchExecutor {
+ public:
+  virtual ~BatchExecutor() = default;
+  /// Number of workers Execute fans out to (>= 1).
+  virtual std::size_t num_workers() const = 0;
+  /// Runs fn once per worker with that worker's arena; blocks until all
+  /// workers finished.
+  virtual void Execute(const std::function<void(ScratchArena&)>& fn) = 0;
 };
 
 }  // namespace retrieval

@@ -1,0 +1,290 @@
+#include "retrieval/service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "retrieval/query_cache.h"
+
+namespace sdtw {
+namespace retrieval {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ServiceOptions NormalizeOptions(ServiceOptions options) {
+  if (options.max_batch == 0) options.max_batch = 1;
+  if (options.queue_capacity == 0) options.queue_capacity = 1;
+  return options;
+}
+
+BatchOptions WithExecutor(BatchOptions options, BatchExecutor* executor) {
+  options.executor = executor;
+  return options;
+}
+
+/// Bitwise content identity, matching query_cache.h's ContentHash /
+/// lookup semantics (memcmp: NaN payloads equal-by-bits match, -0 != +0).
+bool BitwiseEqual(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+
+WorkerPool::WorkerPool(std::size_t num_workers) {
+  std::size_t n = num_workers;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this]() { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    core::MutexLock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Execute(const std::function<void(ScratchArena&)>& fn) {
+  core::UniqueLock lock(mu_);
+  job_ = &fn;
+  running_ = threads_.size();
+  ++generation_;
+  work_cv_.NotifyAll();
+  while (running_ > 0) done_cv_.Wait(lock);
+  job_ = nullptr;
+}
+
+void WorkerPool::WorkerMain() {
+  // The arena is constructed on — and confined to — this worker thread
+  // (scratch.h ownership model); it persists across Execute calls, which
+  // is the whole point of the pool.
+  ScratchArena arena;
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(ScratchArena&)>* job = nullptr;
+    {
+      core::UniqueLock lock(mu_);
+      while (!stop_ && generation_ == seen) work_cv_.Wait(lock);
+      if (generation_ == seen) return;  // stopped with no unseen job
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(arena);
+    {
+      core::MutexLock lock(mu_);
+      if (--running_ == 0) done_cv_.NotifyAll();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+
+QueryService::QueryService(const KnnEngine& index, ServiceOptions options)
+    : options_(NormalizeOptions(std::move(options))),
+      pool_(options_.num_workers),
+      engine_(index, WithExecutor(options_.batch, &pool_)),
+      cache_(options_.cache_capacity),
+      latency_(options_.latency_window),
+      dispatcher_([this]() { DispatcherMain(); }) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+std::optional<std::future<QueryService::Result>> QueryService::Submit(
+    ts::TimeSeries query, std::size_t k) {
+  Request req;
+  req.query = std::move(query);
+  req.k = k;
+  req.submit_time = Clock::now();
+  std::future<Result> future = req.promise.get_future();
+  {
+    core::UniqueLock lock(mu_);
+    if (options_.admission == AdmissionPolicy::kReject) {
+      if (closed_ || queue_.size() >= options_.queue_capacity) {
+        ++rejected_;
+        return std::nullopt;
+      }
+    } else {
+      while (!closed_ && queue_.size() >= options_.queue_capacity) {
+        space_cv_.Wait(lock);
+      }
+      if (closed_) {
+        ++rejected_;
+        return std::nullopt;
+      }
+    }
+    queue_.push_back(std::move(req));
+    ++submitted_;
+  }
+  queue_cv_.NotifyOne();
+  return future;
+}
+
+QueryService::Result QueryService::Query(const ts::TimeSeries& query,
+                                         std::size_t k) {
+  auto future = Submit(query, k);
+  if (!future.has_value()) return {};
+  return future->get();
+}
+
+void QueryService::Shutdown() {
+  {
+    core::MutexLock lock(mu_);
+    closed_ = true;
+  }
+  queue_cv_.NotifyAll();  // wake the dispatcher to drain and exit
+  space_cv_.NotifyAll();  // release blocked submitters
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServiceMetrics QueryService::metrics() const {
+  ServiceMetrics m;
+  {
+    core::MutexLock lock(mu_);
+    m.submitted = submitted_;
+    m.rejected = rejected_;
+    m.completed = completed_;
+    m.batches = batches_;
+    m.coalesced = coalesced_;
+  }
+  m.latency = latency_.Snapshot();
+  m.cache = cache_.counters();
+  return m;
+}
+
+void QueryService::DispatcherMain() {
+  for (;;) {
+    std::vector<Request> batch = NextBatch();
+    if (batch.empty()) return;  // closed and fully drained
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+std::vector<QueryService::Request> QueryService::NextBatch() {
+  core::UniqueLock lock(mu_);
+  while (!closed_ && queue_.empty()) queue_cv_.Wait(lock);
+  if (queue_.empty()) return {};  // closed_, nothing left to drain
+  if (!closed_) {
+    // Deadline trigger: the batch ships when the *oldest* request has
+    // waited max_delay, so no admitted query ever waits longer than that
+    // for dispatch; the size trigger cuts earlier under pressure. After
+    // close we skip straight to the cut — draining must not dawdle.
+    const auto deadline = queue_.front().submit_time + options_.max_delay;
+    while (!closed_ && queue_.size() < options_.max_batch &&
+           queue_cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+    }
+  }
+  const std::size_t take = std::min(queue_.size(), options_.max_batch);
+  std::vector<Request> batch;
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  ++batches_;
+  space_cv_.NotifyAll();
+  return batch;
+}
+
+void QueryService::ExecuteBatch(std::vector<Request> batch) {
+  // Coalesce bitwise-identical queries: one scan per distinct content at
+  // the largest k requested in the batch, truncated per request below.
+  // Hash buckets hold group ids; equality is verified by value so a
+  // collision splits into separate groups, never merges distinct queries.
+  struct Group {
+    std::size_t rep;                   // first occurrence, index into batch
+    std::vector<std::size_t> members;  // all occurrences, in arrival order
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_hash;
+  std::size_t kmax = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    kmax = std::max(kmax, batch[i].k);
+    const std::uint64_t hash = ContentHash(batch[i].query.values());
+    std::vector<std::size_t>& bucket = by_hash[hash];
+    std::size_t gid = groups.size();
+    for (std::size_t candidate : bucket) {
+      if (BitwiseEqual(batch[groups[candidate].rep].query.values(),
+                       batch[i].query.values())) {
+        gid = candidate;
+        break;
+      }
+    }
+    if (gid == groups.size()) {
+      bucket.push_back(gid);
+      groups.push_back(Group{i, {}});
+    }
+    groups[gid].members.push_back(i);
+  }
+
+  std::vector<std::vector<Hit>> hits(groups.size());
+  if (kmax > 0) {
+    // One representative query per group; cached derivative contexts are
+    // replayed (and misses derived + inserted) so repeated queries skip
+    // phase-1 work across batches too, not just within one.
+    std::vector<ts::TimeSeries> reps;
+    reps.reserve(groups.size());
+    for (const Group& g : groups) reps.push_back(batch[g.rep].query);
+    std::vector<std::shared_ptr<const QueryContext>> keep_alive(groups.size());
+    std::vector<const QueryContext*> contexts(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      keep_alive[g] = cache_.Lookup(reps[g]);
+      if (keep_alive[g] == nullptr) {
+        auto fresh =
+            std::make_shared<const QueryContext>(engine_.MakeQueryContext(reps[g]));
+        cache_.Insert(reps[g], fresh);
+        keep_alive[g] = std::move(fresh);
+      }
+      contexts[g] = keep_alive[g].get();
+    }
+    hits = engine_.QueryBatchWithContexts(reps, contexts, kmax);
+  }
+
+  // Book-keeping first, fulfilment second: a caller whose future has
+  // resolved must already be visible in metrics() (completed count,
+  // latency sample), so counters never lag behind delivered results.
+  const auto done = Clock::now();
+  for (const Request& req : batch) {
+    latency_.Record(
+        std::chrono::duration<double, std::micro>(done - req.submit_time)
+            .count());
+  }
+  {
+    core::MutexLock lock(mu_);
+    completed_ += batch.size();
+    coalesced_ += batch.size() - groups.size();
+  }
+
+  // Fulfil every request with the first min(k, |hits|) of its group's
+  // list — bitwise what a dedicated scan at that k would return, because
+  // the k smallest (distance, index) pairs are a prefix of the kmax
+  // smallest.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t member : groups[g].members) {
+      Request& req = batch[member];
+      const std::size_t take = std::min(req.k, hits[g].size());
+      Result result(hits[g].begin(),
+                    hits[g].begin() + static_cast<std::ptrdiff_t>(take));
+      req.promise.set_value(std::move(result));
+    }
+  }
+}
+
+}  // namespace retrieval
+}  // namespace sdtw

@@ -1,0 +1,225 @@
+#ifndef SDTW_RETRIEVAL_SERVICE_H_
+#define SDTW_RETRIEVAL_SERVICE_H_
+
+/// \file service.h
+/// \brief Concurrent retrieval front-end: admission control, deadline
+/// micro-batching, derivative caching, latency observability.
+///
+/// BatchKnnEngine amortizes per-query overheads *within* one batch, but a
+/// serving workload does not arrive as batches — it arrives as a stream of
+/// single queries from many client threads. QueryService closes that gap:
+///
+///  * **Admission.** Submit enqueues a request into a bounded queue; at
+///    capacity, AdmissionPolicy::kBlock parks the submitter until space
+///    frees, kReject fails fast. Shutdown stops admitting immediately but
+///    drains everything already admitted before returning, so no accepted
+///    query is ever dropped.
+///  * **Micro-batching.** A dispatcher thread coalesces queued requests
+///    into batches cut by whichever fires first: the batch reaches
+///    `max_batch` requests, or the oldest queued request has waited
+///    `max_delay`. Duplicate queries inside one batch (bitwise-equal
+///    sample values) are coalesced into a single scan at the largest
+///    requested k and the result is truncated per request — the k smallest
+///    (distance, index) pairs at k are exactly the first k of the list at
+///    k' >= k, so coalescing is invisible in the results.
+///  * **Worker reuse.** Batches execute on a persistent WorkerPool whose
+///    threads — and their ScratchArenas, above all the rolling DP rows —
+///    live across batches, so steady-state scans allocate nothing.
+///  * **Derivative caching.** Per-query derivatives (SeriesStats, Keogh
+///    envelope, SIFT features) are looked up in a content-hash-keyed LRU
+///    (query_cache.h) and only derived on miss; contexts are replayed into
+///    the engine via QueryBatchWithContexts.
+///  * **Observability.** Every request's submit→complete wall time feeds a
+///    LatencyRecorder; metrics() reports p50/p95/p99, throughput inputs
+///    (counts), coalescing and cache hit rates.
+///
+/// Determinism: a query's hit list is bitwise identical to a direct
+/// BatchKnnEngine::QueryBatch of that query alone — independent of batch
+/// composition (1 or 64 riders), trigger (size or deadline), cache state
+/// (hit or miss), and submitter interleaving. Batching, caching and
+/// scheduling only move *where and when* the same arithmetic runs.
+///
+/// Thread-safety: all shared state is guarded by annotated core::Mutex
+/// (checked under -DSDTW_THREAD_SAFETY=ON); condition waits go through
+/// core::CondVar predicate loops. Submit is safe from any number of
+/// threads concurrently with Shutdown.
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+#include "retrieval/batch.h"
+#include "retrieval/knn.h"
+#include "retrieval/latency.h"
+#include "retrieval/query_cache.h"
+#include "retrieval/scratch.h"
+#include "ts/time_series.h"
+
+namespace sdtw {
+namespace retrieval {
+
+/// \brief Persistent worker threads implementing BatchExecutor.
+///
+/// Threads are spawned once at construction; each constructs its own
+/// ScratchArena inside its thread function (single-owner, per scratch.h)
+/// and keeps it for the pool's lifetime, so consecutive Execute calls
+/// reuse fully sized DP buffers. Execute broadcasts one job per the
+/// BatchExecutor contract: every worker runs it exactly once, the call
+/// returns when all finished. One Execute at a time (the contract); the
+/// service's single dispatcher thread guarantees that by construction.
+class WorkerPool final : public BatchExecutor {
+ public:
+  /// `num_workers` 0 = hardware concurrency (min 1).
+  explicit WorkerPool(std::size_t num_workers = 0);
+  /// Joins the workers. Must not race an in-flight Execute.
+  ~WorkerPool() override;
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t num_workers() const override { return threads_.size(); }
+  void Execute(const std::function<void(ScratchArena&)>& fn) override
+      SDTW_EXCLUDES(mu_);
+
+ private:
+  void WorkerMain() SDTW_EXCLUDES(mu_);
+
+  core::Mutex mu_;
+  core::CondVar work_cv_;  ///< Signals a new generation (or stop).
+  core::CondVar done_cv_;  ///< Signals running_ reaching zero.
+  /// Broadcast job of the current generation; null between Executes.
+  /// Borrowed from the Execute caller, valid while running_ > 0.
+  const std::function<void(ScratchArena&)>* job_ SDTW_GUARDED_BY(mu_) =
+      nullptr;
+  /// Bumped once per Execute; a worker runs the job iff it has not seen
+  /// the current generation yet, so no worker can run one job twice.
+  std::uint64_t generation_ SDTW_GUARDED_BY(mu_) = 0;
+  std::size_t running_ SDTW_GUARDED_BY(mu_) = 0;
+  bool stop_ SDTW_GUARDED_BY(mu_) = false;
+
+  std::vector<std::thread> threads_;
+};
+
+/// \brief What happens to a Submit that finds the queue at capacity.
+enum class AdmissionPolicy {
+  /// Park the submitting thread until space frees (backpressure).
+  kBlock,
+  /// Fail the submit immediately (load shedding); Submit returns nullopt.
+  kReject,
+};
+
+/// \brief QueryService configuration.
+struct ServiceOptions {
+  /// Batch cut when this many requests are queued...
+  std::size_t max_batch = 32;
+  /// ...or when the oldest queued request has waited this long, whichever
+  /// comes first. 0 cuts as soon as the dispatcher wakes (no coalescing
+  /// beyond what queue pressure provides).
+  std::chrono::microseconds max_delay{2000};
+  /// Bounded admission queue; at capacity `admission` applies.
+  std::size_t queue_capacity = 1024;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Persistent pool width; 0 = hardware concurrency.
+  std::size_t num_workers = 0;
+  /// Entries in the derivative LRU; 0 disables caching.
+  std::size_t cache_capacity = 256;
+  /// Samples in the latency percentile window.
+  std::size_t latency_window = 4096;
+  /// Engine knobs for the scans; `executor` and `num_threads` are
+  /// overridden by the service (the pool supplies the workers).
+  BatchOptions batch;
+};
+
+/// \brief Service counters + latency snapshot, via QueryService::metrics().
+struct ServiceMetrics {
+  std::size_t submitted = 0;  ///< Accepted into the queue.
+  std::size_t rejected = 0;   ///< Refused (capacity under kReject, or closed).
+  std::size_t completed = 0;  ///< Results delivered.
+  std::size_t batches = 0;    ///< Micro-batches executed.
+  /// Requests answered by another identical request's scan in the same
+  /// batch (in-batch coalescing).
+  std::size_t coalesced = 0;
+  LatencySnapshot latency;                  ///< Submit→complete, microseconds.
+  QueryDerivativeCache::Counters cache;     ///< Derivative LRU counters.
+};
+
+/// \brief Concurrent micro-batching retrieval service over one index.
+///
+/// Holds a non-owning view of the KnnEngine index, which must outlive the
+/// service and not be re-indexed while it runs.
+class QueryService {
+ public:
+  using Result = std::vector<Hit>;
+
+  explicit QueryService(const KnnEngine& index, ServiceOptions options = {});
+  /// Shutdown() then joins everything.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits one query for its k nearest neighbours. Returns the future
+  /// delivering the hits, or nullopt when the request was not admitted
+  /// (queue at capacity under kReject, or service shut down). Safe from
+  /// any number of threads. Under kBlock this parks at capacity until
+  /// space frees or the service closes.
+  std::optional<std::future<Result>> Submit(ts::TimeSeries query,
+                                            std::size_t k)
+      SDTW_EXCLUDES(mu_);
+
+  /// Submit-and-wait convenience; empty result when not admitted.
+  Result Query(const ts::TimeSeries& query, std::size_t k);
+
+  /// Stops admission, drains every already-admitted request (their futures
+  /// all complete), then stops the dispatcher and workers. Idempotent;
+  /// concurrent Submits fail cleanly with nullopt.
+  void Shutdown() SDTW_EXCLUDES(mu_);
+
+  ServiceMetrics metrics() const SDTW_EXCLUDES(mu_);
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    ts::TimeSeries query;
+    std::size_t k = 0;
+    std::chrono::steady_clock::time_point submit_time;
+    std::promise<Result> promise;
+  };
+
+  void DispatcherMain();
+  /// Blocks until a batch is due (size or deadline trigger) and pops it;
+  /// empty return = closed and fully drained (dispatcher exits).
+  std::vector<Request> NextBatch() SDTW_EXCLUDES(mu_);
+  /// Coalesce → cache → scan → truncate → fulfil. Runs without mu_.
+  void ExecuteBatch(std::vector<Request> batch);
+
+  const ServiceOptions options_;
+  WorkerPool pool_;
+  BatchKnnEngine engine_;
+  QueryDerivativeCache cache_;
+  LatencyRecorder latency_;
+
+  mutable core::Mutex mu_;
+  core::CondVar queue_cv_;  ///< Work available / closed.
+  core::CondVar space_cv_;  ///< Queue space freed / closed.
+  std::deque<Request> queue_ SDTW_GUARDED_BY(mu_);
+  bool closed_ SDTW_GUARDED_BY(mu_) = false;
+  std::size_t submitted_ SDTW_GUARDED_BY(mu_) = 0;
+  std::size_t rejected_ SDTW_GUARDED_BY(mu_) = 0;
+  std::size_t completed_ SDTW_GUARDED_BY(mu_) = 0;
+  std::size_t batches_ SDTW_GUARDED_BY(mu_) = 0;
+  std::size_t coalesced_ SDTW_GUARDED_BY(mu_) = 0;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace retrieval
+}  // namespace sdtw
+
+#endif  // SDTW_RETRIEVAL_SERVICE_H_

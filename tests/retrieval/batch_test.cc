@@ -8,6 +8,7 @@
 
 #include "data/generators.h"
 #include "dtw/dtw.h"
+#include "retrieval/service.h"
 
 namespace sdtw {
 namespace retrieval {
@@ -327,6 +328,154 @@ TEST(BatchKnnEngineTest, GlobalLowerBoundMatchesBruteForceAcrossThreads) {
             << threads << " " << q;
         EXPECT_EQ(hits[q][i].distance, expected[i].distance)
             << threads << " " << q;
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, ChunkBalanceModesReturnBitwiseIdenticalHits) {
+  // LB-mass chunk balancing is pure scheduling: under the global-LB
+  // schedule it only moves chunk *boundaries*, so hits must equal the
+  // kCandidateCount chunking bit for bit under every thread count, and
+  // the cascade outcome partition must stay exact.
+  const ts::Dataset ds = SmallGun(30);
+  for (const DistanceKind kind :
+       {DistanceKind::kFullDtw, DistanceKind::kSdtw}) {
+    KnnOptions opt;
+    opt.distance = kind;
+    opt.visit_order = VisitOrder::kGlobalLowerBound;
+    KnnEngine engine(opt);
+    engine.Index(ds);
+    const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 5);
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      BatchOptions count_opt;
+      count_opt.num_threads = threads;
+      count_opt.chunk_size = 4;  // many chunks -> boundaries really move
+      count_opt.chunk_balance = ChunkBalance::kCandidateCount;
+      BatchOptions mass_opt = count_opt;
+      mass_opt.chunk_balance = ChunkBalance::kLbMass;
+      std::vector<QueryStats> count_stats, mass_stats;
+      const auto count_hits = BatchKnnEngine(engine, count_opt)
+                                  .QueryBatch(queries, 4, &count_stats);
+      const auto mass_hits = BatchKnnEngine(engine, mass_opt)
+                                 .QueryBatch(queries, 4, &mass_stats);
+      ASSERT_EQ(mass_hits.size(), count_hits.size());
+      for (std::size_t q = 0; q < count_hits.size(); ++q) {
+        ASSERT_EQ(mass_hits[q].size(), count_hits[q].size())
+            << threads << " " << q;
+        for (std::size_t i = 0; i < count_hits[q].size(); ++i) {
+          EXPECT_EQ(mass_hits[q][i].index, count_hits[q][i].index)
+              << threads << " " << q;
+          EXPECT_EQ(mass_hits[q][i].distance, count_hits[q][i].distance)
+              << threads << " " << q;
+          EXPECT_EQ(mass_hits[q][i].label, count_hits[q][i].label)
+              << threads << " " << q;
+        }
+      }
+      for (const QueryStats& s : mass_stats) {
+        EXPECT_EQ(s.pruned_by_kim + s.pruned_by_keogh +
+                      s.pruned_by_early_abandon + s.dp_evaluations,
+                  s.candidates)
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, LbMassFallsBackWithoutGlobalSchedule) {
+  // Orders without a precomputed whole-index schedule (per-chunk LB and
+  // index order) have no mass to balance: kLbMass must degrade to the
+  // count chunking, bit for bit.
+  const ts::Dataset ds = SmallGun(20);
+  for (const VisitOrder order :
+       {VisitOrder::kIndexOrder, VisitOrder::kLowerBound}) {
+    KnnOptions opt;
+    opt.distance = DistanceKind::kFullDtw;
+    opt.visit_order = order;
+    KnnEngine engine(opt);
+    engine.Index(ds);
+    const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 4);
+    BatchOptions bopt;
+    bopt.num_threads = 4;
+    bopt.chunk_size = 3;
+    bopt.chunk_balance = ChunkBalance::kLbMass;
+    const auto hits = BatchKnnEngine(engine, bopt).QueryBatch(queries, 4);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto expected = BruteForceTopK(ds, queries[q], 4, std::nullopt);
+      ASSERT_EQ(hits[q].size(), expected.size()) << q;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(hits[q][i].index, expected[i].index) << q;
+        EXPECT_EQ(hits[q][i].distance, expected[i].distance) << q;
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, ExecutorSuppliedWorkersMatchFreshThreads) {
+  // A persistent WorkerPool plugged in via BatchOptions::executor must be
+  // invisible in the results: same hits bit for bit as per-call thread
+  // spawning, including on a second batch that reuses the pool's arenas.
+  const ts::Dataset ds = SmallGun(20);
+  KnnEngine engine;
+  engine.Index(ds);
+  const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 6);
+
+  BatchOptions fresh_opt;
+  fresh_opt.num_threads = 3;
+  fresh_opt.chunk_size = 4;
+  const auto expected = BatchKnnEngine(engine, fresh_opt).QueryBatch(queries, 3);
+
+  WorkerPool pool(3);
+  BatchOptions pooled_opt = fresh_opt;
+  pooled_opt.executor = &pool;
+  const BatchKnnEngine pooled(engine, pooled_opt);
+  for (int round = 0; round < 2; ++round) {  // round 2: warm arenas
+    const auto hits = pooled.QueryBatch(queries, 3);
+    ASSERT_EQ(hits.size(), expected.size()) << round;
+    for (std::size_t q = 0; q < expected.size(); ++q) {
+      ASSERT_EQ(hits[q].size(), expected[q].size()) << round << " " << q;
+      for (std::size_t i = 0; i < expected[q].size(); ++i) {
+        EXPECT_EQ(hits[q][i].index, expected[q][i].index) << round << " " << q;
+        EXPECT_EQ(hits[q][i].distance, expected[q][i].distance)
+            << round << " " << q;
+      }
+    }
+  }
+}
+
+TEST(BatchKnnEngineTest, PresetContextsReplayBitwiseIdentically) {
+  // MakeQueryContext + QueryBatchWithContexts is the caching hook: a
+  // replayed context must be indistinguishable from in-batch derivation,
+  // including when only some queries have one.
+  const ts::Dataset ds = SmallGun(16);
+  for (const DistanceKind kind :
+       {DistanceKind::kFullDtw, DistanceKind::kSdtw}) {
+    KnnOptions opt;
+    opt.distance = kind;
+    KnnEngine engine(opt);
+    engine.Index(ds);
+    const std::vector<ts::TimeSeries> queries = QueriesFrom(ds, 4);
+    const BatchKnnEngine batch(engine);
+    const auto expected = batch.QueryBatch(queries, 3);
+
+    std::vector<QueryContext> contexts;
+    contexts.reserve(queries.size());
+    for (const ts::TimeSeries& q : queries) {
+      contexts.push_back(batch.MakeQueryContext(q));
+    }
+    std::vector<const QueryContext*> all{&contexts[0], &contexts[1],
+                                         &contexts[2], &contexts[3]};
+    std::vector<const QueryContext*> some{nullptr, &contexts[1], nullptr,
+                                          &contexts[3]};
+    for (const auto& preset : {all, some}) {
+      const auto hits = batch.QueryBatchWithContexts(queries, preset, 3);
+      ASSERT_EQ(hits.size(), expected.size());
+      for (std::size_t q = 0; q < expected.size(); ++q) {
+        ASSERT_EQ(hits[q].size(), expected[q].size()) << q;
+        for (std::size_t i = 0; i < expected[q].size(); ++i) {
+          EXPECT_EQ(hits[q][i].index, expected[q][i].index) << q;
+          EXPECT_EQ(hits[q][i].distance, expected[q][i].distance) << q;
+        }
       }
     }
   }
