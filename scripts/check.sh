@@ -4,11 +4,14 @@
 # Usage: scripts/check.sh [--lint] [build-dir]   (default build dir: build)
 #
 #   --lint   run the static-analysis pass first: the project-invariant
-#            linter (scripts/lint_invariants.py), then clang-tidy over the
-#            TUs changed since origin/main (scripts/tidy.sh --changed).
-#            clang-tidy is skipped with a warning when not installed; the
-#            invariant linter always runs (it needs only a C++ compiler
-#            and nm, which a buildable host has by definition).
+#            linter (scripts/lint_invariants.py), the semantic AST linter
+#            (scripts/sdtw_lint — lock discipline, guarded members, raw
+#            sync primitives, view lifetimes, determinism), then
+#            clang-tidy over the TUs changed since origin/main
+#            (scripts/tidy.sh --changed). Each tool that exits 69
+#            (EX_UNAVAILABLE: missing compiler/nm, python libclang
+#            bindings, or clang-tidy) is skipped with a warning; any
+#            other failure stops the run.
 set -eu
 
 LINT=0
@@ -28,18 +31,30 @@ NPROC="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "$BUILD_DIR" -S .
 
-if [ "$LINT" = 1 ]; then
-  python3 scripts/lint_invariants.py
-  if scripts/tidy.sh --build-dir "$BUILD_DIR" --changed; then
+# Runs "$@"; exit 69 (EX_UNAVAILABLE) becomes a warning + skip, any
+# other failure exits check.sh with that status.
+run_or_skip() {
+  label="$1"
+  shift
+  if "$@"; then
     :
   else
     status=$?
     if [ "$status" = 69 ]; then
-      echo "check.sh: clang-tidy not installed; tidy pass skipped" >&2
+      echo "check.sh: $label unavailable on this host; skipped" >&2
     else
       exit "$status"
     fi
   fi
+}
+
+if [ "$LINT" = 1 ]; then
+  run_or_skip "lint_invariants (compiler/nm)" \
+    python3 scripts/lint_invariants.py --jobs "$NPROC"
+  run_or_skip "sdtw_lint (python libclang bindings)" \
+    python3 scripts/sdtw_lint --build-dir "$BUILD_DIR"
+  run_or_skip "clang-tidy" \
+    scripts/tidy.sh --build-dir "$BUILD_DIR" --changed
 fi
 
 cmake --build "$BUILD_DIR" -j "$NPROC"

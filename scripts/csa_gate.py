@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Gate on Clang Static Analyzer plist reports.
+
+Reads every ``*.plist`` under a scan-build report directory, drops the
+diagnostics matched by a documented suppressions file, and fails when any
+diagnostic survives. scan-build itself only reports; this turns its
+output into a pass/fail CI signal with an audit trail for every accepted
+finding.
+
+Suppressions file format (see scripts/csa_suppressions.txt): one entry
+per line, ``<checker-glob> <path-glob>  # rationale``. The rationale is
+mandatory — an entry without one is a usage error, so every suppression
+says *why* the finding is acceptable. Paths are repo-relative, matched
+with fnmatch (``*`` does not cross ``/``; use ``src/dtw/*`` per dir).
+
+Exit codes: 0 clean (including "no reports found" — scan-build deletes
+empty report dirs), 1 unsuppressed findings, 2 usage error.
+"""
+
+import argparse
+import fnmatch
+import os
+import plistlib
+import sys
+
+EX_OK, EX_FINDINGS, EX_USAGE = 0, 1, 2
+
+
+class Suppression:
+    __slots__ = ("checker_glob", "path_glob", "rationale", "lineno", "used")
+
+    def __init__(self, checker_glob, path_glob, rationale, lineno):
+        self.checker_glob = checker_glob
+        self.path_glob = path_glob
+        self.rationale = rationale
+        self.lineno = lineno
+        self.used = False
+
+    def matches(self, checker, rel_path):
+        return (fnmatch.fnmatchcase(checker, self.checker_glob)
+                and fnmatch.fnmatchcase(rel_path, self.path_glob))
+
+
+def load_suppressions(path):
+    """Parses the suppressions file; raises ValueError on malformed lines."""
+    entries = []
+    if not os.path.isfile(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            spec, sep, rationale = line.partition("#")
+            rationale = rationale.strip()
+            if not sep or not rationale:
+                raise ValueError(
+                    f"{path}:{lineno}: suppression without a rationale "
+                    f"(format: <checker-glob> <path-glob>  # why)")
+            fields = spec.split()
+            if len(fields) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected exactly "
+                    f"'<checker-glob> <path-glob>', got {len(fields)} field(s)")
+            entries.append(Suppression(fields[0], fields[1],
+                                       rationale, lineno))
+    return entries
+
+
+def iter_plists(report_dir):
+    for dirpath, dirnames, filenames in os.walk(report_dir):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(".plist"):
+                yield os.path.join(dirpath, name)
+
+
+def collect_diagnostics(report_dir):
+    """Yields (source_path, line, col, checker, description) tuples."""
+    for plist_path in iter_plists(report_dir):
+        try:
+            with open(plist_path, "rb") as f:
+                doc = plistlib.load(f)
+        except Exception as e:
+            print(f"csa_gate: warning: unreadable plist {plist_path}: {e}",
+                  file=sys.stderr)
+            continue
+        files = doc.get("files", [])
+        for diag in doc.get("diagnostics", []):
+            loc = diag.get("location", {})
+            file_index = loc.get("file")
+            if file_index is None or not (0 <= file_index < len(files)):
+                continue
+            checker = (diag.get("check_name")
+                       or f"{diag.get('category', '?')}/"
+                          f"{diag.get('type', '?')}")
+            yield (files[file_index], loc.get("line", 0), loc.get("col", 0),
+                   checker, diag.get("description", "(no description)"))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="csa_gate", description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--report-dir", required=True,
+                        help="scan-build output dir (searched recursively "
+                             "for *.plist)")
+    parser.add_argument("--suppressions", default=None,
+                        help="suppressions file (default: none)")
+    parser.add_argument("--root", default=os.getcwd(),
+                        help="repo root for relative paths (default: cwd)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    try:
+        suppressions = (load_suppressions(args.suppressions)
+                        if args.suppressions else [])
+    except ValueError as e:
+        print(f"csa_gate: {e}", file=sys.stderr)
+        return EX_USAGE
+
+    if not os.path.isdir(args.report_dir):
+        # scan-build removes the run dir when it found nothing.
+        print(f"csa_gate: no report dir at {args.report_dir} — "
+              f"treating as clean (scan-build deletes empty reports)")
+        return EX_OK
+
+    seen = set()
+    unsuppressed = []
+    suppressed_count = 0
+    for path, line, col, checker, description in \
+            collect_diagnostics(args.report_dir):
+        rel = os.path.relpath(os.path.abspath(path), root)
+        rel = rel.replace(os.sep, "/")
+        key = (rel, line, col, checker, description)
+        if key in seen:  # headers repeat across TUs
+            continue
+        seen.add(key)
+        matched = None
+        for entry in suppressions:
+            if entry.matches(checker, rel):
+                matched = entry
+                entry.used = True
+                break
+        if matched is not None:
+            suppressed_count += 1
+        else:
+            unsuppressed.append((rel, line, col, checker, description))
+
+    for entry in suppressions:
+        if not entry.used:
+            print(f"csa_gate: note: unused suppression at line "
+                  f"{entry.lineno}: {entry.checker_glob} {entry.path_glob}",
+                  file=sys.stderr)
+
+    unsuppressed.sort()
+    for rel, line, col, checker, description in unsuppressed:
+        print(f"{rel}:{line}:{col}: [{checker}] {description}")
+
+    total = len(unsuppressed) + suppressed_count
+    if unsuppressed:
+        print(f"csa_gate: {len(unsuppressed)} unsuppressed finding(s) "
+              f"of {total} total", file=sys.stderr)
+        return EX_FINDINGS
+    print(f"csa_gate: clean ({total} diagnostic(s), "
+          f"{suppressed_count} suppressed)")
+    return EX_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

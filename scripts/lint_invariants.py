@@ -36,21 +36,31 @@ Rules (each is a machine check of an invariant a PR established in prose):
 Usage:
   scripts/lint_invariants.py [--root DIR] [--only RULE ...]
                              [--objects BUILD_DIR] [--compiler CXX]
-                             [--list-rules]
+                             [--jobs N] [--list-rules]
 
 Default --root is the repository this script lives in. --objects
 additionally verifies the kernel objects an existing build produced (the
-belt to the compile-probe braces; CI runs it after the build). Exit code:
-0 clean, 1 findings, 2 usage or environment error.
+belt to the compile-probe braces; CI runs it after the build). --jobs N
+runs the kernel compile probes concurrently (findings stay in source
+order regardless). Exit code: 0 clean, 1 findings, 2 usage error,
+69 (EX_UNAVAILABLE) when a probe tool (compiler / nm) is missing and
+every rule that did run came back clean — mirrors scripts/tidy.sh and
+scripts/sdtw_lint so callers can skip gracefully.
 """
 
 import argparse
+import concurrent.futures
 import os
 import re
 import shutil
 import subprocess
 import sys
 import tempfile
+
+EX_OK = 0
+EX_FINDINGS = 1
+EX_USAGE = 2
+EX_UNAVAILABLE = 69
 
 FIXTURE_DIR_MARKERS = (os.path.join("tests", "lint", "fixtures"),)
 SKIP_DIR_NAMES = {".git", "_deps", "CMakeFiles"}
@@ -327,7 +337,9 @@ def check_object_exports(nm, obj, label, findings, weak_ok=False):
             f"k<Variant>RowKernelOps table may be exported")
 
 
-def check_kernel_linkage(root, compiler, findings, verbose):
+def check_kernel_linkage(root, compiler, findings, verbose, jobs=1):
+    """Returns None when the rule ran (findings hold the verdict) or a
+    human-readable reason when a probe tool is missing (caller exits 69)."""
     kernels_dir = os.path.join(root, "src", "dtw", "kernels")
     row_kernel = os.path.join(root, "src", "dtw", "row_kernel.h")
     sources = []
@@ -336,75 +348,103 @@ def check_kernel_linkage(root, compiler, findings, verbose):
                    for f in sorted(os.listdir(kernels_dir))
                    if f.endswith(".cc")]
     if not sources and not os.path.isfile(row_kernel):
-        return  # nothing to check in this tree (fixture roots)
+        return None  # nothing to check in this tree (fixture roots)
 
     nm = find_tool("nm", "llvm-nm")
     if nm is None:
-        findings.add("kernel-internal-linkage", "(environment)",
-                     "no nm/llvm-nm found — cannot verify kernel linkage")
-        return
+        return "no nm/llvm-nm found (apt: binutils) — cannot verify kernel linkage"
     if compiler is None:
-        findings.add("kernel-internal-linkage", "(environment)",
-                     "no C++ compiler found — cannot verify kernel linkage")
-        return
+        return "no C++ compiler found — cannot verify kernel linkage"
+    if shutil.which(compiler) is None and not (
+            os.path.isfile(compiler) and os.access(compiler, os.X_OK)):
+        return (f"compiler '{compiler}' not found — "
+                "cannot verify kernel linkage")
 
     base_flags = ["-std=c++20", "-O1", "-ffp-contract=off",
                   "-I", os.path.join(root, "src"), "-c"]
     with tempfile.TemporaryDirectory(prefix="sdtw_lint_") as tmpdir:
+        # Probe arch-flag support once, serially, so the parallel phase
+        # below never races on the shared flag_probe.cc.
+        arch_sets = {tuple(arch_flags_for(os.path.basename(s)))
+                     for s in sources}
+        arch_sets |= {("-mavx512f",), ("-mavx2",)}
+        supported = {flags: (not flags or
+                             compiler_supports(compiler, list(flags), tmpdir))
+                     for flags in sorted(arch_sets)}
+
+        # (label, arch, source_path, is_anchor) in deterministic order.
+        tasks = []
         for src in sources:
             rel = os.path.relpath(src, root)
             arch = arch_flags_for(os.path.basename(src))
-            if arch and not compiler_supports(compiler, arch, tmpdir):
+            if arch and not supported[tuple(arch)]:
                 if verbose:
                     print(f"note: {rel}: compiler lacks {arch}, skipped")
                 continue
-            obj = os.path.join(
-                tmpdir, os.path.basename(src) + ".o")
-            r = subprocess.run(
-                [compiler, *base_flags, *arch, src, "-o", obj],
-                capture_output=True, text=True, check=False)
-            if r.returncode != 0:
-                findings.add(
-                    "kernel-internal-linkage", rel,
-                    "kernel TU does not compile standalone with its arch "
-                    f"flags ({' '.join(arch) or 'baseline'}):\n"
-                    + r.stderr.strip())
-                continue
-            check_object_exports(nm, obj, rel, findings)
+            tasks.append((rel, arch, src, False))
 
         if os.path.isfile(row_kernel):
             anchor = os.path.join(tmpdir, "row_kernel_anchor.cc")
             with open(anchor, "w", encoding="utf-8") as f:
                 f.write(ROW_KERNEL_ANCHOR)
             arch = []
-            for candidate in (["-mavx512f"], ["-mavx2"]):
-                if compiler_supports(compiler, candidate, tmpdir):
-                    arch = candidate
+            for candidate in (("-mavx512f",), ("-mavx2",)):
+                if supported[candidate]:
+                    arch = list(candidate)
                     break
-            obj = os.path.join(tmpdir, "row_kernel_anchor.o")
+            tasks.append(("src/dtw/row_kernel.h", arch, anchor, True))
+
+        def probe(idx, label, arch, src, is_anchor):
+            """Compiles one TU and nm-checks it; returns Findings items."""
+            local = Findings()
+            obj = os.path.join(tmpdir, f"probe_{idx}.o")
             r = subprocess.run(
-                [compiler, *base_flags, *arch, anchor, "-o", obj],
+                [compiler, *base_flags, *arch, src, "-o", obj],
                 capture_output=True, text=True, check=False)
             if r.returncode != 0:
-                findings.add(
-                    "kernel-internal-linkage", "src/dtw/row_kernel.h",
-                    "anchor TU no longer compiles — row_kernel.h's helper "
-                    "set changed; update ROW_KERNEL_ANCHOR in "
-                    "lint_invariants.py:\n" + r.stderr.strip())
-            else:
-                check_object_exports(nm, obj, "src/dtw/row_kernel.h",
-                                     findings)
+                if is_anchor:
+                    local.add(
+                        "kernel-internal-linkage", label,
+                        "anchor TU no longer compiles — row_kernel.h's "
+                        "helper set changed; update ROW_KERNEL_ANCHOR in "
+                        "lint_invariants.py:\n" + r.stderr.strip())
+                else:
+                    local.add(
+                        "kernel-internal-linkage", label,
+                        "kernel TU does not compile standalone with its "
+                        f"arch flags ({' '.join(arch) or 'baseline'}):\n"
+                        + r.stderr.strip())
+                return local.items
+            check_object_exports(nm, obj, label, local)
+            return local.items
+
+        if jobs <= 1 or len(tasks) <= 1:
+            for idx, (label, arch, src, is_anchor) in enumerate(tasks):
+                for item in probe(idx, label, arch, src, is_anchor):
+                    findings.items.append(item)
+        else:
+            # Futures are collected in submission order, so findings come
+            # out identical to the serial run whatever the completion
+            # order was.
+            with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(probe, idx, label, arch, src, is_anchor)
+                    for idx, (label, arch, src, is_anchor)
+                    in enumerate(tasks)]
+                for future in futures:
+                    findings.items.extend(future.result())
+    return None
 
 
 def check_built_objects(root, build_dir, findings, verbose):
     """Post-build mode: nm over the kernel objects the real build
     produced, catching flag drift between the linter's probe compile and
-    the build system."""
+    the build system. Returns None, or an unavailability reason (exit 69
+    at the caller)."""
     nm = find_tool("nm", "llvm-nm")
     if nm is None:
-        findings.add("kernel-internal-linkage", "(environment)",
-                     "no nm/llvm-nm found — cannot verify built objects")
-        return
+        return "no nm/llvm-nm found (apt: binutils) — cannot verify built objects"
     matched = []
     for dirpath, dirnames, filenames in os.walk(build_dir):
         dirnames[:] = [d for d in dirnames if d != "_deps"]
@@ -421,7 +461,7 @@ def check_built_objects(root, build_dir, findings, verbose):
             "kernel-internal-linkage", build_dir,
             "no row_kernel_*.cc objects found under the build dir — wrong "
             "--objects path, or the build layout changed")
-        return
+        return None
     for obj in sorted(matched):
         rel = os.path.relpath(obj, build_dir)
         # The portable TU is compiled with baseline flags everywhere, so
@@ -450,6 +490,10 @@ def main(argv):
     parser.add_argument("--compiler", default=None,
                         help="C++ compiler for the linkage probe "
                              "(default: $CXX, else c++/g++/clang++)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="concurrent kernel compile probes "
+                             "(default: 1; findings order is identical "
+                             "at any N)")
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
@@ -457,7 +501,10 @@ def main(argv):
     if args.list_rules:
         for rule in RULES:
             print(rule)
-        return 0
+        return EX_OK
+    if args.jobs < 1:
+        print("lint_invariants: --jobs must be >= 1", file=sys.stderr)
+        return EX_USAGE
 
     root = os.path.abspath(
         args.root
@@ -465,10 +512,11 @@ def main(argv):
     if not os.path.isdir(root):
         print(f"lint_invariants: --root {root} is not a directory",
               file=sys.stderr)
-        return 2
+        return EX_USAGE
 
     rules = args.only or RULES
     findings = Findings()
+    unavailable = []
 
     if "fp-contract" in rules:
         check_fp_contract(root, findings)
@@ -477,21 +525,34 @@ def main(argv):
     if "kernel-internal-linkage" in rules:
         compiler = (args.compiler or os.environ.get("CXX")
                     or find_tool("c++", "g++", "clang++"))
-        check_kernel_linkage(root, compiler, findings, args.verbose)
+        reason = check_kernel_linkage(root, compiler, findings,
+                                      args.verbose, jobs=args.jobs)
+        if reason:
+            unavailable.append(reason)
         if args.objects:
             if not os.path.isdir(args.objects):
                 print(f"lint_invariants: --objects {args.objects} is not "
                       "a directory", file=sys.stderr)
-                return 2
-            check_built_objects(root, args.objects, findings, args.verbose)
+                return EX_USAGE
+            reason = check_built_objects(root, args.objects, findings,
+                                         args.verbose)
+            if reason:
+                unavailable.append(reason)
 
     status = findings.report()
-    if status == 0:
-        print(f"lint_invariants: clean ({', '.join(rules)})")
-    else:
+    if status != 0:
         print(f"lint_invariants: {len(findings.items)} finding(s)",
               file=sys.stderr)
-    return status
+        return EX_FINDINGS
+    if unavailable:
+        # Every rule that could run came back clean, but a probe tool is
+        # missing: report EX_UNAVAILABLE so callers skip instead of
+        # trusting a verdict the linter could not fully earn.
+        for reason in unavailable:
+            print(f"lint_invariants: {reason}; skipping", file=sys.stderr)
+        return EX_UNAVAILABLE
+    print(f"lint_invariants: clean ({', '.join(rules)})")
+    return EX_OK
 
 
 if __name__ == "__main__":

@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# Clang Static Analyzer runner for the sdtw tree.
+#
+# Usage: scripts/scan_build.sh [--build-dir DIR] [--report-dir DIR] [--jobs N]
+#
+# Does a fresh configure + full-tree build under scan-build so every TU
+# (src/, bench/, tests/) passes through the analyzer, writing plist +
+# HTML reports into the report dir. Then gates on scripts/csa_gate.py:
+# any diagnostic not matched by scripts/csa_suppressions.txt fails.
+#
+# Exit codes: 0 clean, 1 unsuppressed findings (or broken build),
+# 69 (EX_UNAVAILABLE) when scan-build is not installed (apt: clang-tools)
+# — mirrors scripts/tidy.sh so callers can skip gracefully.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-csa"
+REPORT_DIR=
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir)
+      BUILD_DIR="$2"
+      shift 2
+      ;;
+    --report-dir)
+      REPORT_DIR="$2"
+      shift 2
+      ;;
+    --jobs)
+      JOBS="$2"
+      shift 2
+      ;;
+    -h|--help)
+      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "scan_build.sh: unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+[ -n "$REPORT_DIR" ] || REPORT_DIR="$BUILD_DIR/csa-report"
+
+SCAN="${SCAN_BUILD:-}"
+if [ -z "$SCAN" ]; then
+  for cand in scan-build scan-build-20 scan-build-19 scan-build-18 \
+              scan-build-17 scan-build-16 scan-build-15 scan-build-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      SCAN="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$SCAN" ]; then
+  echo "scan_build.sh: scan-build not found (set SCAN_BUILD=... or apt install clang-tools)" >&2
+  exit 69  # EX_UNAVAILABLE
+fi
+
+# Always analyze from a clean slate: an incremental build only re-analyzes
+# the TUs it recompiles, which silently shrinks coverage.
+rm -rf "$BUILD_DIR"
+mkdir -p "$REPORT_DIR"
+
+echo "scan_build.sh: analyzing with $SCAN ($JOBS jobs) -> $REPORT_DIR"
+# Configure under scan-build so CMake records the analyzer's compiler
+# wrappers; build under it so every TU is analyzed. -plist-html emits the
+# machine-readable plists csa_gate.py consumes next to the human HTML
+# pages CI uploads as an artifact.
+"$SCAN" -plist-html -o "$REPORT_DIR" \
+  cmake -S "$ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+"$SCAN" -plist-html -o "$REPORT_DIR" \
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+
+exec python3 "$ROOT/scripts/csa_gate.py" \
+  --report-dir "$REPORT_DIR" \
+  --suppressions "$ROOT/scripts/csa_suppressions.txt" \
+  --root "$ROOT"

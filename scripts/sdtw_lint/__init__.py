@@ -1,0 +1,26 @@
+"""sdtw_lint — semantic AST lint suite for the sdtw tree.
+
+A `compile_commands.json`-driven linter built on the libclang Python
+bindings (`clang.cindex`). It enforces the concurrency and determinism
+invariants that neither clang-tidy nor the regex-based
+`scripts/lint_invariants.py` can express, because they require real
+type/scope information:
+
+  lock-discipline          no blocking, I/O, or raw-wait calls in a scope
+                           holding a core::Mutex via MutexLock/UniqueLock
+  guarded-member-coverage  every mutable member of a mutex-owning class
+                           carries SDTW_GUARDED_BY / SDTW_PT_GUARDED_BY
+                           (or an explicit rationale)
+  raw-sync-primitives      no bare std::mutex / std::lock_guard /
+                           std::condition_variable outside core/mutex.h
+  span-lifetime            no std::span / std::string_view returned from
+                           (or stored over) locals and temporaries
+  determinism              no result-feeding iteration or floating-point
+                           reduction over unordered containers
+
+Run as a directory:  python3 scripts/sdtw_lint [--help]
+
+Exit codes follow scripts/tidy.sh conventions: 0 clean, 1 findings,
+2 usage/environment error, 69 (EX_UNAVAILABLE) when the libclang
+bindings are not installed — callers treat 69 as a graceful skip.
+"""

@@ -1,0 +1,142 @@
+"""CLI for the sdtw semantic AST linter.
+
+Usage:
+  python3 scripts/sdtw_lint [--root DIR] [--build-dir DIR]
+                            [--only RULE ...] [--list-rules] [--probe]
+                            [--verbose]
+
+Parses every TU recorded in `<build-dir>/compile_commands.json` that
+lives under src/, bench/ or tests/ (falling back to `src/**/*.cc` with
+default flags when no database exists — fixture trees take this path) and
+runs the rule registry over each. Findings deduplicate across TUs, so a
+header violation reports once however many TUs include it.
+
+Exit codes: 0 clean, 1 findings, 2 usage/environment error,
+69 (EX_UNAVAILABLE) when the libclang Python bindings are missing —
+mirrors scripts/tidy.sh so callers can skip gracefully.
+"""
+
+import argparse
+import os
+import sys
+
+import engine
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="sdtw_lint",
+        description="semantic AST lint suite for the sdtw tree "
+                    "(see scripts/sdtw_lint/__init__.py)")
+    parser.add_argument("--root", default=None,
+                        help="tree to lint (default: the repo containing "
+                             "this script)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build dir holding compile_commands.json "
+                             "(default: <root>/build when present)")
+    parser.add_argument("--only", action="append",
+                        choices=list(engine.RULE_NAMES), metavar="RULE",
+                        help="run only this rule (repeatable); one of: "
+                             + ", ".join(engine.RULE_NAMES))
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule ids and exit")
+    parser.add_argument("--probe", action="store_true",
+                        help="exit 0 when libclang is usable, 69 when not")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, summary in engine.RULE_INFO:
+            print(f"{name}\t{summary}")
+        return engine.EX_OK
+
+    cindex, reason = engine.load_cindex()
+    if cindex is None:
+        print(f"sdtw_lint: {reason}; skipping semantic lint",
+              file=sys.stderr)
+        return engine.EX_UNAVAILABLE
+    if args.probe:
+        print("sdtw_lint: libclang usable")
+        return engine.EX_OK
+
+    root = os.path.abspath(
+        args.root
+        or os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+    if not os.path.isdir(root):
+        print(f"sdtw_lint: --root {root} is not a directory",
+              file=sys.stderr)
+        return engine.EX_USAGE
+
+    build_dir = args.build_dir
+    if build_dir is None:
+        default_build = os.path.join(root, "build")
+        if os.path.isfile(os.path.join(default_build,
+                                       "compile_commands.json")):
+            build_dir = default_build
+    elif not os.path.isdir(build_dir):
+        print(f"sdtw_lint: --build-dir {build_dir} is not a directory",
+              file=sys.stderr)
+        return engine.EX_USAGE
+
+    import rules  # imports clang.cindex — only valid past load_cindex()
+
+    selected = [rules.BY_NAME[name]
+                for name in (args.only or engine.RULE_NAMES)]
+
+    ctx = engine.LintContext(root, verbose=args.verbose)
+    units, mode = engine.translation_units(ctx, build_dir)
+    if not units:
+        print(f"sdtw_lint: no translation units found under {root}",
+              file=sys.stderr)
+        return engine.EX_USAGE
+    if args.verbose:
+        print(f"sdtw_lint: {len(units)} TU(s) via {mode}")
+
+    index = cindex.Index.create()
+    findings = []
+    parsed = 0
+    for path, parse_args in units:
+        try:
+            tu = index.parse(path, args=parse_args)
+        except Exception as e:
+            print(f"sdtw_lint: failed to parse {path}: {e}",
+                  file=sys.stderr)
+            continue
+        if tu is None:
+            print(f"sdtw_lint: failed to parse {path}", file=sys.stderr)
+            continue
+        parsed += 1
+        if args.verbose:
+            fatals = [d for d in tu.diagnostics if d.severity >= 4]
+            for d in fatals:
+                print(f"sdtw_lint: note: {path}: {d.spelling}",
+                      file=sys.stderr)
+        for rule in selected:
+            for finding in rule.check(ctx, tu):
+                if not ctx.in_scope(finding.path, rule.DIRS):
+                    continue
+                if ctx.is_allowed(finding.path, finding.line,
+                                  rule.SUPPRESS):
+                    continue
+                findings.append(finding)
+
+    if parsed == 0:
+        print("sdtw_lint: every translation unit failed to parse",
+              file=sys.stderr)
+        return engine.EX_USAGE
+
+    findings = engine.dedupe(findings)
+    for finding in findings:
+        print(finding.render(root))
+    rule_names = ", ".join(r.NAME for r in selected)
+    if findings:
+        print(f"sdtw_lint: {len(findings)} finding(s) "
+              f"({parsed} TU(s), rules: {rule_names})", file=sys.stderr)
+        return engine.EX_FINDINGS
+    print(f"sdtw_lint: clean ({parsed} TU(s), rules: {rule_names})")
+    return engine.EX_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

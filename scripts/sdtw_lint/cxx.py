@@ -1,0 +1,154 @@
+"""Cursor/type helpers over clang.cindex.
+
+Import this module only after engine.load_cindex() succeeded — it imports
+clang.cindex at module scope.
+"""
+
+import os
+
+from clang.cindex import CursorKind, StorageClass, TypeKind
+
+# Cursor kinds that introduce a function body scope.
+FUNCTION_KINDS = frozenset((
+    CursorKind.FUNCTION_DECL,
+    CursorKind.CXX_METHOD,
+    CursorKind.CONSTRUCTOR,
+    CursorKind.DESTRUCTOR,
+    CursorKind.CONVERSION_FUNCTION,
+    CursorKind.FUNCTION_TEMPLATE,
+    CursorKind.LAMBDA_EXPR,
+))
+
+RECORD_KINDS = frozenset((
+    CursorKind.CLASS_DECL,
+    CursorKind.STRUCT_DECL,
+    CursorKind.CLASS_TEMPLATE,
+    CursorKind.CLASS_TEMPLATE_PARTIAL_SPECIALIZATION,
+))
+
+_REF_KINDS = (TypeKind.LVALUEREFERENCE, TypeKind.RVALUEREFERENCE)
+
+# Inline/versioned std sub-namespaces that would defeat exact name
+# matching ("std::__1::mutex" on libc++, "std::__cxx11::basic_string"
+# on libstdc++).
+_STD_NOISE = ("::__1::", "::__cxx11::", "::__cxx20::", "::__detail::")
+
+
+def normalize(spelling):
+    for noise in _STD_NOISE:
+        spelling = spelling.replace(noise, "::")
+    return spelling
+
+
+def canonical(type_obj):
+    """Normalized canonical spelling of a type; '' when unavailable."""
+    if type_obj is None:
+        return ""
+    try:
+        return normalize(type_obj.get_canonical().spelling)
+    except Exception:
+        return ""
+
+
+def deref(type_obj):
+    """Peels reference types (T& / T&& -> T)."""
+    if type_obj is not None and type_obj.kind in _REF_KINDS:
+        return type_obj.get_pointee()
+    return type_obj
+
+
+def canonical_deref(type_obj):
+    return canonical(deref(type_obj))
+
+
+def qualified_name(cursor):
+    """'ns::Class::member' via semantic parents, normalized. Template
+    arguments are not included (class template spellings are bare)."""
+    parts = []
+    c = cursor
+    while c is not None and c.kind != CursorKind.TRANSLATION_UNIT:
+        spelling = c.spelling
+        if spelling:
+            parts.append(spelling)
+        c = c.semantic_parent
+    return normalize("::".join(reversed(parts)))
+
+
+def parent_qualified_name(cursor):
+    parent = cursor.semantic_parent if cursor is not None else None
+    if parent is None:
+        return ""
+    return qualified_name(parent)
+
+
+def location_path(cursor):
+    loc = cursor.location
+    if loc is None or loc.file is None:
+        return None
+    return os.path.abspath(loc.file.name)
+
+
+def is_local_var(cursor):
+    """True for a VAR_DECL declared inside a function body (any nesting),
+    excluding statics."""
+    if cursor is None or cursor.kind != CursorKind.VAR_DECL:
+        return False
+    try:
+        if cursor.storage_class in (StorageClass.STATIC,
+                                    StorageClass.EXTERN):
+            return False
+    except Exception:
+        pass
+    c = cursor.semantic_parent
+    while c is not None and c.kind != CursorKind.TRANSLATION_UNIT:
+        if c.kind in FUNCTION_KINDS:
+            return True
+        c = c.semantic_parent
+    return False
+
+
+def is_const_type(type_obj):
+    try:
+        return deref(type_obj).get_canonical().is_const_qualified()
+    except Exception:
+        return False
+
+
+def walk_in_root(ctx, tu):
+    """Preorder walk of every cursor located under ctx.root, pruning
+    subtrees rooted in out-of-root files (system headers). Namespace
+    blocks re-open per file, so pruning a std:: block from a system
+    header never hides in-root code."""
+    stack = list(reversed(list(tu.cursor.get_children())))
+    while stack:
+        cursor = stack.pop()
+        path = location_path(cursor)
+        if path is None or not ctx.in_root(path):
+            continue
+        yield cursor
+        stack.extend(reversed(list(cursor.get_children())))
+
+
+def subtree(cursor, skip_lambdas=True):
+    """Preorder walk below `cursor` (exclusive), optionally skipping
+    lambda bodies (their code runs later, under different locks)."""
+    stack = list(reversed(list(cursor.get_children())))
+    while stack:
+        node = stack.pop()
+        if skip_lambdas and node.kind == CursorKind.LAMBDA_EXPR:
+            continue
+        yield node
+        stack.extend(reversed(list(node.get_children())))
+
+
+def has_token(cursor, *names):
+    """True when the raw source tokens of `cursor`'s extent contain any of
+    `names` — macro-name-accurate annotation detection."""
+    wanted = set(names)
+    try:
+        for tok in cursor.get_tokens():
+            if tok.spelling in wanted:
+                return True
+    except Exception:
+        pass
+    return False

@@ -1,0 +1,272 @@
+"""Clang-independent engine for sdtw_lint.
+
+Everything here must import without the libclang bindings present, so the
+CLI can probe for them and exit 69 (EX_UNAVAILABLE) gracefully. The
+clang-dependent cursor helpers live in cxx.py; the rules live in rules/.
+"""
+
+import glob
+import json
+import os
+import re
+import shlex
+import sys
+
+EX_OK = 0
+EX_FINDINGS = 1
+EX_USAGE = 2
+EX_UNAVAILABLE = 69
+
+# Rule metadata lives here (not in the rule modules) so --list-rules works
+# without libclang. rules/__init__.py asserts the two stay in sync.
+RULE_INFO = (
+    ("lock-discipline",
+     "no blocking/I-O/raw-wait calls while holding a core::Mutex"),
+    ("guarded-member-coverage",
+     "mutable members of mutex-owning classes carry SDTW_GUARDED_BY"),
+    ("raw-sync-primitives",
+     "no bare std:: sync primitives outside core/mutex.h"),
+    ("span-lifetime",
+     "no std::span/std::string_view views over locals or temporaries"),
+    ("determinism",
+     "no result-feeding iteration / FP reduction over unordered containers"),
+)
+RULE_NAMES = tuple(name for name, _ in RULE_INFO)
+
+# Suppression marker: `lint:allow(<key>)` or `lint:allow(<key>: rationale)`
+# on the finding's line or the line directly above it. Keys are per-rule
+# (see each rule module's SUPPRESS attribute) and deliberately short —
+# e.g. the guarded-member rule uses `unguarded`.
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)(?:\s*:[^)]*)?\)")
+
+SCAN_DIRS = ("src", "bench", "tests")
+FIXTURE_MARKER = os.path.join("tests", "lint", "fixtures")
+SKIP_DIR_NAMES = {".git", "_deps", "CMakeFiles"}
+
+
+def load_cindex(extra_search=True):
+    """Returns (cindex_module, None) or (None, human-readable reason).
+
+    Tries a plain import first; when the module is importable but the
+    libclang shared library is not on the default search path (common for
+    distro LLVM installs), retries with every libclang.so it can find.
+    """
+    cindex = None
+    try:
+        from clang import cindex  # noqa: F401  (re-imported below)
+        import clang.cindex as cindex
+    except ImportError:
+        if extra_search:
+            # Distro LLVM sometimes ships the bindings outside site-packages.
+            for pattern in ("/usr/lib/llvm-*/lib/python3*/site-packages",
+                            "/usr/lib/llvm-*/lib/python3*/dist-packages"):
+                for path in sorted(glob.glob(pattern), reverse=True):
+                    if path not in sys.path:
+                        sys.path.append(path)
+            try:
+                import clang.cindex as cindex
+            except ImportError:
+                cindex = None
+        if cindex is None:
+            return None, ("python libclang bindings (clang.cindex) not "
+                          "installed — apt: python3-clang, pip: libclang")
+
+    try:
+        cindex.Index.create()
+        return cindex, None
+    except Exception as first_error:  # cindex.LibclangError, usually
+        candidates = []
+        for pattern in ("/usr/lib/llvm-*/lib/libclang.so*",
+                        "/usr/lib/llvm-*/lib/libclang-*.so*",
+                        "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+                        "/usr/lib/*/libclang.so*",
+                        "/usr/local/lib/libclang*.so*"):
+            candidates.extend(sorted(glob.glob(pattern), reverse=True))
+        for lib in candidates:
+            if "libclang-cpp" in os.path.basename(lib):
+                continue  # the C++ library, not the C API the bindings wrap
+            try:
+                cindex.Config.set_library_file(lib)
+                cindex.Index.create()
+                return cindex, None
+            except Exception:
+                continue
+        return None, (f"libclang shared library not loadable "
+                      f"({first_error}) — apt: libclang1 / libclang-dev")
+
+
+class Finding:
+    """One rule violation at a source location."""
+
+    __slots__ = ("rule", "path", "line", "col", "message", "priority")
+
+    def __init__(self, rule, path, line, col, message, priority=0):
+        self.rule = rule
+        self.path = path
+        self.line = int(line)
+        self.col = int(col)
+        self.message = message
+        # When two findings of one rule land on the same line, the higher
+        # priority one wins the dedupe (e.g. the determinism rule prefers
+        # its range-for classification over the raw begin() call).
+        self.priority = priority
+
+    def key(self):
+        return (self.rule, self.path, self.line)
+
+    def render(self, root):
+        rel = os.path.relpath(self.path, root)
+        return f"{rel}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class LintContext:
+    """Per-run state shared by every rule: root, file cache, suppressions."""
+
+    def __init__(self, root, verbose=False):
+        self.root = os.path.abspath(root)
+        self.verbose = verbose
+        self._lines = {}
+
+    def file_lines(self, path):
+        path = os.path.abspath(path)
+        if path not in self._lines:
+            try:
+                with open(path, "r", encoding="utf-8",
+                          errors="replace") as f:
+                    self._lines[path] = f.read().split("\n")
+            except OSError:
+                self._lines[path] = []
+        return self._lines[path]
+
+    def is_allowed(self, path, line, key):
+        """True when `lint:allow(<key>[: why])` sits on `line` or the line
+        directly above it."""
+        lines = self.file_lines(path)
+        for lineno in (line, line - 1):
+            if 1 <= lineno <= len(lines):
+                for m in ALLOW_RE.finditer(lines[lineno - 1]):
+                    if m.group(1) == key:
+                        return True
+        return False
+
+    def in_root(self, path):
+        rel = os.path.relpath(os.path.abspath(path), self.root)
+        return not rel.startswith("..") and not os.path.isabs(rel)
+
+    def in_scope(self, path, dirs):
+        """True when `path` lives under one of the repo-relative `dirs`
+        and is not a deliberately-violating lint fixture."""
+        rel = os.path.relpath(os.path.abspath(path), self.root)
+        if rel.startswith("..") or os.path.isabs(rel):
+            return False
+        if FIXTURE_MARKER in rel:
+            # Only skip fixtures when linting the real tree; a fixture
+            # being the root itself never hits this (rel is inside it).
+            return False
+        top = rel.split(os.sep, 1)[0]
+        return top in dirs or rel in dirs
+
+
+# Parse-argument extraction from a compile_commands.json entry: keep the
+# flags that shape the AST (includes, defines, dialect, arch, warnings),
+# drop everything about outputs. Unknown keepers are harmless to libclang.
+_KEEP_PREFIXES = ("-I", "-D", "-U", "-std=", "-m", "-f", "-W", "-O", "-g",
+                  "--sysroot", "-nostdinc", "-pthread", "--target=")
+_KEEP_WITH_VALUE = ("-isystem", "-iquote", "-idirafter", "-include",
+                    "-imacros")
+
+
+def _absolutize(path, directory):
+    if path and directory and not os.path.isabs(path):
+        return os.path.normpath(os.path.join(directory, path))
+    return path
+
+
+def extract_parse_args(argv, directory):
+    out = []
+    i = 1  # skip the compiler
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("-c", "-S", "-E"):
+            i += 1
+            continue
+        if arg == "-o":
+            i += 2
+            continue
+        if arg == "-I":
+            val = argv[i + 1] if i + 1 < len(argv) else None
+            out.extend(["-I", _absolutize(val, directory)])
+            i += 2
+            continue
+        if arg in _KEEP_WITH_VALUE:
+            val = argv[i + 1] if i + 1 < len(argv) else None
+            out.extend([arg, _absolutize(val, directory)])
+            i += 2
+            continue
+        if arg.startswith("-I") and len(arg) > 2:
+            out.append("-I" + _absolutize(arg[2:], directory))
+            i += 1
+            continue
+        if any(arg.startswith(p) for p in _KEEP_PREFIXES):
+            out.append(arg)
+            i += 1
+            continue
+        i += 1
+    return [a for a in out if a is not None]
+
+
+def translation_units(ctx, build_dir):
+    """Returns ([(source_path, parse_args)], mode_string).
+
+    Preferred source: `build_dir/compile_commands.json` (every configure
+    writes one), restricted to TUs under src/, bench/, tests/. Fallback
+    when there is no database (e.g. fixture trees): every .cc under
+    `root/src` parsed with `-std=c++20 -I root/src`.
+    """
+    db_path = os.path.join(build_dir, "compile_commands.json") \
+        if build_dir else None
+    if db_path and os.path.isfile(db_path):
+        with open(db_path, "r", encoding="utf-8") as f:
+            entries = json.load(f)
+        units = []
+        seen = set()
+        for entry in entries:
+            directory = entry.get("directory", ".")
+            path = _absolutize(entry.get("file", ""), directory)
+            if not path or path in seen:
+                continue
+            if not ctx.in_scope(path, SCAN_DIRS):
+                continue
+            seen.add(path)
+            if "arguments" in entry:
+                argv = list(entry["arguments"])
+            else:
+                argv = shlex.split(entry.get("command", ""))
+            units.append((path, extract_parse_args(argv, directory)))
+        if units:
+            units.sort()
+            return units, f"compile database ({db_path})"
+
+    src = os.path.join(ctx.root, "src")
+    units = []
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames[:] = sorted(d for d in dirnames
+                             if d not in SKIP_DIR_NAMES
+                             and not d.startswith("build"))
+        for name in sorted(filenames):
+            if name.endswith(".cc") or name.endswith(".cpp"):
+                units.append((os.path.join(dirpath, name),
+                              ["-std=c++20", "-I", src]))
+    return units, "fallback (-std=c++20 -I src; no compile database)"
+
+
+def dedupe(findings):
+    """Stable dedupe on (rule, path, line), keeping the highest-priority
+    finding per key, then sorts for deterministic output."""
+    best = {}
+    for f in findings:
+        k = f.key()
+        if k not in best or f.priority > best[k].priority:
+            best[k] = f
+    return sorted(best.values(),
+                  key=lambda f: (f.path, f.line, f.rule, f.col))

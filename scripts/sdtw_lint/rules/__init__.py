@@ -1,0 +1,23 @@
+"""Rule registry for sdtw_lint.
+
+Import this package only after engine.load_cindex() succeeded: the rule
+modules import clang.cindex at module scope. Each rule module exports
+
+  NAME      rule id (what --only and finding tags use)
+  SUPPRESS  the lint:allow(...) key that silences it
+  DIRS      repo-relative top-level dirs whose findings count
+  check(ctx, tu) -> list[Finding]
+"""
+
+import engine
+
+from . import (determinism, guarded_members, lock_discipline, raw_sync,
+               span_lifetime)
+
+ALL_RULES = (lock_discipline, guarded_members, raw_sync, span_lifetime,
+             determinism)
+BY_NAME = {rule.NAME: rule for rule in ALL_RULES}
+
+# engine.RULE_INFO powers --list-rules without libclang; keep it honest.
+assert set(BY_NAME) == set(engine.RULE_NAMES), (
+    "rules/__init__.py and engine.RULE_INFO disagree on the rule set")

@@ -1,0 +1,142 @@
+"""Rule determinism: no ordering-dependent accumulation over unordered
+containers.
+
+The repo's headline invariant is bitwise-identical hits under any thread
+count, kernel variant, and build. std::unordered_map / std::unordered_set
+iteration order is unspecified and varies with libstdc++ version, seed,
+and insertion history — any result that *feeds from* such an iteration
+(above all a floating-point reduction, where (a+b)+c != a+(b+c)) silently
+breaks the invariant while passing every single-configuration test.
+
+Flagged:
+  * range-for over an unordered container (classified as a floating-point
+    reduction when the body compound-assigns a float/double);
+  * explicit iteration via .begin()/.cbegin() on an unordered container
+    (find()/count()/end()-comparison idioms are untouched);
+  * floating-point accumulation on std::atomic<float/double>
+    (fetch_add-style and compound-assignment) — cross-thread arrival
+    order is nondeterministic by construction.
+
+Fix by sorting keys first, iterating a vector, or accumulating into an
+order-independent structure; suppress a provably order-insensitive site
+with `// lint:allow(determinism: <why>)`.
+"""
+
+from clang.cindex import CursorKind
+
+import cxx
+from engine import Finding
+
+NAME = "determinism"
+SUPPRESS = "determinism"
+DIRS = ("src", "bench")
+
+UNORDERED_PREFIXES = ("std::unordered_map<", "std::unordered_set<",
+                      "std::unordered_multimap<",
+                      "std::unordered_multiset<")
+
+FP_SPELLINGS = frozenset(("float", "double", "long double"))
+
+ATOMIC_FP_PREFIXES = ("std::atomic<float", "std::atomic<double",
+                      "std::atomic<long double")
+
+
+def _is_unordered(spelling):
+    return any(spelling.startswith(p) for p in UNORDERED_PREFIXES)
+
+
+def _has_fp_reduction(body):
+    nodes = [body]
+    nodes.extend(cxx.subtree(body, skip_lambdas=True))
+    for node in nodes:
+        if node.kind != CursorKind.COMPOUND_ASSIGNMENT_OPERATOR:
+            continue
+        if cxx.canonical_deref(node.type) in FP_SPELLINGS:
+            return True
+    return False
+
+
+def _check_range_for(node, out):
+    children = list(node.get_children())
+    ranges_unordered = any(
+        _is_unordered(cxx.canonical_deref(child.type))
+        for child in children)
+    if not ranges_unordered:
+        return
+    path = cxx.location_path(node)
+    if path is None:
+        return
+    body = children[-1] if children else None
+    if body is not None and _has_fp_reduction(body):
+        message = ("floating-point reduction over an unordered container "
+                   "— iteration order is unspecified and FP addition is "
+                   "not associative, so the result is "
+                   "configuration-dependent; sort the keys first or "
+                   "add // lint:allow(determinism: <why>)")
+    else:
+        message = ("result-feeding iteration over an unordered container "
+                   "— iteration order is unspecified, so anything "
+                   "accumulated from it is ordering-dependent; sort the "
+                   "keys first or add // lint:allow(determinism: <why>)")
+    out.append(Finding(NAME, path, node.location.line,
+                       node.location.column, message, priority=2))
+
+
+def _check_begin_call(node, out):
+    ref = node.referenced
+    if ref is None or ref.spelling not in ("begin", "cbegin"):
+        return
+    parent_q = cxx.parent_qualified_name(ref)
+    if not parent_q.startswith("std::unordered_"):
+        return
+    path = cxx.location_path(node)
+    if path is None:
+        return
+    out.append(Finding(
+        NAME, path, node.location.line, node.location.column,
+        "iterator walk over an unordered container (.begin()) — "
+        "iteration order is unspecified; sort the keys first or add "
+        "// lint:allow(determinism: <why>)", priority=1))
+
+
+def _check_atomic_fp(node, out):
+    flagged = None
+    if node.kind == CursorKind.CALL_EXPR:
+        ref = node.referenced
+        if ref is not None and ref.spelling in ("fetch_add", "fetch_sub"):
+            children = list(node.get_children())
+            if children:
+                obj = cxx.canonical_deref(children[0].type)
+                if any(obj.startswith(p) for p in ATOMIC_FP_PREFIXES):
+                    flagged = f"'{ref.spelling}'"
+    elif node.kind == CursorKind.COMPOUND_ASSIGNMENT_OPERATOR:
+        children = list(node.get_children())
+        if children:
+            lhs = cxx.canonical_deref(children[0].type)
+            if any(lhs.startswith(p) for p in ATOMIC_FP_PREFIXES):
+                flagged = "compound assignment"
+    if flagged is None:
+        return
+    path = cxx.location_path(node)
+    if path is None:
+        return
+    out.append(Finding(
+        NAME, path, node.location.line, node.location.column,
+        f"floating-point accumulation on a std::atomic ({flagged}) — "
+        f"cross-thread arrival order is nondeterministic and FP addition "
+        f"is not associative; accumulate per-thread and reduce in a fixed "
+        f"order, or add // lint:allow(determinism: <why>)", priority=2))
+
+
+def check(ctx, tu):
+    out = []
+    for cursor in cxx.walk_in_root(ctx, tu):
+        kind = cursor.kind
+        if kind == CursorKind.CXX_FOR_RANGE_STMT:
+            _check_range_for(cursor, out)
+        elif kind == CursorKind.CALL_EXPR:
+            _check_begin_call(cursor, out)
+            _check_atomic_fp(cursor, out)
+        elif kind == CursorKind.COMPOUND_ASSIGNMENT_OPERATOR:
+            _check_atomic_fp(cursor, out)
+    return out

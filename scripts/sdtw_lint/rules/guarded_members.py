@@ -1,0 +1,75 @@
+"""Rule guarded-member-coverage: mutex-owning classes annotate every
+mutable member.
+
+Clang's thread-safety analysis only checks members that already carry
+SDTW_GUARDED_BY — a member someone forgot to annotate is silently
+unchecked, which is exactly the hole unannotated shared state hides in.
+This rule closes it structurally: in any class that owns a core::Mutex,
+every mutable data member must either
+
+  * carry SDTW_GUARDED_BY(...) / SDTW_PT_GUARDED_BY(...), or
+  * state why it needs no guard: `// lint:allow(unguarded: <why>)`.
+
+Exempt by construction: const members, the mutexes themselves,
+core::CondVar (internally synchronized by contract), and std::atomic<>
+members (their synchronization *is* the type).
+"""
+
+from clang.cindex import CursorKind
+
+import cxx
+from engine import Finding
+
+NAME = "guarded-member-coverage"
+SUPPRESS = "unguarded"
+DIRS = ("src",)
+
+MUTEX_TYPE = "sdtw::core::Mutex"
+EXEMPT_EXACT = frozenset((
+    "sdtw::core::Mutex",
+    "sdtw::core::CondVar",
+))
+EXEMPT_PREFIXES = ("std::atomic<",)
+
+
+def _is_exempt_type(spelling):
+    return (spelling in EXEMPT_EXACT
+            or any(spelling.startswith(p) for p in EXEMPT_PREFIXES))
+
+
+def check(ctx, tu):
+    out = []
+    for cursor in cxx.walk_in_root(ctx, tu):
+        if cursor.kind not in cxx.RECORD_KINDS:
+            continue
+        try:
+            if not cursor.is_definition():
+                continue
+        except Exception:
+            continue
+        fields = [c for c in cursor.get_children()
+                  if c.kind == CursorKind.FIELD_DECL]
+        owns_mutex = any(cxx.canonical(f.type) == MUTEX_TYPE
+                         for f in fields)
+        if not owns_mutex:
+            continue
+        class_name = cursor.spelling or "<anonymous>"
+        for field in fields:
+            spelling = cxx.canonical(field.type)
+            if _is_exempt_type(spelling):
+                continue
+            if cxx.is_const_type(field.type):
+                continue
+            if cxx.has_token(field, "SDTW_GUARDED_BY",
+                             "SDTW_PT_GUARDED_BY"):
+                continue
+            path = cxx.location_path(field)
+            if path is None:
+                continue
+            out.append(Finding(
+                NAME, path, field.location.line, field.location.column,
+                f"mutable member '{field.spelling}' of mutex-owning class "
+                f"'{class_name}' has no SDTW_GUARDED_BY / "
+                f"SDTW_PT_GUARDED_BY — annotate it, or state why it needs "
+                f"no guard with // lint:allow(unguarded: <why>)"))
+    return out

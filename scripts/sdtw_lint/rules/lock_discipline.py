@@ -1,0 +1,171 @@
+"""Rule lock-discipline: no blocking calls while holding a core::Mutex.
+
+The repo's locking contract (stated in core/mutex.h) is leaf locks held
+for O(1) critical sections. A call that can block — sleeping, stream or C
+I/O, a raw condvar wait, joining a thread, waiting on a future, or
+re-entering a blocking service entry point like QueryService::Submit /
+WorkerPool::Execute — inside a scope that holds a core::MutexLock or
+core::UniqueLock turns the lock into a convoy (or a deadlock, for the
+re-entrant cases). Clang's thread-safety analysis cannot express this: it
+tracks which capabilities are held, not what the held region does.
+
+core::CondVar::Wait/WaitUntil are the blessed waits (they release the
+lock atomically) and are not flagged.
+
+Suppress with `// lint:allow(lock-discipline: <why>)`.
+"""
+
+from clang.cindex import CursorKind
+
+import cxx
+from engine import Finding
+
+NAME = "lock-discipline"
+SUPPRESS = "lock-discipline"
+DIRS = ("src", "bench", "tests")
+
+LOCK_TYPES = frozenset((
+    "sdtw::core::MutexLock",
+    "sdtw::core::UniqueLock",
+))
+
+# Fully-qualified free/namespace-scope functions that block.
+BLOCKING_EXACT = {
+    "std::this_thread::sleep_for": "sleeps",
+    "std::this_thread::sleep_until": "sleeps",
+    "sleep": "sleeps",
+    "usleep": "sleeps",
+    "nanosleep": "sleeps",
+    "std::system": "runs a subprocess",
+    "system": "runs a subprocess",
+}
+
+# Blocking members, keyed by the owning class's qualified name.
+BLOCKING_METHODS = {
+    "std::condition_variable": ("wait", "wait_for", "wait_until"),
+    "std::condition_variable_any": ("wait", "wait_for", "wait_until"),
+    "std::thread": ("join",),
+    "std::future": ("get", "wait", "wait_for", "wait_until"),
+    "std::shared_future": ("get", "wait", "wait_for", "wait_until"),
+}
+
+# C stdio — any of these under a lock is I/O in a critical section.
+C_IO = frozenset((
+    "printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs", "putchar",
+    "fwrite", "fread", "fopen", "fclose", "fflush", "fgets", "getchar",
+    "scanf", "fscanf", "getline", "perror",
+))
+
+STREAM_CLASS_PREFIXES = ("std::basic_ostream", "std::basic_istream",
+                         "std::basic_iostream", "std::basic_fstream",
+                         "std::basic_ofstream", "std::basic_ifstream")
+
+# Blocking service entry points: calling these while holding any lock
+# risks deadlock against the service's own mutex/condvars.
+SDTW_BLOCKING_METHOD_NAMES = frozenset(("Submit", "Execute", "Shutdown",
+                                        "Query"))
+SDTW_BLOCKING_SCOPE = "sdtw::retrieval::"
+
+
+def _param_types(decl):
+    try:
+        return [cxx.canonical(a.type) for a in decl.get_arguments()]
+    except Exception:
+        return []
+
+
+def _classify_call(call):
+    """Returns a short 'what it does' string when `call` is blocking."""
+    ref = call.referenced
+    if ref is None:
+        return None
+    name = ref.spelling or ""
+    qname = cxx.qualified_name(ref)
+    if qname in BLOCKING_EXACT:
+        return f"'{qname}' {BLOCKING_EXACT[qname]}"
+
+    parent_q = cxx.parent_qualified_name(ref)
+    blocked = BLOCKING_METHODS.get(parent_q)
+    if blocked and name in blocked:
+        if parent_q.startswith("std::condition_variable"):
+            return (f"raw '{parent_q}::{name}' — use core::CondVar with a "
+                    f"core::UniqueLock instead")
+        return f"'{parent_q}::{name}' blocks"
+
+    # Stream I/O: member operator<< / operator>> of a std stream, or a
+    # free operator<< / operator>> whose first parameter is a stream.
+    if any(parent_q.startswith(p) for p in STREAM_CLASS_PREFIXES):
+        return f"stream I/O ('{parent_q}::{name}')"
+    if name in ("operator<<", "operator>>"):
+        params = _param_types(ref)
+        if params and any(params[0].find(marker) != -1
+                          for marker in ("basic_ostream", "basic_istream",
+                                         "basic_iostream")):
+            return f"stream I/O ('{name}')"
+
+    if name in C_IO and ("::" not in qname or qname.startswith("std::")):
+        return f"C I/O ('{name}')"
+
+    if (name in SDTW_BLOCKING_METHOD_NAMES
+            and parent_q.startswith(SDTW_BLOCKING_SCOPE)):
+        return (f"'{parent_q}::{name}' is a blocking service entry point "
+                f"(bounded-queue admission / broadcast join)")
+    return None
+
+
+def _scan(node, held, out):
+    """Walks a statement with the list of locks currently held. held is
+    (lock_name, acquire_line) tuples; compound statements fork it so a
+    lock dies with its scope."""
+    kind = node.kind
+    if kind == CursorKind.LAMBDA_EXPR:
+        return  # runs later, under whatever locks its caller holds then
+
+    if kind == CursorKind.COMPOUND_STMT:
+        local_held = list(held)
+        for child in node.get_children():
+            if child.kind == CursorKind.DECL_STMT:
+                # Initializer expressions run with the locks held on
+                # entry (the new lock's own constructor call never
+                # matches the denylist, so scanning it too is harmless).
+                for sub in child.get_children():
+                    _scan(sub, local_held, out)
+                for d in child.get_children():
+                    if (d.kind == CursorKind.VAR_DECL
+                            and cxx.canonical_deref(d.type) in LOCK_TYPES):
+                        local_held.append(
+                            (d.spelling or "<lock>", d.location.line))
+            else:
+                _scan(child, local_held, out)
+        return
+
+    if kind == CursorKind.CALL_EXPR and held:
+        what = _classify_call(node)
+        if what is not None:
+            lock_name, lock_line = held[-1]
+            path = cxx.location_path(node)
+            if path is not None:
+                out.append(Finding(
+                    NAME, path, node.location.line, node.location.column,
+                    f"blocking call under lock: {what}, while "
+                    f"'{lock_name}' (acquired line {lock_line}) holds a "
+                    f"core::Mutex — move it outside the critical section "
+                    f"or add // lint:allow(lock-discipline: <why>)"))
+    for child in node.get_children():
+        _scan(child, held, out)
+
+
+def check(ctx, tu):
+    out = []
+    for cursor in cxx.walk_in_root(ctx, tu):
+        if cursor.kind not in cxx.FUNCTION_KINDS:
+            continue
+        try:
+            if not cursor.is_definition():
+                continue
+        except Exception:
+            continue
+        for child in cursor.get_children():
+            if child.kind == CursorKind.COMPOUND_STMT:
+                _scan(child, [], out)
+    return out

@@ -1,0 +1,61 @@
+"""Rule raw-sync-primitives: no bare std:: synchronization primitives
+outside core/mutex.h.
+
+libstdc++'s std::mutex carries no capability attributes, so any state
+guarded by one is invisible to -Wthread-safety: the analysis sees neither
+the acquire nor the guarded access. core/mutex.h exists precisely to wrap
+the raw primitives once, with the attributes attached; everything else in
+src/, bench/ and tests/ must go through core::Mutex / core::MutexLock /
+core::UniqueLock / core::CondVar.
+
+Suppress a deliberate exception with `// lint:allow(raw-sync: <why>)`.
+"""
+
+import os
+import re
+
+from clang.cindex import CursorKind
+
+import cxx
+from engine import Finding
+
+NAME = "raw-sync-primitives"
+SUPPRESS = "raw-sync"
+DIRS = ("src", "bench", "tests")
+
+# The one file allowed to touch the raw primitives: the annotated wrapper.
+EXEMPT_FILE_SUFFIXES = (os.path.join("src", "core", "mutex.h"),)
+
+RAW_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b")
+
+DECL_KINDS = frozenset((
+    CursorKind.VAR_DECL,
+    CursorKind.FIELD_DECL,
+    CursorKind.PARM_DECL,
+    CursorKind.TYPEDEF_DECL,
+    CursorKind.TYPE_ALIAS_DECL,
+))
+
+
+def check(ctx, tu):
+    out = []
+    for cursor in cxx.walk_in_root(ctx, tu):
+        if cursor.kind not in DECL_KINDS:
+            continue
+        path = cxx.location_path(cursor)
+        if path is None or path.endswith(EXEMPT_FILE_SUFFIXES):
+            continue
+        spelling = cxx.canonical_deref(cursor.type)
+        m = RAW_RE.search(spelling)
+        if m is None:
+            continue
+        out.append(Finding(
+            NAME, path, cursor.location.line, cursor.location.column,
+            f"raw std::{m.group(1)} in '{cursor.spelling}' — invisible to "
+            f"thread-safety analysis; use core::Mutex / core::MutexLock / "
+            f"core::UniqueLock / core::CondVar (core/mutex.h), or add "
+            f"// lint:allow(raw-sync: <why>)"))
+    return out

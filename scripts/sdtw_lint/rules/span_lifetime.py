@@ -1,0 +1,207 @@
+"""Rule span-lifetime: no views over storage that dies.
+
+The API is std::span end-to-end, and the planned mmap'd on-disk index
+(ROADMAP open item 1) makes every hot path a zero-copy view chain — one
+span derived from a function-local vector is a use-after-free the type
+system never sees. This rule flags the two shapes that matter:
+
+  * a function whose return type is std::span / std::string_view
+    returning a view derived from a function-local owning container, a
+    by-value owning parameter, or an owning temporary;
+  * a method storing such a view into a data member (the member outlives
+    the local by construction).
+
+Views over members, reference parameters, statics, and other views are
+fine — ownership lives elsewhere.
+
+Suppress with `// lint:allow(span-lifetime: <why>)`.
+"""
+
+from clang.cindex import CursorKind, TypeKind
+
+import cxx
+from engine import Finding
+
+NAME = "span-lifetime"
+SUPPRESS = "span-lifetime"
+DIRS = ("src",)
+
+VIEW_PREFIXES = ("std::span<", "std::basic_string_view<")
+VIEW_EXACT = frozenset(("std::string_view",))
+
+OWNING_PREFIXES = ("std::vector<", "std::basic_string<", "std::array<",
+                   "std::deque<", "std::initializer_list<")
+OWNING_EXACT = frozenset(("std::string",))
+
+
+def _is_view(spelling):
+    return (spelling in VIEW_EXACT
+            or any(spelling.startswith(p) for p in VIEW_PREFIXES))
+
+
+def _is_owning(spelling):
+    return (spelling in OWNING_EXACT
+            or any(spelling.startswith(p) for p in OWNING_PREFIXES))
+
+
+def _is_by_value(type_obj):
+    if type_obj is None:
+        return False
+    return type_obj.kind not in (TypeKind.LVALUEREFERENCE,
+                                 TypeKind.RVALUEREFERENCE,
+                                 TypeKind.POINTER)
+
+
+def _dying_source(expr):
+    """Returns a description of the doomed storage the expression derives
+    a view from, or None when every source outlives the function."""
+    nodes = [expr]
+    nodes.extend(cxx.subtree(expr, skip_lambdas=True))
+    for node in nodes:
+        kind = node.kind
+        if kind == CursorKind.DECL_REF_EXPR:
+            ref = node.referenced
+            if ref is None:
+                continue
+            if (ref.kind == CursorKind.VAR_DECL and cxx.is_local_var(ref)
+                    and _is_owning(cxx.canonical_deref(ref.type))):
+                return f"function-local '{ref.spelling}'"
+            if (ref.kind == CursorKind.PARM_DECL
+                    and _is_by_value(ref.type)
+                    and _is_owning(cxx.canonical(ref.type))):
+                return f"by-value parameter '{ref.spelling}'"
+        elif kind in (CursorKind.CALL_EXPR,
+                      CursorKind.CXX_FUNCTIONAL_CAST_EXPR):
+            # A call/materialization producing an owning container inside
+            # the view expression is a temporary: the view outlives it by
+            # the end of the full-expression.
+            if _is_owning(cxx.canonical(node.type)):
+                return "an owning temporary"
+    return None
+
+
+def _check_returns(func, out):
+    result_type = None
+    try:
+        result_type = func.result_type
+    except Exception:
+        pass
+    if result_type is None or not _is_view(cxx.canonical(result_type)):
+        return
+    for node in cxx.subtree(func, skip_lambdas=True):
+        if node.kind != CursorKind.RETURN_STMT:
+            continue
+        children = list(node.get_children())
+        if not children:
+            continue
+        source = _dying_source(children[0])
+        if source is None:
+            continue
+        path = cxx.location_path(node)
+        if path is None:
+            continue
+        out.append(Finding(
+            NAME, path, node.location.line, node.location.column,
+            f"returns a {cxx.canonical(result_type)} viewing {source} — "
+            f"the storage dies at function exit; return the container, "
+            f"take the storage by reference, or add "
+            f"// lint:allow(span-lifetime: <why>)"))
+
+
+def _member_store_parts(node):
+    """For an assignment whose target is a view-typed member, returns
+    (member_name, rhs_nodes); otherwise None. Handles both the builtin
+    assignment form (BINARY_OPERATOR) and the operator= call form class
+    types lower to (CALL_EXPR)."""
+    if node.kind == CursorKind.BINARY_OPERATOR:
+        if not _is_view(cxx.canonical(node.type)):
+            return None
+        children = list(node.get_children())
+        if len(children) != 2:
+            return None
+        lhs, rhs = children
+        if lhs.kind != CursorKind.MEMBER_REF_EXPR:
+            return None
+        return lhs.spelling, [rhs]
+    if node.kind == CursorKind.CALL_EXPR:
+        ref = node.referenced
+        if ref is None or ref.spelling != "operator=":
+            return None
+        if not _is_view(cxx.canonical_deref(node.type)):
+            return None
+        children = list(node.get_children())
+        member = None
+        rhs = []
+        for child in children:
+            if member is None and child.kind == CursorKind.MEMBER_REF_EXPR:
+                member = child.spelling
+            elif member is not None:
+                rhs.append(child)
+        if member is None or not rhs:
+            return None
+        return member, rhs
+    return None
+
+
+def _check_member_stores(func, out):
+    for node in cxx.subtree(func, skip_lambdas=True):
+        parts = _member_store_parts(node)
+        if parts is None:
+            continue
+        member, rhs_nodes = parts
+        source = None
+        for rhs in rhs_nodes:
+            source = _dying_source(rhs)
+            if source is not None:
+                break
+        if source is None:
+            continue
+        path = cxx.location_path(node)
+        if path is None:
+            continue
+        out.append(Finding(
+            NAME, path, node.location.line, node.location.column,
+            f"stores a view of {source} into member '{member}' — the "
+            f"member outlives the storage; keep the owning container "
+            f"alongside, or add // lint:allow(span-lifetime: <why>)"))
+
+
+def _check_ctor_inits(ctor, out):
+    """Constructor member-initializer form: MEMBER_REF of view type
+    followed by its initializer expression."""
+    children = list(ctor.get_children())
+    for i, child in enumerate(children):
+        if child.kind != CursorKind.MEMBER_REF:
+            continue
+        if not _is_view(cxx.canonical_deref(child.type)):
+            continue
+        if i + 1 >= len(children):
+            continue
+        source = _dying_source(children[i + 1])
+        if source is None:
+            continue
+        path = cxx.location_path(child)
+        if path is None:
+            continue
+        out.append(Finding(
+            NAME, path, child.location.line, child.location.column,
+            f"initializes view member '{child.spelling}' from {source} — "
+            f"the member outlives the storage; keep the owning container "
+            f"alongside, or add // lint:allow(span-lifetime: <why>)"))
+
+
+def check(ctx, tu):
+    out = []
+    for cursor in cxx.walk_in_root(ctx, tu):
+        if cursor.kind not in cxx.FUNCTION_KINDS:
+            continue
+        try:
+            if not cursor.is_definition():
+                continue
+        except Exception:
+            continue
+        _check_returns(cursor, out)
+        _check_member_stores(cursor, out)
+        if cursor.kind == CursorKind.CONSTRUCTOR:
+            _check_ctor_inits(cursor, out)
+    return out

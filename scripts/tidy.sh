@@ -112,6 +112,34 @@ fi
 
 echo "tidy.sh: linting$(echo "$FILES" | wc -w | tr -d ' ') TU(s) with $TIDY" | \
   sed 's/linting/linting /'
-# shellcheck disable=SC2086 — word splitting of $FILES is intended.
-"$TIDY" -p "$BUILD_DIR" --quiet $FIX $FILES
+
+JOBS="${TIDY_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+NFILES="$(echo "$FILES" | wc -w | tr -d ' ')"
+
+if [ -n "$FIX" ] || [ "$JOBS" -le 1 ] || [ "$NFILES" -le 1 ]; then
+  # Serial: --fix must not race itself rewriting shared headers.
+  # shellcheck disable=SC2086 — word splitting of $FILES is intended.
+  "$TIDY" -p "$BUILD_DIR" --quiet $FIX $FILES
+else
+  # One clang-tidy process per TU, $JOBS at a time (TIDY_JOBS=N to cap).
+  # Each TU's output is captured to its own file and replayed in input
+  # order afterwards, so parallel runs never interleave diagnostics.
+  TMP="$(mktemp -d "${TMPDIR:-/tmp}/sdtw-tidy.XXXXXX")"
+  trap 'rm -rf "$TMP"' EXIT INT TERM
+  export TIDY BUILD_DIR TMP
+  # shellcheck disable=SC2086 — word splitting of $FILES is intended.
+  printf '%s\n' $FILES | nl -ba -n rz -w 6 -s ' ' | \
+    xargs -P "$JOBS" -L 1 sh -c '
+      idx="$1"; f="$2"
+      if ! "$TIDY" -p "$BUILD_DIR" --quiet "$f" \
+          >"$TMP/$idx.log" 2>&1; then
+        : >"$TMP/$idx.fail"
+      fi' tidy-tu || true
+  for log in "$TMP"/*.log; do
+    [ -s "$log" ] && cat "$log"
+  done
+  if [ -n "$(find "$TMP" -name '*.fail' -print -quit)" ]; then
+    exit 1
+  fi
+fi
 echo "tidy.sh: clean"

@@ -76,21 +76,21 @@ bool HitLess(const Hit& a, const Hit& b) {
 struct PerQueryState {
   /// Phase-1 derivative storage, used when the caller did not preset a
   /// context for this query; `context` points here in that case.
-  QueryContext owned_context;
+  QueryContext owned_context;  // lint:allow(unguarded: phase-1 state, join-published)
   /// The context every phase-2 worker reads: &owned_context, or the
   /// caller's preset (a cached derivation of the same query — bitwise
   /// identical by MakeQueryContext's purity). Phase-1 state like
   /// global_order: written once, read-only while workers race.
-  const QueryContext* context = nullptr;
+  const QueryContext* context = nullptr;  // lint:allow(unguarded: phase-1 state, join-published)
   /// VisitOrder::kGlobalLowerBound only: the query's whole candidate set
   /// as (cached LB_Kim, index), sorted ascending once in phase 1; phase-2
   /// chunks slice it instead of the index range. Read-only while workers
   /// race.
-  std::vector<std::pair<double, std::size_t>> global_order;
+  std::vector<std::pair<double, std::size_t>> global_order;  // lint:allow(unguarded: phase-1 state, join-published)
   /// ChunkBalance::kLbMass under kGlobalLowerBound: chunk c of this query
   /// covers global_order[chunk_bounds[c], chunk_bounds[c+1]). Empty means
   /// uniform candidate-count slicing. Phase-1 state, read-only in phase 2.
-  std::vector<std::size_t> chunk_bounds;
+  std::vector<std::size_t> chunk_bounds;  // lint:allow(unguarded: phase-1 state, join-published)
   /// Upper bound of the final k-th best distance, monotonically
   /// non-increasing while workers race; kInf until the heap first fills.
   std::atomic<double> best{kInf};

@@ -103,7 +103,9 @@ class WorkerPool final : public BatchExecutor {
   std::size_t running_ SDTW_GUARDED_BY(mu_) = 0;
   bool stop_ SDTW_GUARDED_BY(mu_) = false;
 
-  std::vector<std::thread> threads_;
+  /// Written by the constructor before any worker can observe it, read
+  /// again only by the joining destructor.
+  std::vector<std::thread> threads_;  // lint:allow(unguarded: ctor-set, dtor-joined)
 };
 
 /// \brief What happens to a Submit that finds the queue at capacity.
@@ -200,10 +202,14 @@ class QueryService {
   void ExecuteBatch(std::vector<Request> batch);
 
   const ServiceOptions options_;
-  WorkerPool pool_;
-  BatchKnnEngine engine_;
-  QueryDerivativeCache cache_;
-  LatencyRecorder latency_;
+  /// The four collaborators below are deliberately outside mu_: pool_,
+  /// cache_ and latency_ each own their own core::Mutex (internally
+  /// synchronized), and engine_ is configured once in the constructor and
+  /// then only read by the single dispatcher thread.
+  WorkerPool pool_;          // lint:allow(unguarded: internally synchronized)
+  BatchKnnEngine engine_;    // lint:allow(unguarded: ctor-set, dispatcher-only)
+  QueryDerivativeCache cache_;    // lint:allow(unguarded: internally synchronized)
+  LatencyRecorder latency_;  // lint:allow(unguarded: internally synchronized)
 
   mutable core::Mutex mu_;
   core::CondVar queue_cv_;  ///< Work available / closed.
@@ -216,7 +222,9 @@ class QueryService {
   std::size_t batches_ SDTW_GUARDED_BY(mu_) = 0;
   std::size_t coalesced_ SDTW_GUARDED_BY(mu_) = 0;
 
-  std::thread dispatcher_;
+  /// Started last in the constructor, joined by Shutdown; never touched
+  /// in between.
+  std::thread dispatcher_;  // lint:allow(unguarded: ctor-set, Shutdown-joined)
 };
 
 }  // namespace retrieval

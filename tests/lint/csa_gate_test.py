@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Tests for scripts/csa_gate.py (the Clang Static Analyzer report gate).
+
+scan-build itself is not needed: the gate consumes plist files, so the
+tests synthesize miniature analyzer reports and drive every exit path —
+unsuppressed findings, suppression matching (with the mandatory
+rationale), cross-TU dedupe, and the clean/no-report cases.
+"""
+
+import os
+import plistlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.environ.get(
+    "SDTW_REPO_ROOT",
+    os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+GATE = os.path.join(REPO_ROOT, "scripts", "csa_gate.py")
+
+
+def diag(description, checker, file_index, line, col=1):
+    return {
+        "description": description,
+        "category": "Logic error",
+        "type": "synthetic",
+        "check_name": checker,
+        "location": {"line": line, "col": col, "file": file_index},
+    }
+
+
+def write_plist(path, files, diagnostics):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as f:
+        plistlib.dump({"files": files, "diagnostics": diagnostics}, f)
+
+
+def run_gate(*argv):
+    return subprocess.run([sys.executable, GATE, *argv],
+                          capture_output=True, text=True, check=False)
+
+
+class CsaGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory(prefix="sdtw_csa_test_")
+        self.addCleanup(self.tmp.cleanup)
+        self.root = self.tmp.name
+        self.report = os.path.join(self.root, "report")
+
+    def path_in_root(self, rel):
+        return os.path.join(self.root, rel)
+
+    def write_suppressions(self, text):
+        path = os.path.join(self.root, "suppressions.txt")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def test_unsuppressed_findings_fail(self):
+        write_plist(
+            os.path.join(self.report, "run", "a.plist"),
+            [self.path_in_root("src/dtw/kernel.cc")],
+            [diag("Dereference of null pointer",
+                  "core.NullDereference", 0, 42, 7)])
+        r = run_gate("--report-dir", self.report, "--root", self.root)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn(
+            "src/dtw/kernel.cc:42:7: [core.NullDereference]", r.stdout)
+
+    def test_suppression_with_rationale_passes(self):
+        write_plist(
+            os.path.join(self.report, "run", "a.plist"),
+            [self.path_in_root("src/dtw/kernel.cc")],
+            [diag("Value stored to 'x' is never read",
+                  "deadcode.DeadStores", 0, 10)])
+        sup = self.write_suppressions(
+            "deadcode.* src/dtw/*  # sentinel writes keep the probe honest\n")
+        r = run_gate("--report-dir", self.report, "--root", self.root,
+                     "--suppressions", sup)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("1 suppressed", r.stdout)
+
+    def test_suppression_without_rationale_is_usage_error(self):
+        sup = self.write_suppressions("deadcode.* src/dtw/*\n")
+        r = run_gate("--report-dir", self.report, "--root", self.root,
+                     "--suppressions", sup)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("rationale", r.stderr)
+
+    def test_suppression_is_scoped_not_global(self):
+        # The same checker outside the suppressed path still fails.
+        write_plist(
+            os.path.join(self.report, "run", "a.plist"),
+            [self.path_in_root("src/retrieval/batch.cc")],
+            [diag("Value stored to 'x' is never read",
+                  "deadcode.DeadStores", 0, 5)])
+        sup = self.write_suppressions(
+            "deadcode.* src/dtw/*  # only the kernels keep sentinel writes\n")
+        r = run_gate("--report-dir", self.report, "--root", self.root,
+                     "--suppressions", sup)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("unused suppression", r.stderr)
+
+    def test_cross_tu_duplicates_collapse(self):
+        # The same header diagnostic lands in two TUs' plists; the gate
+        # must report it once.
+        files = [self.path_in_root("src/core/config.h")]
+        d = diag("Garbage value", "core.UndefinedBinaryOperatorResult",
+                 0, 7, 3)
+        write_plist(os.path.join(self.report, "run", "tu1.plist"), files, [d])
+        write_plist(os.path.join(self.report, "run", "tu2.plist"), files, [d])
+        r = run_gate("--report-dir", self.report, "--root", self.root)
+        self.assertEqual(r.returncode, 1)
+        self.assertEqual(
+            r.stdout.count("src/core/config.h:7:3"), 1, r.stdout)
+        self.assertIn("1 unsuppressed finding(s) of 1 total", r.stderr)
+
+    def test_empty_report_dir_is_clean(self):
+        os.makedirs(self.report, exist_ok=True)
+        r = run_gate("--report-dir", self.report, "--root", self.root)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_missing_report_dir_is_clean(self):
+        # scan-build deletes the run directory when it found nothing.
+        r = run_gate("--report-dir", os.path.join(self.root, "gone"),
+                     "--root", self.root)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("treating as clean", r.stdout)
+
+    def test_real_suppressions_file_parses(self):
+        # The checked-in file must always stay loadable.
+        write_plist(
+            os.path.join(self.report, "run", "a.plist"),
+            [self.path_in_root("src/ok.cc")], [])
+        r = run_gate("--report-dir", self.report, "--root", self.root,
+                     "--suppressions",
+                     os.path.join(REPO_ROOT, "scripts",
+                                  "csa_suppressions.txt"))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,98 @@
+// Deliberately-violating fixture for sdtw_lint rule `lock-discipline`.
+// Minimal stand-ins for the real types: the rule matches on qualified
+// names (sdtw::core::MutexLock, std::this_thread::sleep_for, ...), so the
+// fixture re-declares exactly those shapes without any #include.
+
+namespace sdtw {
+namespace core {
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+class UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu);
+  ~UniqueLock();
+};
+class CondVar {
+ public:
+  void Wait(UniqueLock& lock);
+};
+}  // namespace core
+namespace retrieval {
+class Service {
+ public:
+  bool Submit(int query, int k);
+};
+}  // namespace retrieval
+}  // namespace sdtw
+
+namespace std {
+namespace this_thread {
+void sleep_for(long long us);
+}  // namespace this_thread
+class condition_variable {
+ public:
+  void wait(int& lock);
+};
+template <typename C>
+class basic_ostream {
+ public:
+  basic_ostream& operator<<(const char* text);
+};
+using ostream = basic_ostream<char>;
+extern ostream cout;
+}  // namespace std
+
+namespace app {
+
+sdtw::core::Mutex g_mu;
+sdtw::core::CondVar g_cv;
+std::condition_variable g_raw_cv;
+sdtw::retrieval::Service g_service;
+
+void SleepUnderLock() {
+  sdtw::core::MutexLock lock(g_mu);
+  std::this_thread::sleep_for(100);  // VIOLATION: sleeping under the lock
+}
+
+void RawWaitUnderLock(int& token) {
+  sdtw::core::UniqueLock lock(g_mu);
+  g_raw_cv.wait(token);  // VIOLATION: raw condvar wait under the lock
+}
+
+void StreamUnderLock() {
+  sdtw::core::MutexLock lock(g_mu);
+  std::cout << "holding the lock";  // VIOLATION: stream I/O under the lock
+}
+
+void SubmitUnderLock() {
+  sdtw::core::MutexLock lock(g_mu);
+  g_service.Submit(1, 2);  // VIOLATION: blocking service call under the lock
+}
+
+void BlessedWaitUnderLock() {
+  sdtw::core::UniqueLock lock(g_mu);
+  g_cv.Wait(lock);  // ok: core::CondVar is the blessed wait path
+}
+
+void SleepOutsideLock() {
+  {
+    sdtw::core::MutexLock lock(g_mu);
+  }
+  std::this_thread::sleep_for(100);  // ok: the lock scope already ended
+}
+
+void SuppressedSleep() {
+  sdtw::core::MutexLock lock(g_mu);
+  // lint:allow(lock-discipline: fixture demonstrates suppression)
+  std::this_thread::sleep_for(100);
+}
+
+}  // namespace app

@@ -1,0 +1,49 @@
+// Deliberately-violating fixture for sdtw_lint rule
+// `raw-sync-primitives`: bare std:: synchronization primitives outside
+// core/mutex.h, invisible to clang's thread-safety analysis.
+
+namespace std {
+class mutex {
+ public:
+  void lock();
+  void unlock();
+};
+template <typename M>
+class lock_guard {
+ public:
+  explicit lock_guard(M& mu);
+};
+template <typename M>
+class unique_lock {
+ public:
+  explicit unique_lock(M& mu);
+};
+class condition_variable {
+ public:
+  void notify_one();
+};
+}  // namespace std
+
+namespace app {
+
+std::mutex g_registry_mu;  // VIOLATION: raw mutex at namespace scope
+
+class Queue {
+ public:
+  void Push(int value);
+
+ private:
+  std::mutex mu_;               // VIOLATION: raw mutex member
+  std::condition_variable cv_;  // VIOLATION: raw condvar member
+};
+
+void Critical() {
+  std::mutex local_mu;                          // VIOLATION: raw local
+  std::lock_guard<std::mutex> guard(local_mu);  // VIOLATION: raw guard
+}
+
+using RegistryLock = std::unique_lock<std::mutex>;  // VIOLATION: alias
+
+std::mutex g_tolerated;  // lint:allow(raw-sync: fixture demonstrates suppression)
+
+}  // namespace app

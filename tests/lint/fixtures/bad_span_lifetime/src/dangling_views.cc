@@ -1,0 +1,87 @@
+// Deliberately-violating fixture for sdtw_lint rule `span-lifetime`:
+// std::span / std::string_view views derived from storage that dies.
+
+namespace std {
+using size_t = unsigned long;
+
+template <typename T>
+class vector {
+ public:
+  vector();
+  T* data();
+  size_t size() const;
+};
+
+template <typename T>
+class span {
+ public:
+  span();
+  explicit span(vector<T>& owner);
+  span(T* data, size_t count);
+  span(const span& other);
+  span& operator=(const span& other);
+};
+
+class string {
+ public:
+  string();
+  const char* data() const;
+  size_t size() const;
+};
+
+class string_view {
+ public:
+  string_view();
+  string_view(const string& owner);
+};
+}  // namespace std
+
+namespace app {
+
+std::vector<int> MakeScratch();
+
+std::span<int> ReturnsLocal() {
+  std::vector<int> scratch;
+  return std::span<int>(scratch);  // VIOLATION: view over a dying local
+}
+
+std::string_view ReturnsLocalString() {
+  std::string name;
+  return std::string_view(name);  // VIOLATION: view over a dying local
+}
+
+std::span<int> ReturnsTemporary() {
+  return std::span<int>(MakeScratch());  // VIOLATION: view over a temporary
+}
+
+std::span<int> ReturnsByValueParam(std::vector<int> rows) {
+  return std::span<int>(rows);  // VIOLATION: view over a by-value param
+}
+
+class Holder {
+ public:
+  void Rebind() {
+    std::vector<int> staging;
+    view_ = std::span<int>(staging);  // VIOLATION: member outlives local
+  }
+
+  std::span<int> View() {
+    return std::span<int>(storage_);  // ok: member storage owns the data
+  }
+
+  std::span<int> Alias(std::vector<int>& rows) {
+    return std::span<int>(rows);  // ok: the caller owns the storage
+  }
+
+ private:
+  std::vector<int> storage_;
+  std::span<int> view_;
+};
+
+std::span<int> Tolerated() {
+  std::vector<int> scratch;
+  // lint:allow(span-lifetime: fixture demonstrates suppression)
+  return std::span<int>(scratch);
+}
+
+}  // namespace app

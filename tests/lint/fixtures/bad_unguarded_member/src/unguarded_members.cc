@@ -1,0 +1,51 @@
+// Deliberately-violating fixture for sdtw_lint rule
+// `guarded-member-coverage`. The macros expand to the real clang
+// attributes so the annotated members read exactly like production code.
+
+#define SDTW_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#define SDTW_PT_GUARDED_BY(x) __attribute__((pt_guarded_by(x)))
+
+namespace sdtw {
+namespace core {
+class Mutex {};
+class CondVar {};
+}  // namespace core
+}  // namespace sdtw
+
+namespace std {
+template <typename T>
+class atomic {
+ public:
+  T value;
+};
+template <typename T>
+class vector {
+ public:
+  T* data();
+};
+}  // namespace std
+
+namespace app {
+
+class Tracker {
+ public:
+  int unguarded_counter;                // VIOLATION: no annotation
+  double unguarded_total;               // VIOLATION: no annotation
+  std::vector<int>* unguarded_samples;  // VIOLATION: no annotation
+
+  int guarded_counter SDTW_GUARDED_BY(mu_);
+  int* guarded_samples SDTW_PT_GUARDED_BY(mu_);
+  const int capacity = 4;      // ok: immutable
+  std::atomic<int> ticks;      // ok: the type is the synchronization
+  sdtw::core::CondVar cv;      // ok: internally synchronized by contract
+  int documented_free;  // lint:allow(unguarded: written before threads start)
+
+ private:
+  sdtw::core::Mutex mu_;
+};
+
+struct NoMutexHere {
+  int free_member;  // ok: the class owns no mutex
+};
+
+}  // namespace app

@@ -1,0 +1,92 @@
+// Deliberately-violating fixture for sdtw_lint rule `determinism`:
+// result-feeding iteration and floating-point reduction over unordered
+// containers (ordering-dependent accumulation breaks bitwise identity).
+
+namespace std {
+using size_t = unsigned long;
+
+template <typename K, typename V>
+class unordered_map {
+ public:
+  struct value_type {
+    K first;
+    V second;
+  };
+  class iterator {
+   public:
+    value_type& operator*();
+    iterator& operator++();
+    bool operator!=(const iterator& other) const;
+  };
+  iterator begin();
+  iterator end();
+  size_t count(const K& key) const;
+};
+
+template <typename K>
+class unordered_set {
+ public:
+  class iterator {
+   public:
+    const K& operator*();
+    iterator& operator++();
+    bool operator!=(const iterator& other) const;
+  };
+  iterator begin();
+  iterator end();
+};
+
+template <typename T>
+class vector {
+ public:
+  T* begin();
+  T* end();
+  void push_back(const T& value);
+};
+}  // namespace std
+
+namespace app {
+
+double SumWeights(std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (auto& entry : weights) {  // VIOLATION: FP reduction, hash order
+    total += entry.second;
+  }
+  return total;
+}
+
+void CollectKeys(std::unordered_set<int>& keys, std::vector<int>& out) {
+  for (const int& key : keys) {  // VIOLATION: result feeds from hash order
+    out.push_back(key);
+  }
+}
+
+void ExplicitWalk(std::unordered_map<int, double>& weights,
+                  std::vector<double>& out) {
+  for (auto it = weights.begin(); it != weights.end(); ++it) {  // VIOLATION
+    out.push_back((*it).second);
+  }
+}
+
+double SumVector(std::vector<double>& values) {
+  double total = 0.0;
+  for (double value : values) {  // ok: deterministic order
+    total += value;
+  }
+  return total;
+}
+
+bool Contains(std::unordered_map<int, double>& weights, int key) {
+  return weights.count(key) > 0;  // ok: point query, no iteration
+}
+
+double ToleratedSum(std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  // lint:allow(determinism: fixture demonstrates suppression)
+  for (auto& entry : weights) {
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace app

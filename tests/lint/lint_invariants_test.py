@@ -71,6 +71,38 @@ class CleanTreeTest(unittest.TestCase):
             f"stderr:\n{r.stderr}")
         self.assertIn("clean", r.stdout)
 
+    def test_jobs_output_matches_serial(self):
+        serial = run_linter("--root", REPO_ROOT)
+        parallel = run_linter("--root", REPO_ROOT, "--jobs", "4")
+        self.assertEqual(parallel.returncode, serial.returncode)
+        self.assertEqual(
+            parallel.stdout, serial.stdout,
+            "--jobs must not change the findings or their order")
+
+    def test_jobs_zero_is_usage_error(self):
+        r = run_linter("--jobs", "0")
+        self.assertEqual(r.returncode, 2)
+
+    def test_missing_compiler_is_unavailable(self):
+        # EX_UNAVAILABLE (69): the probe tool is absent, every rule that
+        # could run was clean — callers skip instead of failing.
+        r = run_linter("--root", REPO_ROOT,
+                       "--only", "kernel-internal-linkage",
+                       "--compiler", "/nonexistent/sdtw-cxx")
+        self.assertEqual(
+            r.returncode, 69,
+            f"stdout:\n{r.stdout}\nstderr:\n{r.stderr}")
+        self.assertIn("skipping", r.stderr)
+
+    def test_findings_beat_unavailable(self):
+        # A tree with real findings exits 1 even when the linkage probe
+        # tool is missing: a verdict in hand outranks a skipped probe.
+        r = run_linter("--root", os.path.join(FIXTURES, "bad_naked_new"),
+                       "--compiler", "/nonexistent/sdtw-cxx")
+        self.assertEqual(
+            r.returncode, 1,
+            f"stdout:\n{r.stdout}\nstderr:\n{r.stderr}")
+
     def test_list_rules(self):
         r = run_linter("--list-rules")
         self.assertEqual(r.returncode, 0)
