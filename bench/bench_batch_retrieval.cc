@@ -258,7 +258,7 @@ void WriteJson(const char* path, const Scale& scale, bool smoke,
   std::fprintf(f, "{\n");
   // v3: bench_service may append a "service" block (latency percentiles,
   // throughput, cache hit rate) after this bench writes the base file.
-  std::fprintf(f, "  \"schema\": \"sdtw-bench-retrieval-v3\",\n");
+  std::fprintf(f, "  \"schema\": \"sdtw-bench-retrieval-v4\",\n");
   std::fprintf(f,
                "  \"scale\": {\"series\": %zu, \"queries\": %zu, \"length\": "
                "%zu, \"threads\": %zu, \"k\": %zu, \"smoke\": %s},\n",

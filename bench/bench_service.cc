@@ -27,6 +27,14 @@
 //   --submitters=N                                    client threads
 //   --smoke                                           tiny CI scale
 //   --seed=S                                          generator seed
+//   --faults     re-run the stream against a second service instance with
+//                deterministic fault injection armed (seeded worker and
+//                derivative-cache-fill faults, equivalent to a fixed
+//                SDTW_FAULT spec) and a slice of tight per-request
+//                deadlines. The run FAILS unless the service survives —
+//                every future resolves, Shutdown returns — and every
+//                request that completed OK is bitwise identical to the
+//                direct scan. Shed/retry/fault rates land in the JSON.
 //   --json=FILE  amend the bench_batch_retrieval baseline (adds a
 //                "service" block with p50/p95/p99 latency, throughput,
 //                cache hit rate) or write a standalone file when the
@@ -45,9 +53,11 @@
 #include <future>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/fault_injector.h"
 #include "data/generators.h"
 #include "retrieval/batch.h"
 #include "retrieval/knn.h"
@@ -111,7 +121,7 @@ bool AmendJson(const char* path, const std::string& service_block) {
     content.pop_back();
   }
   if (content.empty() || content.back() != '}') return false;
-  if (content.find("\"schema\": \"sdtw-bench-retrieval-v3\"") ==
+  if (content.find("\"schema\": \"sdtw-bench-retrieval-v4\"") ==
           std::string::npos ||
       content.find("\"service\":") != std::string::npos) {
     return false;
@@ -144,9 +154,12 @@ int main(int argc, char** argv) {
     scale.max_batch = 16;
   }
   std::string json_path;
+  bool run_faults = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--requests=", 0) == 0) {
+    if (arg == "--faults") {
+      run_faults = true;
+    } else if (arg.rfind("--requests=", 0) == 0) {
       scale.requests = std::strtoul(arg.c_str() + 11, nullptr, 10);
     } else if (arg.rfind("--unique=", 0) == 0) {
       scale.unique_queries = std::strtoul(arg.c_str() + 9, nullptr, 10);
@@ -269,8 +282,10 @@ int main(int argc, char** argv) {
         std::size_t fi = 0;
         for (std::size_t i = first; i < last; ++i) {
           if (fi >= futures.size()) break;
-          const auto hits = futures[fi++].get();
-          if (!SameHits(hits, expected[stream[i]])) thread_ok[t] = false;
+          const auto result = futures[fi++].get();
+          if (!result.ok() || !SameHits(*result, expected[stream[i]])) {
+            thread_ok[t] = false;
+          }
         }
       });
     }
@@ -313,8 +328,104 @@ int main(int argc, char** argv) {
       m.latency.p50_us, m.latency.p95_us, m.latency.p99_us, m.latency.mean_us,
       m.latency.max_us);
 
+  // --- Fault-injection survival run (--faults). ----------------------------
+  // The same stream against a fresh service instance, but with seeded
+  // deterministic faults armed (equivalent to
+  // SDTW_FAULT="retrieval.worker:R:1201,retrieval.cache_fill:R:1202") and
+  // every 8th request carrying a tight deadline. Worker faults poison whole
+  // micro-batches, which the service must isolate and retry; fill faults
+  // degrade the derivative cache, which must never change results. The bar:
+  // the service survives (every future resolves, Shutdown returns) and every
+  // request that reports OK is bitwise identical to the direct scan.
+  // Rates are high enough that faults reliably fire even at smoke scale
+  // (a handful of batches), yet low enough that bounded retries recover
+  // most poisoned batches. The faulted instance pins num_workers so the
+  // per-batch draw count (one per worker per execution phase) does not
+  // depend on the host's core count.
+  constexpr double kWorkerFaultRate = 0.10;
+  constexpr double kFillFaultRate = 0.30;
+  constexpr std::size_t kFaultWorkers = 4;
+  struct FaultStats {
+    bool ran = false;
+    bool survived = false;
+    bool ok_hits_identical = true;
+    retrieval::ServiceMetrics metrics;
+  } fstats;
+  if (run_faults) {
+    fstats.ran = true;
+    core::ScopedFault worker_fault(retrieval::kFaultSiteWorker,
+                                   kWorkerFaultRate, 1201);
+    core::ScopedFault fill_fault(retrieval::kFaultSiteCacheFill,
+                                 kFillFaultRate, 1202);
+    retrieval::ServiceOptions fopt = sopt;
+    fopt.num_workers = kFaultWorkers;
+    retrieval::QueryService faulted(engine, fopt);
+    std::vector<std::thread> threads;
+    std::vector<bool> thread_ok(scale.submitters, true);
+    for (std::size_t t = 0; t < scale.submitters; ++t) {
+      threads.emplace_back([&, t]() {
+        const auto [first, last] = Slice(scale.requests, scale.submitters, t);
+        std::vector<std::pair<std::size_t,
+                              std::future<retrieval::QueryService::Result>>>
+            futures;
+        futures.reserve(last - first);
+        for (std::size_t i = first; i < last; ++i) {
+          retrieval::RequestOptions ropt;
+          if (i % 8 == 7) {
+            ropt = retrieval::RequestOptions::WithTimeout(
+                std::chrono::microseconds(500));
+          }
+          auto f = faulted.Submit(uniques[stream[i]], scale.k, ropt);
+          if (!f.has_value()) continue;  // admission full: counted as rejected
+          futures.emplace_back(i, std::move(*f));
+        }
+        for (auto& [i, f] : futures) {
+          const auto result = f.get();
+          if (result.ok() && !SameHits(*result, expected[stream[i]])) {
+            thread_ok[t] = false;
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    faulted.Shutdown();
+    fstats.survived = true;  // every future resolved, Shutdown returned
+    for (const bool ok : thread_ok) {
+      fstats.ok_hits_identical = fstats.ok_hits_identical && ok;
+    }
+    fstats.metrics = faulted.metrics();
+    const auto& fm = fstats.metrics;
+    std::printf(
+        "\n  faults (worker %.0f%%, cache fill %.0f%%): %zu ok, %zu failed, "
+        "%zu shed, %zu worker faults, %zu retries  %s\n",
+        100.0 * kWorkerFaultRate, 100.0 * kFillFaultRate, fm.ok, fm.failed,
+        fm.shed, fm.worker_faults, fm.retries,
+        fstats.ok_hits_identical ? "ok-hits identical" : "MISMATCH");
+  }
+
   if (!json_path.empty()) {
-    char block[2048];
+    const auto& fm = fstats.metrics;
+    const double fault_requests = static_cast<double>(scale.requests);
+    char faults_block[1024];
+    if (fstats.ran) {
+      std::snprintf(
+          faults_block, sizeof(faults_block),
+          "{\"ran\": true, \"worker_rate\": %.4f, "
+          "\"cache_fill_rate\": %.4f, \"ok\": %zu, \"failed\": %zu, "
+          "\"shed\": %zu, \"deadline_exceeded\": %zu, "
+          "\"worker_faults\": %zu, \"retries\": %zu, "
+          "\"shed_rate\": %.4f, \"retry_rate\": %.4f, "
+          "\"survived\": %s, \"ok_hits_identical\": %s}",
+          kWorkerFaultRate, kFillFaultRate, fm.ok, fm.failed, fm.shed,
+          fm.deadline_exceeded, fm.worker_faults, fm.retries,
+          static_cast<double>(fm.shed) / fault_requests,
+          static_cast<double>(fm.retries) / fault_requests,
+          fstats.survived ? "true" : "false",
+          fstats.ok_hits_identical ? "true" : "false");
+    } else {
+      std::snprintf(faults_block, sizeof(faults_block), "{\"ran\": false}");
+    }
+    char block[4096];
     std::snprintf(
         block, sizeof(block),
         "{\n"
@@ -335,7 +446,8 @@ int main(int argc, char** argv) {
         "    \"latency\": {\"count\": %zu, \"p50_us\": %.1f, "
         "\"p95_us\": %.1f, \"p99_us\": %.1f, \"mean_us\": %.1f, "
         "\"max_us\": %.1f},\n"
-        "    \"hits_identical\": %s\n"
+        "    \"hits_identical\": %s,\n"
+        "    \"faults\": %s\n"
         "  }",
         scale.num_series, scale.length, scale.unique_queries, scale.requests,
         scale.k, scale.submitters, scale.max_batch, scale.max_delay_us,
@@ -343,7 +455,8 @@ int main(int argc, char** argv) {
         loop_seconds, service_seconds, seq_qps, loop_qps, service_qps,
         speedup, m.batches, coalesce_rate, cache_hit_rate, m.latency.count,
         m.latency.p50_us, m.latency.p95_us, m.latency.p99_us,
-        m.latency.mean_us, m.latency.max_us, identical ? "true" : "false");
+        m.latency.mean_us, m.latency.max_us, identical ? "true" : "false",
+        faults_block);
     if (AmendJson(json_path.c_str(), block)) {
       std::printf("service block amended into %s\n", json_path.c_str());
     } else {
@@ -366,6 +479,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAILED: service hits diverge from direct single-query "
                  "scans\n");
+    return 1;
+  }
+  if (fstats.ran && (!fstats.survived || !fstats.ok_hits_identical)) {
+    std::fprintf(stderr,
+                 "FAILED: faulted service run %s\n",
+                 !fstats.survived ? "did not survive"
+                                  : "returned OK hits that diverge from "
+                                    "direct single-query scans");
     return 1;
   }
   if (!config.smoke && speedup < 2.0) {

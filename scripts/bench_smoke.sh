@@ -39,11 +39,13 @@ if [ -x "${build_dir}/bench/bench_batch_retrieval" ]; then
   ran=$((ran + 1))
 fi
 # bench_service amends the service block (latency percentiles, cache hit
-# rate) into the same BENCH_retrieval.json and verifies service hits
-# bitwise against direct scans; divergence exits non-zero.
+# rate, fault-injection survival stats) into the same BENCH_retrieval.json
+# and verifies service hits bitwise against direct scans; --faults re-runs
+# the stream with seeded worker/cache-fill faults armed and fails unless
+# the service survives with bitwise-identical OK hits.
 if [ -x "${build_dir}/bench/bench_service" ]; then
   echo "== smoke: ${build_dir}/bench/bench_service"
-  if ! "${build_dir}/bench/bench_service" --smoke \
+  if ! "${build_dir}/bench/bench_service" --smoke --faults \
        "--json=${build_dir}/BENCH_retrieval.json" > /dev/null; then
     echo "FAILED: ${build_dir}/bench/bench_service" >&2
     status=1

@@ -15,6 +15,11 @@ fixed 2ms slack (wall-clock latency on shared CI runners is noisy in a
 way the deterministic DP counts are not). The rule self-skips when
 either run has no service block or the service workload changed.
 
+Schema v4 adds a "faults" sub-block to the service block (shed/retry
+rates from `bench_service --faults`); it is informational — survival and
+hit identity are asserted by the bench itself, not gated here. A v3
+baseline against a v4 run skips via the schema check below.
+
 The gate only trusts like-for-like comparisons. It SKIPS (exit 0, with a
 message) instead of failing when the baseline is missing or was produced
 by a different schema, benchmark scale, kernel variant, or CPU feature

@@ -1,0 +1,169 @@
+#include "core/fault_injector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace sdtw {
+namespace core {
+
+namespace {
+
+/// 64-bit FNV-1a, the site-name half of the decision key.
+std::uint64_t Fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: turns (site hash ^ seed ^ call number) into an
+/// independent uniform 64-bit draw. The standard avalanche constants —
+/// every input bit flips every output bit with probability ~1/2, which is
+/// what makes per-call decisions at one site look independent.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Pure decision function: does call number `n` at this site fail?
+bool Draw(const FaultInjector::SiteConfig& config, std::uint64_t site_hash,
+          std::uint64_t n) {
+  if (config.rate <= 0.0) return false;
+  if (config.rate >= 1.0) return true;
+  const std::uint64_t draw = Mix(site_hash ^ config.seed ^ n);
+  // Compare in the integer domain: rate scaled to the full 64-bit range.
+  const auto threshold = static_cast<std::uint64_t>(
+      config.rate * 18446744073709551615.0);  // 2^64 - 1
+  return draw < threshold;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = []() {
+    auto* inj = new FaultInjector();  // lint:allow(naked-new) leaked: must outlive threads at exit
+    if (const char* spec = std::getenv("SDTW_FAULT")) {
+      inj->ArmFromSpec(spec);
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+bool FaultInjector::ShouldFail(std::string_view site) {
+  if (!armed()) return false;  // the zero-cost disabled path
+  core::MutexLock lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  const std::uint64_t n = s.counters.calls++;
+  if (s.counters.failures >= s.config.max_failures) return false;
+  if (!Draw(s.config, Fnv1a(site), n)) return false;
+  ++s.counters.failures;
+  return true;
+}
+
+void FaultInjector::Arm(std::string_view site, const SiteConfig& config) {
+  core::MutexLock lock(mu_);
+  sites_[std::string(site)] = Site{config, SiteCounters{}};
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  core::MutexLock lock(mu_);
+  sites_.erase(std::string(site));
+  armed_.store(!sites_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  {
+    core::MutexLock lock(mu_);
+    sites_.clear();
+    armed_.store(false, std::memory_order_relaxed);
+  }
+  if (const char* spec = std::getenv("SDTW_FAULT")) ArmFromSpec(spec);
+}
+
+FaultInjector::SiteCounters FaultInjector::counters(
+    std::string_view site) const {
+  core::MutexLock lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? SiteCounters{} : it->second.counters;
+}
+
+std::optional<FaultInjector::SiteConfig> FaultInjector::config(
+    std::string_view site) const {
+  core::MutexLock lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return std::nullopt;
+  return it->second.config;
+}
+
+bool FaultInjector::ArmFromSpec(std::string_view spec) {
+  // site:rate:seed[,site:rate:seed...] — all entries validated before any
+  // is armed, so a malformed spec arms nothing instead of half the list.
+  struct Parsed {
+    std::string site;
+    SiteConfig config;
+  };
+  std::vector<Parsed> parsed;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find(',', pos), spec.size());
+    const std::string_view entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t c1 = entry.find(':');
+    const std::size_t c2 = c1 == std::string_view::npos
+                               ? std::string_view::npos
+                               : entry.find(':', c1 + 1);
+    if (c1 == std::string_view::npos || c2 == std::string_view::npos ||
+        c1 == 0) {
+      return false;
+    }
+    const std::string rate_str(entry.substr(c1 + 1, c2 - c1 - 1));
+    const std::string seed_str(entry.substr(c2 + 1));
+    char* rate_end = nullptr;
+    char* seed_end = nullptr;
+    const double rate = std::strtod(rate_str.c_str(), &rate_end);
+    const std::uint64_t seed = std::strtoull(seed_str.c_str(), &seed_end, 10);
+    if (rate_str.empty() || seed_str.empty() || *rate_end != '\0' ||
+        *seed_end != '\0' || rate < 0.0 || rate > 1.0) {
+      return false;
+    }
+    parsed.push_back(
+        {std::string(entry.substr(0, c1)),
+         SiteConfig{rate, seed, std::numeric_limits<std::size_t>::max()}});
+  }
+  for (Parsed& p : parsed) Arm(p.site, p.config);
+  return true;
+}
+
+ScopedFault::ScopedFault(std::string_view site,
+                         const FaultInjector::SiteConfig& config)
+    : site_(site) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (const auto previous = injector.config(site_)) {
+    had_previous_ = true;
+    previous_ = *previous;
+  }
+  injector.Arm(site_, config);
+}
+
+ScopedFault::~ScopedFault() {
+  FaultInjector& injector = FaultInjector::Global();
+  if (had_previous_) {
+    injector.Arm(site_, previous_);
+  } else {
+    injector.Disarm(site_);
+  }
+}
+
+}  // namespace core
+}  // namespace sdtw

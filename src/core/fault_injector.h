@@ -1,0 +1,166 @@
+#ifndef SDTW_CORE_FAULT_INJECTOR_H_
+#define SDTW_CORE_FAULT_INJECTOR_H_
+
+/// \file fault_injector.h
+/// \brief Deterministic, seeded, site-keyed fault injection.
+///
+/// Failure paths are the least-executed code in a service and therefore
+/// the least trusted; the only way to keep them honest is to execute
+/// them on purpose, reproducibly. FaultInjector lets a test (or a CI
+/// matrix) arm named injection *sites* — fixed strings compiled into the
+/// code under test, e.g. retrieval's worker-execution, derivative-cache
+/// -fill, and queue-admission sites (see the kFaultSite* constants in
+/// retrieval/service.h) — with a failure rate and a seed:
+///
+///  * **Deterministic.** Whether call number n at a site fails is a pure
+///    function of (site, seed, n) — a splitmix64 mix of the site's FNV-1a
+///    hash, the seed, and the site-local call counter, compared against
+///    the rate. Same seed, same call sequence => same faults, so every
+///    failure a test provokes is replayable bit-for-bit.
+///  * **Site-keyed.** Sites are independent: arming one never perturbs
+///    the call numbering (and hence the fault pattern) of another.
+///  * **Thread-safe.** Call counting and configuration share one
+///    internal mutex; ShouldFail is safe from any thread.
+///  * **Zero-cost when disabled.** The fast path of ShouldFail is one
+///    relaxed atomic load and a predictable branch; no site lookup, no
+///    lock, no string hashing happens until something is armed.
+///
+/// Arming comes from two places:
+///  * the environment: `SDTW_FAULT=site:rate:seed[,site:rate:seed...]`
+///    is parsed once on first access to Global() — this is how the CI
+///    fault matrix arms a whole test binary without recompiling;
+///  * the programmatic API: Arm / Disarm / Reset, plus the RAII
+///    ScopedFault that restores the previous configuration on scope
+///    exit (what deterministic unit tests use).
+///
+/// The injector *decides*; the call site *acts*. A site that draws a
+/// failure typically throws (worker execution), skips a fill (derivative
+/// cache), or refuses an admission — the injector itself never throws.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace sdtw {
+namespace core {
+
+/// \brief What a throwing call site raises when its injection site draws
+/// a failure. A distinct type so fault-tolerance layers (and tests) can
+/// tell an injected fault from an organic one.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FaultInjector {
+ public:
+  /// Arm-time knobs of one site.
+  struct SiteConfig {
+    /// Probability in [0, 1] that a call at this site fails.
+    double rate = 0.0;
+    /// Seed of the deterministic per-call decision stream.
+    std::uint64_t seed = 0;
+    /// Stop injecting after this many failures (SIZE_MAX = unlimited).
+    /// With rate 1.0 this targets "exactly the first N calls" — the
+    /// precision tool for failing one specific request.
+    std::size_t max_failures = std::numeric_limits<std::size_t>::max();
+  };
+
+  /// Per-site observability, for tests and bench reporting.
+  struct SiteCounters {
+    std::size_t calls = 0;     ///< ShouldFail invocations while armed.
+    std::size_t failures = 0;  ///< Calls that drew a failure.
+  };
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The process-wide injector every production site consults. First
+  /// access parses SDTW_FAULT from the environment.
+  static FaultInjector& Global();
+
+  /// True iff call sites should bother consulting ShouldFail. One
+  /// relaxed atomic load — this is the whole cost when disabled.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Should the current call at `site` fail? Deterministic per
+  /// (site, seed, call number); counts the call either way. Always
+  /// false for sites that are not armed.
+  bool ShouldFail(std::string_view site) SDTW_EXCLUDES(mu_);
+
+  /// Arms (or re-arms, resetting the call counter) one site.
+  void Arm(std::string_view site, const SiteConfig& config)
+      SDTW_EXCLUDES(mu_);
+  void Arm(std::string_view site, double rate, std::uint64_t seed)
+      SDTW_EXCLUDES(mu_) {
+    Arm(site, SiteConfig{rate, seed,
+                         std::numeric_limits<std::size_t>::max()});
+  }
+
+  /// Disarms one site (no-op when not armed).
+  void Disarm(std::string_view site) SDTW_EXCLUDES(mu_);
+
+  /// Disarms everything, then re-arms from `SDTW_FAULT` if set — the
+  /// state a fresh process starts in.
+  void Reset() SDTW_EXCLUDES(mu_);
+
+  /// Counters of one site since it was (re-)armed; zeros when unarmed.
+  SiteCounters counters(std::string_view site) const SDTW_EXCLUDES(mu_);
+
+  /// The active configuration of one site, or nullopt when unarmed.
+  std::optional<SiteConfig> config(std::string_view site) const
+      SDTW_EXCLUDES(mu_);
+
+  /// Parses one `site:rate:seed[,site:rate:seed...]` spec and arms the
+  /// sites in it. Returns false (arming nothing further) on malformed
+  /// input. Exposed for tests; Global() feeds it SDTW_FAULT.
+  bool ArmFromSpec(std::string_view spec) SDTW_EXCLUDES(mu_);
+
+ private:
+  struct Site {
+    SiteConfig config;
+    SiteCounters counters;
+  };
+
+  mutable core::Mutex mu_;
+  std::unordered_map<std::string, Site> sites_ SDTW_GUARDED_BY(mu_);
+  /// Mirrors !sites_.empty() so the disabled fast path never locks.
+  std::atomic<bool> armed_{false};  // lint:allow(unguarded: atomic mirror of sites_ emptiness, updated under mu_)
+};
+
+/// \brief RAII arm-for-this-scope. Re-arms the site on construction and
+/// restores the previous state (armed with the old config, or unarmed)
+/// on destruction, so a test cannot leak fault configuration into its
+/// neighbours.
+class ScopedFault {
+ public:
+  ScopedFault(std::string_view site, const FaultInjector::SiteConfig& config);
+  ScopedFault(std::string_view site, double rate, std::uint64_t seed)
+      : ScopedFault(site, FaultInjector::SiteConfig{
+                              rate, seed,
+                              std::numeric_limits<std::size_t>::max()}) {}
+  ~ScopedFault();
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+  bool had_previous_ = false;
+  FaultInjector::SiteConfig previous_;
+};
+
+}  // namespace core
+}  // namespace sdtw
+
+#endif  // SDTW_CORE_FAULT_INJECTOR_H_

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <limits>
 #include <optional>
@@ -143,17 +144,32 @@ struct PerQueryState {
 };
 
 // Runs fn on `threads` workers and waits for all of them; threads == 1
-// runs inline on the calling thread.
+// runs inline on the calling thread. An exception escaping fn on a
+// spawned thread would hit std::terminate, so the first one is captured
+// and rethrown on the calling thread after every worker joined — a
+// faulting worker degrades to a throwing call, never a dead process, and
+// the join still happens so no thread leaks.
 template <typename Fn>
 void RunOnWorkers(std::size_t threads, const Fn& fn) {
   if (threads <= 1) {
     fn();
     return;
   }
+  core::Mutex mu;
+  std::exception_ptr error;  // first worker exception; guarded by mu
+  const auto run = [&fn, &mu, &error]() {
+    try {
+      fn();
+    } catch (...) {
+      core::MutexLock lock(mu);
+      if (error == nullptr) error = std::current_exception();
+    }
+  };
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(fn);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(run);
   for (std::thread& t : pool) t.join();
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 std::size_t ResolveThreads(std::size_t requested, std::size_t work_items) {
@@ -360,6 +376,21 @@ std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchWithContexts(
     std::span<const QueryContext* const> contexts, std::size_t k,
     std::vector<QueryStats>* stats) const {
   return QueryBatchImpl(queries, k, {}, contexts, stats, nullptr);
+}
+
+core::StatusOr<std::vector<std::vector<Hit>>>
+BatchKnnEngine::TryQueryBatchWithContexts(
+    std::span<const ts::TimeSeries> queries,
+    std::span<const QueryContext* const> contexts, std::size_t k,
+    std::vector<QueryStats>* stats) const {
+  try {
+    return QueryBatchWithContexts(queries, contexts, k, stats);
+  } catch (const std::exception& e) {
+    return core::Status(core::StatusCode::kWorkerFault, e.what());
+  } catch (...) {
+    return core::Status(core::StatusCode::kUnknown,
+                        "non-exception thrown during batch scan");
+  }
 }
 
 std::vector<std::vector<Hit>> BatchKnnEngine::QueryBatchImpl(

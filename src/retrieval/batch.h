@@ -59,6 +59,7 @@
 #include <span>
 #include <vector>
 
+#include "core/status.h"
 #include "retrieval/knn.h"
 #include "retrieval/scratch.h"
 
@@ -168,6 +169,19 @@ class BatchKnnEngine {
   /// as usual. Pointees must stay valid for the duration of the call.
   /// Hits are bitwise identical to the plain QueryBatch.
   std::vector<std::vector<Hit>> QueryBatchWithContexts(
+      std::span<const ts::TimeSeries> queries,
+      std::span<const QueryContext* const> contexts, std::size_t k,
+      std::vector<QueryStats>* stats = nullptr) const;
+
+  /// QueryBatchWithContexts with failures as values instead of
+  /// exceptions: anything thrown during the scan — a worker fault on a
+  /// caller-supplied BatchExecutor (e.g. one injected at the service's
+  /// retrieval.worker site), or an exception transported out of an
+  /// internally spawned worker — comes back as
+  /// StatusCode::kWorkerFault (kUnknown for a non-std::exception throw).
+  /// The engine is stateless per call, so a failed call leaves it fully
+  /// usable; on ok() the hits are exactly QueryBatchWithContexts'.
+  core::StatusOr<std::vector<std::vector<Hit>>> TryQueryBatchWithContexts(
       std::span<const ts::TimeSeries> queries,
       std::span<const QueryContext* const> contexts, std::size_t k,
       std::vector<QueryStats>* stats = nullptr) const;

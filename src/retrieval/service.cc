@@ -15,11 +15,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-ServiceOptions NormalizeOptions(ServiceOptions options) {
-  if (options.max_batch == 0) options.max_batch = 1;
-  if (options.queue_capacity == 0) options.queue_capacity = 1;
-  return options;
-}
+constexpr auto kNoDeadline = Clock::time_point::max();
 
 BatchOptions WithExecutor(BatchOptions options, BatchExecutor* executor) {
   options.executor = executor;
@@ -61,13 +57,19 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::Execute(const std::function<void(ScratchArena&)>& fn) {
-  core::UniqueLock lock(mu_);
-  job_ = &fn;
-  running_ = threads_.size();
-  ++generation_;
-  work_cv_.NotifyAll();
-  while (running_ > 0) done_cv_.Wait(lock);
-  job_ = nullptr;
+  std::exception_ptr error;
+  {
+    core::UniqueLock lock(mu_);
+    job_ = &fn;
+    error_ = nullptr;
+    running_ = threads_.size();
+    ++generation_;
+    work_cv_.NotifyAll();
+    while (running_ > 0) done_cv_.Wait(lock);
+    job_ = nullptr;
+    error = std::exchange(error_, nullptr);
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void WorkerPool::WorkerMain() {
@@ -85,7 +87,28 @@ void WorkerPool::WorkerMain() {
       seen = generation_;
       job = job_;
     }
-    (*job)(arena);
+    // An exception out of the job (organic, or injected at the worker
+    // site) is captured for Execute to rethrow after every worker
+    // finished — a faulting job can never kill a worker thread, and the
+    // pool stays fully reusable for the next Execute.
+    try {
+      core::FaultInjector& faults = core::FaultInjector::Global();
+      if (faults.armed()) {
+        if (faults.ShouldFail(kFaultSiteWorkerStall)) {
+          // Long enough for a watchdog configured with a small
+          // watchdog_stall to observe the batch as stalled; short enough
+          // to keep fault-matrix test runs quick.
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+        if (faults.ShouldFail(kFaultSiteWorker)) {
+          throw core::InjectedFault("injected fault at retrieval.worker");
+        }
+      }
+      (*job)(arena);
+    } catch (...) {
+      core::MutexLock lock(mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
     {
       core::MutexLock lock(mu_);
       if (--running_ == 0) done_cv_.NotifyAll();
@@ -97,39 +120,97 @@ void WorkerPool::WorkerMain() {
 // QueryService
 
 QueryService::QueryService(const KnnEngine& index, ServiceOptions options)
-    : options_(NormalizeOptions(std::move(options))),
+    : options_(std::move(options)),
+      init_status_(ValidateOptions(options_)),
       pool_(options_.num_workers),
       engine_(index, WithExecutor(options_.batch, &pool_)),
       cache_(options_.cache_capacity),
       latency_(options_.latency_window),
-      dispatcher_([this]() { DispatcherMain(); }) {}
+      dispatcher_([this]() { DispatcherMain(); }) {
+  if (options_.watchdog_interval.count() > 0) {
+    watchdog_ = std::thread([this]() { WatchdogMain(); });
+  }
+}
 
 QueryService::~QueryService() { Shutdown(); }
 
+core::Status QueryService::ValidateOptions(const ServiceOptions& options) {
+  if (options.queue_capacity == 0) {
+    return core::Status(
+        core::StatusCode::kInvalidArgument,
+        "ServiceOptions::queue_capacity must be >= 1 (a zero-capacity "
+        "admission queue can never admit a request)");
+  }
+  if (options.max_batch == 0) {
+    return core::Status(
+        core::StatusCode::kInvalidArgument,
+        "ServiceOptions::max_batch must be >= 1 (a zero-size batch can "
+        "never ship a request)");
+  }
+  return core::Status::Ok();
+}
+
 std::optional<std::future<QueryService::Result>> QueryService::Submit(
-    ts::TimeSeries query, std::size_t k) {
+    ts::TimeSeries query, std::size_t k, RequestOptions request) {
+  // Fault site: a drawn failure refuses this admission outright —
+  // exercised before any queue state is touched, like a resource check
+  // that fails ahead of enqueueing.
+  if (core::FaultInjector::Global().ShouldFail(kFaultSiteAdmission)) {
+    core::MutexLock lock(mu_);
+    ++rejected_;
+    return std::nullopt;
+  }
+
   Request req;
   req.query = std::move(query);
   req.k = k;
   req.submit_time = Clock::now();
+  req.deadline = request.deadline;
+  req.priority = request.priority;
   std::future<Result> future = req.promise.get_future();
   {
     core::UniqueLock lock(mu_);
+    if (!init_status_.ok() || closed_) {
+      ++rejected_;
+      return std::nullopt;
+    }
     if (options_.admission == AdmissionPolicy::kReject) {
-      if (closed_ || queue_.size() >= options_.queue_capacity) {
+      if (queue_.size() >= options_.queue_capacity) {
         ++rejected_;
         return std::nullopt;
       }
     } else {
+      // Bounded park: backpressure, but never forever — a stalled
+      // dispatcher must not wedge every client thread.
+      const auto park_deadline = Clock::now() + options_.park_timeout;
       while (!closed_ && queue_.size() >= options_.queue_capacity) {
-        space_cv_.Wait(lock);
+        if (space_cv_.WaitUntil(lock, park_deadline) ==
+                std::cv_status::timeout &&
+            queue_.size() >= options_.queue_capacity && !closed_) {
+          ++park_timeouts_;
+          ++rejected_;
+          return std::nullopt;
+        }
       }
       if (closed_) {
         ++rejected_;
         return std::nullopt;
       }
     }
-    queue_.push_back(std::move(req));
+    req.seq = next_seq_++;
+    // EDF insert: ascending (deadline, -priority, seq). No-deadline
+    // requests carry time_point::max() and therefore sort after every
+    // dated one; all-default submissions degenerate to pure seq order,
+    // i.e. exact FIFO. Expired requests cluster at the front, which is
+    // what lets NextBatch shed them by popping the head.
+    const auto edf_before = [](const Request& a, const Request& b) {
+      if (a.deadline != b.deadline) return a.deadline < b.deadline;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq < b.seq;
+    };
+    queue_.insert(
+        std::upper_bound(queue_.begin(), queue_.end(), req, edf_before),
+        std::move(req));
     ++submitted_;
   }
   queue_cv_.NotifyOne();
@@ -137,9 +218,14 @@ std::optional<std::future<QueryService::Result>> QueryService::Submit(
 }
 
 QueryService::Result QueryService::Query(const ts::TimeSeries& query,
-                                         std::size_t k) {
-  auto future = Submit(query, k);
-  if (!future.has_value()) return {};
+                                         std::size_t k,
+                                         RequestOptions request) {
+  auto future = Submit(query, k, request);
+  if (!future.has_value()) {
+    if (!init_status_.ok()) return init_status_;
+    return core::Status(core::StatusCode::kUnavailable,
+                        "request was not admitted");
+  }
   return future->get();
 }
 
@@ -151,6 +237,13 @@ void QueryService::Shutdown() {
   queue_cv_.NotifyAll();  // wake the dispatcher to drain and exit
   space_cv_.NotifyAll();  // release blocked submitters
   if (dispatcher_.joinable()) dispatcher_.join();
+  // Only after the drain: in-flight batches must stay watched.
+  {
+    core::MutexLock lock(mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.NotifyAll();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 ServiceMetrics QueryService::metrics() const {
@@ -160,8 +253,16 @@ ServiceMetrics QueryService::metrics() const {
     m.submitted = submitted_;
     m.rejected = rejected_;
     m.completed = completed_;
+    m.ok = ok_;
+    m.failed = failed_;
     m.batches = batches_;
     m.coalesced = coalesced_;
+    m.shed = shed_;
+    m.deadline_exceeded = deadline_exceeded_;
+    m.worker_faults = worker_faults_;
+    m.retries = retries_;
+    m.park_timeouts = park_timeouts_;
+    m.watchdog_stalls = watchdog_stalls_;
   }
   m.latency = latency_.Snapshot();
   m.cache = cache_.counters();
@@ -176,33 +277,148 @@ void QueryService::DispatcherMain() {
   }
 }
 
-std::vector<QueryService::Request> QueryService::NextBatch() {
+void QueryService::WatchdogMain() {
   core::UniqueLock lock(mu_);
-  while (!closed_ && queue_.empty()) queue_cv_.Wait(lock);
-  if (queue_.empty()) return {};  // closed_, nothing left to drain
-  if (!closed_) {
-    // Deadline trigger: the batch ships when the *oldest* request has
-    // waited max_delay, so no admitted query ever waits longer than that
-    // for dispatch; the size trigger cuts earlier under pressure. After
-    // close we skip straight to the cut — draining must not dawdle.
-    const auto deadline = queue_.front().submit_time + options_.max_delay;
-    while (!closed_ && queue_.size() < options_.max_batch &&
-           queue_cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+  while (!watchdog_stop_) {
+    const auto wake = Clock::now() + options_.watchdog_interval;
+    while (!watchdog_stop_ &&
+           watchdog_cv_.WaitUntil(lock, wake) != std::cv_status::timeout) {
+    }
+    if (watchdog_stop_) return;
+    // One count per in-flight batch: a batch that stays stalled across
+    // several scan periods is one stall, not one per scan.
+    if (executing_batch_ != 0 && executing_batch_ != last_stalled_batch_ &&
+        Clock::now() - executing_since_ >= options_.watchdog_stall) {
+      ++watchdog_stalls_;
+      last_stalled_batch_ = executing_batch_;
     }
   }
-  const std::size_t take = std::min(queue_.size(), options_.max_batch);
-  std::vector<Request> batch;
-  batch.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+}
+
+std::vector<QueryService::Request> QueryService::NextBatch() {
+  for (;;) {
+    std::vector<Request> shed;
+    std::vector<Request> batch;
+    bool drained = false;
+    {
+      core::UniqueLock lock(mu_);
+      while (!closed_ && queue_.empty()) queue_cv_.Wait(lock);
+      if (queue_.empty()) {
+        drained = true;  // closed_, nothing left to drain
+      } else {
+        // Shed-without-scanning: EDF order clusters expired requests at
+        // the queue head, so shedding is pop-while-expired. Their futures
+        // resolve with kDeadlineExceeded below, outside the lock; no DP
+        // evaluation ever runs for them.
+        const auto expired = [](const Request& r, Clock::time_point now) {
+          return r.deadline != kNoDeadline && r.deadline <= now;
+        };
+        const auto shed_head = [&]() SDTW_REQUIRES(mu_) {
+          const auto now = Clock::now();
+          while (!queue_.empty() && expired(queue_.front(), now)) {
+            shed.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+          }
+        };
+        shed_head();
+        if (!queue_.empty() && !closed_) {
+          // The batch ships when it fills, when the oldest queued request
+          // has waited max_delay, or when the most urgent queued deadline
+          // is within max_delay of now — an imminent deadline must not
+          // sit out the full age trigger. After close we skip straight to
+          // the cut; draining must not dawdle.
+          const auto cut_deadline = [&]() SDTW_REQUIRES(mu_) {
+            const std::size_t probe =
+                std::min(queue_.size(), options_.max_batch);
+            auto oldest = queue_.front().submit_time;
+            for (std::size_t i = 1; i < probe; ++i) {
+              oldest = std::min(oldest, queue_[i].submit_time);
+            }
+            auto cut = oldest + options_.max_delay;
+            if (queue_.front().deadline != kNoDeadline) {
+              cut = std::min(cut, queue_.front().deadline - options_.max_delay);
+            }
+            return cut;
+          };
+          while (!closed_ && queue_.size() < options_.max_batch) {
+            if (queue_cv_.WaitUntil(lock, cut_deadline()) ==
+                std::cv_status::timeout) {
+              break;
+            }
+          }
+          shed_head();  // deadlines that lapsed while we coalesced
+        }
+        const std::size_t take =
+            std::min(queue_.size(), options_.max_batch);
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        if (!batch.empty()) ++batches_;
+        shed_ += shed.size();
+        deadline_exceeded_ += shed.size();
+        completed_ += shed.size();
+        if (!shed.empty() || !batch.empty()) space_cv_.NotifyAll();
+      }
+    }
+    // Fulfilment outside the lock: set_value can run caller continuations
+    // we must not execute under mu_.
+    for (Request& r : shed) {
+      r.promise.set_value(core::Status(
+          core::StatusCode::kDeadlineExceeded,
+          "deadline passed while queued; request shed before evaluation"));
+    }
+    if (drained) return {};
+    if (!batch.empty()) return batch;
+    // Everything queued had expired and was shed; wait for new work.
   }
-  ++batches_;
-  space_cv_.NotifyAll();
-  return batch;
+}
+
+core::StatusOr<QueryService::Hits> QueryService::RunGroupIsolated(
+    const ts::TimeSeries& rep, const QueryContext* context,
+    std::size_t kmax) {
+  const QueryContext* contexts[1] = {context};
+  std::chrono::microseconds prev = options_.retry_base;
+  core::Status last(core::StatusCode::kWorkerFault, "no attempt ran");
+  for (std::size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Decorrelated jitter (sleep ~ U(base, 3 * previous), capped):
+      // repeated offenders spread out instead of hammering in lockstep.
+      // Timing only — results never depend on the draw. No lock is held
+      // across this sleep.
+      const auto base = options_.retry_base.count();
+      const auto cap = options_.retry_cap.count();
+      std::uniform_int_distribution<std::chrono::microseconds::rep> jitter(
+          base, std::max(base, 3 * prev.count()));
+      prev = std::chrono::microseconds(
+          std::min(cap, jitter(backoff_rng_)));
+      if (prev.count() > 0) std::this_thread::sleep_for(prev);
+    }
+    {
+      core::MutexLock lock(mu_);
+      ++retries_;
+    }
+    auto result = engine_.TryQueryBatchWithContexts(
+        std::span<const ts::TimeSeries>(&rep, 1),
+        std::span<const QueryContext* const>(contexts, 1), kmax);
+    if (result.ok()) return std::move((*result)[0]);
+    last = result.status();
+    core::MutexLock lock(mu_);
+    ++worker_faults_;
+  }
+  return core::Status(
+      core::StatusCode::kWorkerFault,
+      "retries exhausted isolating a poisoned batch; last error: " +
+          last.ToString());
 }
 
 void QueryService::ExecuteBatch(std::vector<Request> batch) {
+  {
+    core::MutexLock lock(mu_);
+    executing_batch_ = batches_;  // NextBatch bumped it; unique, nonzero
+    executing_since_ = Clock::now();
+  }
+
   // Coalesce bitwise-identical queries: one scan per distinct content at
   // the largest k requested in the batch, truncated per request below.
   // Hash buckets hold group ids; equality is verified by value so a
@@ -233,7 +449,9 @@ void QueryService::ExecuteBatch(std::vector<Request> batch) {
     groups[gid].members.push_back(i);
   }
 
-  std::vector<std::vector<Hit>> hits(groups.size());
+  // One Result per group; every member shares its group's fate.
+  std::vector<core::StatusOr<Hits>> group_results;
+  group_results.reserve(groups.size());
   if (kmax > 0) {
     // One representative query per group; cached derivative contexts are
     // replayed (and misses derived + inserted) so repeated queries skip
@@ -245,42 +463,84 @@ void QueryService::ExecuteBatch(std::vector<Request> batch) {
     std::vector<const QueryContext*> contexts(groups.size());
     for (std::size_t g = 0; g < groups.size(); ++g) {
       keep_alive[g] = cache_.Lookup(reps[g]);
-      if (keep_alive[g] == nullptr) {
-        auto fresh =
-            std::make_shared<const QueryContext>(engine_.MakeQueryContext(reps[g]));
+      if (keep_alive[g] == nullptr &&
+          !core::FaultInjector::Global().ShouldFail(kFaultSiteCacheFill)) {
+        auto fresh = std::make_shared<const QueryContext>(
+            engine_.MakeQueryContext(reps[g]));
         cache_.Insert(reps[g], fresh);
         keep_alive[g] = std::move(fresh);
       }
+      // A faulted fill degrades, never corrupts: nothing was inserted
+      // (the cache cannot serve a context from a faulted fill) and the
+      // null entry makes the engine derive internally — same hits,
+      // phase-1 work paid once more.
       contexts[g] = keep_alive[g].get();
     }
-    hits = engine_.QueryBatchWithContexts(reps, contexts, kmax);
+    auto result = engine_.TryQueryBatchWithContexts(reps, contexts, kmax);
+    if (result.ok()) {
+      for (auto& hits : *result) group_results.push_back(std::move(hits));
+    } else {
+      // Poisoned batch: one faulting worker voided every group's scan.
+      // Isolate by re-running each group individually — the engine holds
+      // no state across calls and every completed scan is bitwise
+      // deterministic, so a retried group returns exactly what a
+      // fault-free batch would have; only repeat offenders fail, and
+      // they fail alone.
+      {
+        core::MutexLock lock(mu_);
+        ++worker_faults_;
+      }
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        group_results.push_back(
+            RunGroupIsolated(reps[g], contexts[g], kmax));
+      }
+    }
+  } else {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      group_results.push_back(Hits{});
+    }
   }
 
   // Book-keeping first, fulfilment second: a caller whose future has
   // resolved must already be visible in metrics() (completed count,
   // latency sample), so counters never lag behind delivered results.
+  // Latency samples cover successful requests only — failure-path timing
+  // (retry backoff above all) says nothing about serving latency.
   const auto done = Clock::now();
-  for (const Request& req : batch) {
-    latency_.Record(
-        std::chrono::duration<double, std::micro>(done - req.submit_time)
-            .count());
+  std::size_t n_ok = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (!group_results[g].ok()) continue;
+    for (std::size_t member : groups[g].members) {
+      latency_.Record(std::chrono::duration<double, std::micro>(
+                          done - batch[member].submit_time)
+                          .count());
+      ++n_ok;
+    }
   }
   {
     core::MutexLock lock(mu_);
     completed_ += batch.size();
+    ok_ += n_ok;
+    failed_ += batch.size() - n_ok;
     coalesced_ += batch.size() - groups.size();
+    executing_batch_ = 0;  // watchdog: nothing in flight
   }
 
   // Fulfil every request with the first min(k, |hits|) of its group's
   // list — bitwise what a dedicated scan at that k would return, because
   // the k smallest (distance, index) pairs are a prefix of the kmax
-  // smallest.
+  // smallest — or with its group's failure status.
   for (std::size_t g = 0; g < groups.size(); ++g) {
     for (std::size_t member : groups[g].members) {
       Request& req = batch[member];
-      const std::size_t take = std::min(req.k, hits[g].size());
-      Result result(hits[g].begin(),
-                    hits[g].begin() + static_cast<std::ptrdiff_t>(take));
+      if (!group_results[g].ok()) {
+        req.promise.set_value(group_results[g].status());
+        continue;
+      }
+      const Hits& hits = *group_results[g];
+      const std::size_t take = std::min(req.k, hits.size());
+      Hits result(hits.begin(),
+                  hits.begin() + static_cast<std::ptrdiff_t>(take));
       req.promise.set_value(std::move(result));
     }
   }

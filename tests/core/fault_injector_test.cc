@@ -1,0 +1,196 @@
+#include "core/fault_injector.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sdtw {
+namespace core {
+namespace {
+
+// A decision trace: which of the next `n` calls at `site` fail.
+std::vector<bool> Trace(FaultInjector& injector, std::string_view site,
+                        std::size_t n) {
+  std::vector<bool> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(injector.ShouldFail(site));
+  return out;
+}
+
+TEST(FaultInjectorTest, DisabledFastPathNeverFails) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(injector.ShouldFail("any.site"));
+  // Unarmed sites are not even counted: there is no site entry to count in.
+  EXPECT_EQ(injector.counters("any.site").calls, 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysTheSameFaultPattern) {
+  FaultInjector injector;
+  injector.Arm("svc.worker", 0.5, 42);
+  const auto first = Trace(injector, "svc.worker", 200);
+  injector.Arm("svc.worker", 0.5, 42);  // re-arm: counter resets
+  const auto second = Trace(injector, "svc.worker", 200);
+  EXPECT_EQ(first, second);
+  // Sanity: a half-rate pattern is neither all-pass nor all-fail.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 200);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsGiveDifferentPatterns) {
+  FaultInjector injector;
+  injector.Arm("svc.worker", 0.5, 1);
+  const auto seed1 = Trace(injector, "svc.worker", 200);
+  injector.Arm("svc.worker", 0.5, 2);
+  const auto seed2 = Trace(injector, "svc.worker", 200);
+  EXPECT_NE(seed1, seed2);
+}
+
+TEST(FaultInjectorTest, RateZeroAndOneAreExact) {
+  FaultInjector injector;
+  injector.Arm("never", 0.0, 7);
+  injector.Arm("always", 1.0, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFail("never"));
+    EXPECT_TRUE(injector.ShouldFail("always"));
+  }
+  EXPECT_EQ(injector.counters("never").calls, 100u);
+  EXPECT_EQ(injector.counters("never").failures, 0u);
+  EXPECT_EQ(injector.counters("always").failures, 100u);
+}
+
+TEST(FaultInjectorTest, IntermediateRateLandsNearExpectation) {
+  FaultInjector injector;
+  injector.Arm("svc.worker", 0.3, 99);
+  const auto trace = Trace(injector, "svc.worker", 2000);
+  const auto failures = std::count(trace.begin(), trace.end(), true);
+  // 0.3 * 2000 = 600 expected; +-5 sigma (~100) keeps this deterministic
+  // in practice while still catching a broken mix.
+  EXPECT_GT(failures, 500);
+  EXPECT_LT(failures, 700);
+}
+
+TEST(FaultInjectorTest, MaxFailuresTargetsExactlyTheFirstN) {
+  FaultInjector injector;
+  injector.Arm("svc.worker", FaultInjector::SiteConfig{1.0, 0, 3});
+  const auto trace = Trace(injector, "svc.worker", 10);
+  const std::vector<bool> want{true, true, true, false, false,
+                               false, false, false, false, false};
+  EXPECT_EQ(trace, want);
+  EXPECT_EQ(injector.counters("svc.worker").calls, 10u);
+  EXPECT_EQ(injector.counters("svc.worker").failures, 3u);
+}
+
+TEST(FaultInjectorTest, SitesAreIndependent) {
+  // Arming (and exercising) site B must not perturb site A's pattern.
+  FaultInjector lone;
+  lone.Arm("site.a", 0.5, 5);
+  const auto alone = Trace(lone, "site.a", 100);
+
+  FaultInjector crowded;
+  crowded.Arm("site.a", 0.5, 5);
+  crowded.Arm("site.b", 0.9, 6);
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 100; ++i) {
+    interleaved.push_back(crowded.ShouldFail("site.a"));
+    crowded.ShouldFail("site.b");
+  }
+  EXPECT_EQ(interleaved, alone);
+}
+
+TEST(FaultInjectorTest, DisarmAndResetClear) {
+  FaultInjector injector;
+  injector.Arm("svc.worker", 1.0, 0);
+  EXPECT_TRUE(injector.armed());
+  EXPECT_TRUE(injector.ShouldFail("svc.worker"));
+  injector.Disarm("svc.worker");
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.ShouldFail("svc.worker"));
+
+  injector.Arm("a", 1.0, 0);
+  injector.Arm("b", 1.0, 0);
+  injector.Disarm("a");
+  EXPECT_TRUE(injector.armed()) << "one site still armed";
+  injector.Reset();
+  // Reset re-arms from SDTW_FAULT; either way our sites are gone.
+  EXPECT_FALSE(injector.config("a").has_value());
+  EXPECT_FALSE(injector.config("b").has_value());
+}
+
+TEST(FaultInjectorTest, ArmFromSpecParsesMultipleSites) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.ArmFromSpec("svc.worker:0.25:7,svc.cache:1:99"));
+  const auto worker = injector.config("svc.worker");
+  ASSERT_TRUE(worker.has_value());
+  EXPECT_DOUBLE_EQ(worker->rate, 0.25);
+  EXPECT_EQ(worker->seed, 7u);
+  const auto cache = injector.config("svc.cache");
+  ASSERT_TRUE(cache.has_value());
+  EXPECT_DOUBLE_EQ(cache->rate, 1.0);
+  EXPECT_EQ(cache->seed, 99u);
+}
+
+TEST(FaultInjectorTest, MalformedSpecArmsNothing) {
+  const std::vector<std::string> bad{
+      "svc.worker",          // no rate/seed
+      "svc.worker:0.5",      // no seed
+      "svc.worker:1.5:0",    // rate out of range
+      "svc.worker:-0.1:0",   // rate out of range
+      "svc.worker:abc:0",    // unparsable rate
+      "svc.worker:0.5:xyz",  // unparsable seed
+      ":0.5:1",              // empty site
+      "ok.site:0.5:1,bad",   // one bad entry poisons the whole spec
+  };
+  for (const std::string& spec : bad) {
+    FaultInjector injector;
+    EXPECT_FALSE(injector.ArmFromSpec(spec)) << spec;
+    EXPECT_FALSE(injector.armed()) << spec;
+  }
+}
+
+TEST(FaultInjectorTest, ScopedFaultRestoresPreviousState) {
+  FaultInjector& global = FaultInjector::Global();
+  const std::string site = "test.scoped_fault_restore";
+  ASSERT_FALSE(global.config(site).has_value());
+  {
+    ScopedFault outer(site, 0.5, 11);
+    ASSERT_TRUE(global.config(site).has_value());
+    EXPECT_DOUBLE_EQ(global.config(site)->rate, 0.5);
+    {
+      ScopedFault inner(site, FaultInjector::SiteConfig{1.0, 22, 3});
+      EXPECT_DOUBLE_EQ(global.config(site)->rate, 1.0);
+      EXPECT_EQ(global.config(site)->max_failures, 3u);
+    }
+    // Inner scope restores the outer arming, not "unarmed".
+    ASSERT_TRUE(global.config(site).has_value());
+    EXPECT_DOUBLE_EQ(global.config(site)->rate, 0.5);
+    EXPECT_EQ(global.config(site)->seed, 11u);
+  }
+  EXPECT_FALSE(global.config(site).has_value())
+      << "outer scope must fully disarm a previously unarmed site";
+}
+
+TEST(FaultInjectorTest, ThreadSafeCountingLosesNothing) {
+  FaultInjector injector;
+  injector.Arm("svc.worker", 0.5, 3);
+  std::vector<std::thread> threads;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kCalls = 500;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&injector]() {
+      for (std::size_t i = 0; i < kCalls; ++i) {
+        injector.ShouldFail("svc.worker");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(injector.counters("svc.worker").calls, kThreads * kCalls);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sdtw

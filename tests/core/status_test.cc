@@ -1,0 +1,104 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdtw {
+namespace core {
+namespace {
+
+TEST(StatusTest, DefaultAndOkAreSuccess) {
+  const Status def;
+  EXPECT_TRUE(def.ok());
+  EXPECT_EQ(def.code(), StatusCode::kOk);
+  EXPECT_TRUE(def.message().empty());
+  EXPECT_EQ(def, Status::Ok());
+  EXPECT_EQ(def.ToString(), "ok");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  const Status s(StatusCode::kDeadlineExceeded, "queued past its deadline");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "queued past its deadline");
+  EXPECT_EQ(s.ToString(), "deadline_exceeded: queued past its deadline");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  const Status a(StatusCode::kWorkerFault, "boom");
+  EXPECT_EQ(a, Status(StatusCode::kWorkerFault, "boom"));
+  EXPECT_FALSE(a == Status(StatusCode::kWorkerFault, "bang"));
+  EXPECT_FALSE(a == Status(StatusCode::kUnknown, "boom"));
+}
+
+TEST(StatusTest, EveryCodeHasAStableName) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument),
+            "invalid_argument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
+  EXPECT_EQ(StatusCodeName(StatusCode::kWorkerFault), "worker_fault");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnknown), "unknown");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  const StatusOr<int> sor(7);
+  ASSERT_TRUE(sor.ok());
+  EXPECT_TRUE(sor.status().ok());
+  EXPECT_EQ(sor.value(), 7);
+  EXPECT_EQ(*sor, 7);
+  EXPECT_EQ(sor.value_or(-1), 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> sor(Status(StatusCode::kUnavailable, "shut down"));
+  ASSERT_FALSE(sor.ok());
+  EXPECT_EQ(sor.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(sor.status().message(), "shut down");
+  EXPECT_EQ(sor.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ImplicitConstructionFromBothSides) {
+  // The whole point of implicit conversion: `return hits;` and
+  // `return Status(...)` both work from a StatusOr-returning function.
+  const auto make = [](bool fail) -> StatusOr<std::string> {
+    if (fail) return Status(StatusCode::kWorkerFault, "injected");
+    return std::string("hits");
+  };
+  EXPECT_TRUE(make(false).ok());
+  EXPECT_EQ(*make(false), "hits");
+  EXPECT_EQ(make(true).status().code(), StatusCode::kWorkerFault);
+}
+
+TEST(StatusOrTest, MoveOutDoesNotCopy) {
+  StatusOr<std::vector<int>> sor(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(sor.ok());
+  const int* data = sor.value().data();
+  const std::vector<int> moved = std::move(sor).value();
+  EXPECT_EQ(moved.data(), data) << "rvalue value() must move, not copy";
+  EXPECT_EQ(moved, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StatusOrTest, ArrowReachesTheValue) {
+  StatusOr<std::string> sor(std::string("abc"));
+  EXPECT_EQ(sor->size(), 3u);
+}
+
+#ifdef NDEBUG
+TEST(StatusOrTest, OkStatusDegradesToUnknownInsteadOfLying) {
+  // Contract violation (asserted in debug builds): an OK status can never
+  // represent the error alternative, so it is coerced to a real error.
+  const StatusOr<int> sor(Status::Ok());
+  EXPECT_FALSE(sor.ok());
+  EXPECT_EQ(sor.status().code(), StatusCode::kUnknown);
+}
+#endif
+
+}  // namespace
+}  // namespace core
+}  // namespace sdtw

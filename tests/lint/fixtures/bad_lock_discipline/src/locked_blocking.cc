@@ -77,6 +77,18 @@ void SubmitUnderLock() {
   g_service.Submit(1, 2);  // VIOLATION: blocking service call under the lock
 }
 
+void RetryBackoffUnderLock() {
+  // Models the poisoned-batch isolation retry done wrong: the decorrelated
+  // backoff sleep must run with no lock held, or every submitter stalls
+  // behind the retry loop.
+  sdtw::core::MutexLock lock(g_mu);
+  long long backoff = 100;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::this_thread::sleep_for(backoff);  // VIOLATION: backoff under the lock
+    backoff *= 3;
+  }
+}
+
 void BlessedWaitUnderLock() {
   sdtw::core::UniqueLock lock(g_mu);
   g_cv.Wait(lock);  // ok: core::CondVar is the blessed wait path

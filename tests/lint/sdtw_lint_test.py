@@ -74,7 +74,7 @@ class FixtureRuleTests(unittest.TestCase):
     def test_lock_discipline(self):
         self.assert_fixture(
             "bad_lock_discipline", "lock-discipline", "locked_blocking.cc",
-            lines=[62, 67, 72, 77], suppressed_lines=[95])
+            lines=[62, 67, 72, 77, 87], suppressed_lines=[107])
 
     def test_guarded_member_coverage(self):
         self.assert_fixture(

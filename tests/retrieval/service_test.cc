@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/fault_injector.h"
+#include "core/status.h"
 #include "data/generators.h"
 #include "retrieval/batch.h"
 #include "retrieval/latency.h"
@@ -21,6 +23,12 @@ namespace {
 
 using std::chrono::microseconds;
 using std::chrono::milliseconds;
+
+// True when the CI fault matrix (or a stray SDTW_FAULT) armed injection
+// for this whole binary. Under it a request may legitimately fail after
+// exhausting its retries, so completion-mandatory assertions relax to
+// "whatever completes is still bitwise correct".
+bool FaultsArmed() { return core::FaultInjector::Global().armed(); }
 
 ts::Dataset SmallGun(std::size_t n = 16, std::size_t len = 100) {
   data::GeneratorOptions opt;
@@ -42,6 +50,22 @@ void ExpectSameHits(const std::vector<Hit>& got, const std::vector<Hit>& want,
   }
 }
 
+// Fetches a future that must hold hits when no faults are armed; under
+// the fault matrix an injected kWorkerFault (or kUnknown) is tolerated
+// and reported as empty hits so callers can skip the bitwise check.
+std::optional<QueryService::Hits> GetHits(
+    std::future<QueryService::Result>& future, const char* what) {
+  QueryService::Result result = future.get();
+  if (result.ok()) return std::move(result).value();
+  EXPECT_TRUE(FaultsArmed())
+      << what << ": unexpected failure with no faults armed: "
+      << result.status().ToString();
+  EXPECT_TRUE(result.status().code() == core::StatusCode::kWorkerFault ||
+              result.status().code() == core::StatusCode::kUnknown)
+      << what << ": " << result.status().ToString();
+  return std::nullopt;
+}
+
 // Reference results: a direct one-shot BatchKnnEngine scan of each query
 // alone, with default options (fresh threads, no executor, no cache).
 std::vector<std::vector<Hit>> DirectHits(const KnnEngine& engine,
@@ -61,6 +85,11 @@ std::vector<std::vector<Hit>> DirectHits(const KnnEngine& engine,
 // WorkerPool
 
 TEST(WorkerPoolTest, RunsJobOncePerWorkerAndReusesArenas) {
+  // Direct Execute calls have no service-level isolation to absorb an
+  // ambient SDTW_FAULT (e.g. the CI fault matrix); pin the worker sites
+  // to rate 0 so this test measures pool mechanics, not fault handling.
+  core::ScopedFault quiet_worker(kFaultSiteWorker, 0.0, 0);
+  core::ScopedFault quiet_stall(kFaultSiteWorkerStall, 0.0, 0);
   WorkerPool pool(2);
   ASSERT_EQ(pool.num_workers(), 2u);
 
@@ -83,6 +112,8 @@ TEST(WorkerPoolTest, RunsJobOncePerWorkerAndReusesArenas) {
 }
 
 TEST(WorkerPoolTest, DefaultWidthIsAtLeastOne) {
+  core::ScopedFault quiet_worker(kFaultSiteWorker, 0.0, 0);
+  core::ScopedFault quiet_stall(kFaultSiteWorkerStall, 0.0, 0);
   WorkerPool pool;
   EXPECT_GE(pool.num_workers(), 1u);
   std::atomic<std::size_t> ran{0};
@@ -262,7 +293,9 @@ TEST(QueryServiceTest, HitsBitwiseIdenticalToDirectBatch) {
       futures.push_back(std::move(*f));
     }
     for (std::size_t q = 0; q < queries.size(); ++q) {
-      ExpectSameHits(futures[q].get(), expected[q], config.name);
+      if (const auto hits = GetHits(futures[q], config.name)) {
+        ExpectSameHits(*hits, expected[q], config.name);
+      }
     }
     service.Shutdown();
     const ServiceMetrics m = service.metrics();
@@ -270,7 +303,11 @@ TEST(QueryServiceTest, HitsBitwiseIdenticalToDirectBatch) {
     EXPECT_EQ(m.completed, queries.size()) << config.name;
     EXPECT_EQ(m.rejected, 0u) << config.name;
     EXPECT_GE(m.batches, 1u) << config.name;
-    EXPECT_EQ(m.latency.count, queries.size()) << config.name;
+    EXPECT_EQ(m.completed, m.ok + m.failed + m.deadline_exceeded)
+        << config.name;
+    if (!FaultsArmed()) {
+      EXPECT_EQ(m.latency.count, queries.size()) << config.name;
+    }
     EXPECT_LE(m.latency.p50_us, m.latency.p95_us) << config.name;
     EXPECT_LE(m.latency.p95_us, m.latency.p99_us) << config.name;
   }
@@ -306,7 +343,13 @@ TEST(QueryServiceTest, ConcurrentSubmittersGetIdenticalHits) {
             all_good = false;
             continue;
           }
-          const auto hits = f->get();
+          const QueryService::Result result = f->get();
+          if (!result.ok()) {
+            // Only a fault-matrix run may fail a request.
+            all_good = all_good && FaultsArmed();
+            continue;
+          }
+          const auto& hits = *result;
           if (hits.size() != expected[q].size()) {
             all_good = false;
             continue;
@@ -341,12 +384,20 @@ TEST(QueryServiceTest, CacheHitIdenticalToMiss) {
 
   const auto first = service.Query(ds[0], 4);   // derivative cache miss
   const auto second = service.Query(ds[0], 4);  // derivative cache hit
-  ExpectSameHits(second, first, "cached replay");
-
-  const ServiceMetrics m = service.metrics();
-  EXPECT_EQ(m.cache.misses, 1u);
-  EXPECT_EQ(m.cache.hits, 1u);
-  EXPECT_EQ(m.cache.insertions, 1u);
+  if (!FaultsArmed()) {
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    const ServiceMetrics m = service.metrics();
+    EXPECT_EQ(m.cache.misses, 1u);
+    EXPECT_EQ(m.cache.hits, 1u);
+    EXPECT_EQ(m.cache.insertions, 1u);
+  }
+  // Cached replay stays bitwise identical whenever both runs complete —
+  // fault matrix or not (a faulted fill only skips the cache, never
+  // corrupts it).
+  if (first.ok() && second.ok()) {
+    ExpectSameHits(*second, *first, "cached replay");
+  }
 }
 
 TEST(QueryServiceTest, CoalescesDuplicatesWithinBatch) {
@@ -367,7 +418,11 @@ TEST(QueryServiceTest, CoalescesDuplicatesWithinBatch) {
     ASSERT_TRUE(f.has_value());
     futures.push_back(std::move(*f));
   }
-  for (auto& f : futures) ExpectSameHits(f.get(), expected, "duplicate");
+  for (auto& f : futures) {
+    if (const auto hits = GetHits(f, "duplicate")) {
+      ExpectSameHits(*hits, expected, "duplicate");
+    }
+  }
 
   service.Shutdown();
   const ServiceMetrics m = service.metrics();
@@ -404,7 +459,9 @@ TEST(QueryServiceTest, MixedKRequestsEachGetTheirOwnK) {
   for (std::size_t i = 0; i < wants.size(); ++i) {
     const auto expected =
         DirectHits(engine, {ds[wants[i].query]}, wants[i].k)[0];
-    ExpectSameHits(futures[i].get(), expected, "mixed k");
+    if (const auto hits = GetHits(futures[i], "mixed k")) {
+      ExpectSameHits(*hits, expected, "mixed k");
+    }
   }
 }
 
@@ -413,7 +470,11 @@ TEST(QueryServiceTest, ZeroKCompletesEmpty) {
   KnnEngine engine;
   engine.Index(ds);
   QueryService service(engine);
-  EXPECT_TRUE(service.Query(ds[0], 0).empty());
+  // k == 0 runs no scan at all, so not even a fault-matrix worker fault
+  // can touch it: always ok, always empty.
+  const auto result = service.Query(ds[0], 0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->empty());
   EXPECT_EQ(service.metrics().completed, 1u);
 }
 
@@ -443,7 +504,9 @@ TEST(QueryServiceTest, ShutdownDrainsInFlightWork) {
     ASSERT_EQ(futures[q].wait_for(std::chrono::seconds(0)),
               std::future_status::ready)
         << q;
-    ExpectSameHits(futures[q].get(), expected[q], "drained");
+    if (const auto hits = GetHits(futures[q], "drained")) {
+      ExpectSameHits(*hits, expected[q], "drained");
+    }
   }
   EXPECT_FALSE(service->Submit(queries[0], 3).has_value());
   const ServiceMetrics m = service->metrics();
@@ -472,8 +535,9 @@ TEST(QueryServiceTest, RejectPolicyShedsLoadAtCapacity) {
   EXPECT_FALSE(service.Submit(ds[1], 3).has_value());
 
   service.Shutdown();  // drains the admitted request immediately
-  ExpectSameHits(admitted->get(), DirectHits(engine, {ds[0]}, 3)[0],
-                 "admitted");
+  if (const auto hits = GetHits(*admitted, "admitted")) {
+    ExpectSameHits(*hits, DirectHits(engine, {ds[0]}, 3)[0], "admitted");
+  }
   const ServiceMetrics m = service.metrics();
   EXPECT_EQ(m.submitted, 1u);
   EXPECT_EQ(m.rejected, 1u);
@@ -505,7 +569,11 @@ TEST(QueryServiceTest, BlockPolicyAppliesBackpressureThenAdmits) {
     }
   });
   submitter.join();
-  for (auto& f : futures) ExpectSameHits(f.get(), expected, "blocked");
+  for (auto& f : futures) {
+    if (const auto hits = GetHits(f, "blocked")) {
+      ExpectSameHits(*hits, expected, "blocked");
+    }
+  }
   service.Shutdown();
   const ServiceMetrics m = service.metrics();
   EXPECT_EQ(m.submitted, 6u);
